@@ -1,0 +1,128 @@
+#include "bench/bench_common.h"
+
+#include "oipa/adoption.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace oipa {
+namespace bench {
+
+BenchEnv MakeEnv(const std::string& dataset_name, const BenchScales& scales,
+                 int ell, int64_t theta, uint64_t seed) {
+  BenchEnv env;
+  const double scale = dataset_name == "dblp"    ? scales.dblp
+                       : dataset_name == "tweet" ? scales.tweet
+                                                 : 1.0;
+  env.dataset = MakeDatasetByName(dataset_name, scale, seed);
+  Rng rng(seed + 1000);
+  env.campaign =
+      Campaign::SampleUniformPieces(ell, env.dataset.num_topics, &rng);
+  env.pieces =
+      BuildPieceGraphs(*env.dataset.graph, *env.dataset.probs, env.campaign);
+  WallTimer timer;
+  env.mrr = std::make_unique<MrrCollection>(
+      MrrCollection::Generate(env.pieces, theta, seed + 2000));
+  env.sample_seconds = timer.Seconds();
+  return env;
+}
+
+MethodResult RunIm(const BenchEnv& env, const LogisticAdoptionModel& model,
+                   int k, int64_t theta, uint64_t seed) {
+  const BaselineResult r =
+      ImBaseline(*env.dataset.graph, *env.dataset.probs, env.campaign,
+                 *env.mrr, model, env.dataset.promoter_pool, k, theta,
+                 seed);
+  MethodResult out;
+  out.utility = r.utility;
+  out.seconds = r.seconds;
+  out.plan = r.plan;
+  return out;
+}
+
+MethodResult RunTim(const BenchEnv& env, const LogisticAdoptionModel& model,
+                    int k, int64_t theta, uint64_t seed) {
+  const BaselineResult r =
+      TimBaseline(*env.dataset.graph, *env.dataset.probs, env.campaign,
+                  *env.mrr, model, env.dataset.promoter_pool, k, theta,
+                  seed);
+  MethodResult out;
+  out.utility = r.utility;
+  out.seconds = r.seconds;
+  out.plan = r.plan;
+  return out;
+}
+
+MethodResult RunBab(const BenchEnv& env, const LogisticAdoptionModel& model,
+                    int k, const BabOptions& base_options) {
+  BabOptions options = base_options;
+  options.budget = k;
+  options.progressive = false;
+  BabSolver solver(env.mrr.get(), model, env.dataset.promoter_pool,
+                   options);
+  const BabResult r = solver.Solve();
+  MethodResult out;
+  out.utility = r.utility;
+  out.seconds = r.seconds;
+  out.plan = r.plan;
+  return out;
+}
+
+MethodResult RunBabP(const BenchEnv& env,
+                     const LogisticAdoptionModel& model, int k,
+                     double epsilon, const BabOptions& base_options) {
+  BabOptions options = base_options;
+  options.budget = k;
+  options.progressive = true;
+  options.epsilon = epsilon;
+  BabSolver solver(env.mrr.get(), model, env.dataset.promoter_pool,
+                   options);
+  const BabResult r = solver.Solve();
+  MethodResult out;
+  out.utility = r.utility;
+  out.seconds = r.seconds;
+  out.plan = r.plan;
+  return out;
+}
+
+void EvaluateOnHoldout(const MrrCollection& holdout,
+                       const LogisticAdoptionModel& model,
+                       std::vector<MethodResult*> results) {
+  for (MethodResult* r : results) {
+    // Plans sized for a different piece count cannot happen here; the
+    // holdout shares the env's campaign.
+    r->holdout_utility =
+        EstimateAdoptionUtility(holdout, model, r->plan);
+  }
+}
+
+std::vector<std::string> RequestedDatasets(const FlagParser& flags) {
+  const std::string arg =
+      flags.GetString("datasets", "lastfm,dblp,tweet");
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < arg.size()) {
+    size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) comma = arg.size();
+    if (comma > start) out.push_back(arg.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+BenchScales RequestedScales(const FlagParser& flags) {
+  BenchScales scales;
+  scales.dblp = flags.GetDouble("scale_dblp", scales.dblp);
+  scales.tweet = flags.GetDouble("scale_tweet", scales.tweet);
+  return scales;
+}
+
+BabOptions DefaultBabOptions(const FlagParser& flags) {
+  BabOptions options;
+  options.gap = flags.GetDouble("gap", 0.01);
+  options.max_nodes = flags.GetInt("max_nodes", 400);
+  return options;
+}
+
+}  // namespace bench
+}  // namespace oipa

@@ -1,0 +1,74 @@
+// Extension experiment (the paper's Section-VII future work): how robust
+// is the independence-based OIPA plan when pieces actually propagate
+// with correlated edge liveness?
+//
+// For a BAB-P plan optimized under the independence assumption, we
+// simulate the true utility under edge-correlation rho in {0, .25, .5,
+// .75, 1} and report the drift relative to the independent model, for an
+// easy (beta/alpha = 0.7) and a hard (beta/alpha = 0.3) adoption curve.
+// Positive correlation concentrates pieces on the same users, which
+// helps when the adoption curve is still convex at typical coverage
+// (hard curves) and is roughly neutral otherwise — the series make that
+// visible.
+//
+// Flags: --theta, --k, --ell, --trials
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "oipa/correlated.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace oipa;
+  using namespace oipa::bench;
+  FlagParser flags(argc, argv);
+  const int64_t theta = flags.GetInt("theta", 30'000);
+  const int k = static_cast<int>(flags.GetInt("k", 20));
+  const int ell = static_cast<int>(flags.GetInt("ell", 3));
+  const int trials = static_cast<int>(flags.GetInt("trials", 4000));
+  const BenchScales scales = RequestedScales(flags);
+  const BabOptions base = DefaultBabOptions(flags);
+
+  // Mixed-topic pieces (3 non-zero topics each): correlation only
+  // matters where two pieces can traverse the SAME edge, which one-hot
+  // pieces almost never do.
+  BenchEnv env = MakeEnv("lastfm", scales, ell, theta, 71);
+  {
+    Rng rng(79);
+    env.campaign = Campaign::SampleSparsePieces(
+        ell, env.dataset.num_topics, 3, &rng);
+    env.pieces = BuildPieceGraphs(*env.dataset.graph, *env.dataset.probs,
+                                  env.campaign);
+    env.mrr = std::make_unique<MrrCollection>(
+        MrrCollection::Generate(env.pieces, theta, 83));
+  }
+
+  std::printf(
+      "=== Extension: plan robustness to piece correlation "
+      "(lastfm, k=%d, l=%d) ===\n",
+      k, ell);
+  for (double ratio : {0.3, 0.7}) {
+    const LogisticAdoptionModel model(1.0 / ratio, 1.0);
+    const MethodResult planned = RunBabP(env, model, k, 0.5, base);
+    TextTable table({"rho", "simulated_utility", "vs_independent"});
+    double independent = 0.0;
+    for (double rho : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const double u = SimulateCorrelatedAdoptionUtility(
+          env.pieces, model, planned.plan, rho, trials, 73);
+      if (rho == 0.0) independent = u;
+      table.AddRow({TextTable::Num(rho, 2), TextTable::Num(u, 3),
+                    TextTable::Num(
+                        independent > 0.0 ? u / independent : 0.0, 3)});
+    }
+    std::printf("\n--- beta/alpha = %.1f ---\n", ratio);
+    table.Print();
+  }
+  std::printf(
+      "\nThe MRR estimator (and hence the optimizer) assumes rho = 0; the\n"
+      "vs_independent column is the model-misspecification factor the\n"
+      "paper's future-work section asks about.\n");
+  return 0;
+}

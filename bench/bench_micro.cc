@@ -1,0 +1,137 @@
+// Google-benchmark micro benchmarks for the performance-critical
+// primitives: RR sampling, MRR generation, coverage updates, tangent
+// refinement, and bound evaluations.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "data/datasets.h"
+#include "oipa/bound_evaluator.h"
+#include "oipa/tangent_bound.h"
+#include "rrset/coverage_state.h"
+#include "rrset/mrr_collection.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "topic/campaign.h"
+#include "topic/influence_graph.h"
+#include "util/random.h"
+
+namespace oipa {
+namespace {
+
+/// Shared lastfm-like environment, built once.
+struct MicroEnv {
+  MicroEnv() : dataset(MakeLastFmLike(7)) {
+    Rng rng(11);
+    campaign = Campaign::SampleUniformPieces(3, dataset.num_topics, &rng);
+    pieces = BuildPieceGraphs(*dataset.graph, *dataset.probs, campaign);
+    mrr = std::make_unique<MrrCollection>(
+        MrrCollection::Generate(pieces, 20'000, 13));
+  }
+  Dataset dataset;
+  Campaign campaign;
+  std::vector<InfluenceGraph> pieces;
+  std::unique_ptr<MrrCollection> mrr;
+};
+
+MicroEnv& Env() {
+  static MicroEnv* env = new MicroEnv();
+  return *env;
+}
+
+void BM_RrSample(benchmark::State& state) {
+  MicroEnv& env = Env();
+  RrSampler sampler(env.dataset.graph->num_vertices());
+  Rng rng(17);
+  std::vector<VertexId> out;
+  const VertexId n = env.dataset.graph->num_vertices();
+  for (auto _ : state) {
+    sampler.Sample(env.pieces[0],
+                   static_cast<VertexId>(rng.NextBounded(n)), &rng, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RrSample);
+
+void BM_MrrGenerate(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const int64_t theta = state.range(0);
+  for (auto _ : state) {
+    const MrrCollection mrr =
+        MrrCollection::Generate(env.pieces, theta, 19);
+    benchmark::DoNotOptimize(mrr.TotalSize());
+  }
+  state.SetItemsProcessed(state.iterations() * theta);
+}
+BENCHMARK(BM_MrrGenerate)->Arg(1000)->Arg(10'000);
+
+void BM_CoverageAddRemove(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const LogisticAdoptionModel model(2.0, 1.0);
+  CoverageState cov(env.mrr.get(), model.AdoptionTable(3));
+  Rng rng(23);
+  const auto& pool = env.dataset.promoter_pool;
+  for (auto _ : state) {
+    const VertexId v = pool[rng.NextBounded(pool.size())];
+    const int piece = static_cast<int>(rng.NextBounded(3));
+    cov.AddSeed(v, piece);
+    cov.RemoveSeed(v, piece);
+    benchmark::DoNotOptimize(cov.RawSum());
+  }
+}
+BENCHMARK(BM_CoverageAddRemove);
+
+void BM_GainOfAdding(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const LogisticAdoptionModel model(2.0, 1.0);
+  CoverageState cov(env.mrr.get(), model.AdoptionTable(3));
+  cov.AddSeed(env.dataset.promoter_pool[0], 0);
+  Rng rng(29);
+  const auto& pool = env.dataset.promoter_pool;
+  for (auto _ : state) {
+    const VertexId v = pool[rng.NextBounded(pool.size())];
+    benchmark::DoNotOptimize(cov.GainOfAdding(v, 1));
+  }
+}
+BENCHMARK(BM_GainOfAdding);
+
+void BM_RefineTangentSlope(benchmark::State& state) {
+  double x0 = -5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RefineTangentSlope(x0));
+    x0 = x0 < -0.1 ? x0 + 0.05 : -5.0;
+  }
+}
+BENCHMARK(BM_RefineTangentSlope);
+
+void BM_ComputeBound(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const LogisticAdoptionModel model(2.0, 1.0);
+  const int k = static_cast<int>(state.range(0));
+  BoundEvaluator eval(env.mrr.get(), model, env.dataset.promoter_pool);
+  CoverageState cov(env.mrr.get(), model.AdoptionTable(3));
+  for (auto _ : state) {
+    const BoundResult r = eval.ComputeBound(&cov, k, {});
+    benchmark::DoNotOptimize(r.tau);
+  }
+}
+BENCHMARK(BM_ComputeBound)->Arg(10)->Arg(30);
+
+void BM_ComputeBoundPro(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const LogisticAdoptionModel model(2.0, 1.0);
+  const int k = static_cast<int>(state.range(0));
+  BoundEvaluator eval(env.mrr.get(), model, env.dataset.promoter_pool);
+  CoverageState cov(env.mrr.get(), model.AdoptionTable(3));
+  for (auto _ : state) {
+    const BoundResult r = eval.ComputeBoundPro(&cov, k, {}, 0.5);
+    benchmark::DoNotOptimize(r.tau);
+  }
+}
+BENCHMARK(BM_ComputeBoundPro)->Arg(10)->Arg(30);
+
+}  // namespace
+}  // namespace oipa
+
+BENCHMARK_MAIN();

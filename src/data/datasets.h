@@ -1,0 +1,56 @@
+#ifndef OIPA_DATA_DATASETS_H_
+#define OIPA_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topic/edge_topic_probs.h"
+
+namespace oipa {
+
+/// A ready-to-use experimental dataset: social graph, learned/synthetic
+/// topic-aware probabilities, and the promoter pool V_p (the paper draws
+/// V_p as 10% of users).
+struct Dataset {
+  std::string name;
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<EdgeTopicProbs> probs;
+  int num_topics = 0;
+  std::vector<VertexId> promoter_pool;
+};
+
+/// Deterministically samples `fraction` of all vertices as promoters.
+std::vector<VertexId> SamplePromoterPool(VertexId n, double fraction,
+                                         uint64_t seed);
+
+/// lastfm-like (Table III row 1): ~1.3K vertices, ~15K directed edges,
+/// 20 topics. Clustered power-law social graph; weighted-cascade style
+/// topic probabilities (the paper learns these with TIC from the lastfm
+/// action log — see DESIGN.md §4 for the substitution argument and
+/// examples/learning_pipeline.cc for the full generate->log->learn
+/// pipeline run end to end).
+Dataset MakeLastFmLike(uint64_t seed = 7);
+
+/// dblp-like (Table III row 2): co-authorship-style clustered power-law
+/// graph with 9 research-field topics derived from per-author field
+/// profiles. Paper scale is 0.5M/6M; `scale` shrinks vertex count
+/// (default 0.1 => ~50K vertices) to keep bench defaults laptop-sized.
+Dataset MakeDblpLike(double scale = 0.1, uint64_t seed = 11);
+
+/// tweet-like (Table III row 3): extremely sparse retweet graph (average
+/// degree ~1.2), 50 topics, ~1.5 non-zero topic probabilities per edge.
+/// Paper scale is 10M/12M; `scale` shrinks vertex count (default 0.01 =>
+/// ~100K vertices).
+Dataset MakeTweetLike(double scale = 0.01, uint64_t seed = 13);
+
+/// Looks up a dataset by name ("lastfm", "dblp", "tweet") at the given
+/// scale (ignored for lastfm, which is already full-scale).
+Dataset MakeDatasetByName(const std::string& name, double scale,
+                          uint64_t seed);
+
+}  // namespace oipa
+
+#endif  // OIPA_DATA_DATASETS_H_

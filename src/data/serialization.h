@@ -1,0 +1,21 @@
+#ifndef OIPA_DATA_SERIALIZATION_H_
+#define OIPA_DATA_SERIALIZATION_H_
+
+#include <string>
+
+#include "data/datasets.h"
+#include "util/status.h"
+
+namespace oipa {
+
+/// Binary snapshot of a Dataset (graph topology + sparse topic
+/// probabilities + promoter pool). Format: little-endian, magic-tagged,
+/// versioned; see serialization.cc for the layout. Intended for caching
+/// generated datasets between bench runs.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+StatusOr<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace oipa
+
+#endif  // OIPA_DATA_SERIALIZATION_H_

@@ -1,0 +1,112 @@
+#include "diffusion/cascade.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+std::vector<uint8_t> SimulateCascade(const InfluenceGraph& ig,
+                                     const std::vector<VertexId>& seeds,
+                                     Rng* rng) {
+  const Graph& g = ig.graph();
+  std::vector<uint8_t> active(g.num_vertices(), 0);
+  std::vector<VertexId> frontier;
+  for (VertexId s : seeds) {
+    OIPA_CHECK_GE(s, 0);
+    OIPA_CHECK_LT(s, g.num_vertices());
+    if (!active[s]) {
+      active[s] = 1;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<VertexId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (VertexId u : frontier) {
+      const auto nbrs = g.OutNeighbors(u);
+      const auto eids = g.OutEdgeIds(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId v = nbrs[i];
+        if (active[v]) continue;
+        if (rng->NextBernoulli(ig.EdgeProb(eids[i]))) {
+          active[v] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return active;
+}
+
+double EstimateSpread(const InfluenceGraph& ig,
+                      const std::vector<VertexId>& seeds, int trials,
+                      uint64_t seed) {
+  OIPA_CHECK_GT(trials, 0);
+  Rng rng(seed);
+  int64_t total = 0;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<uint8_t> active = SimulateCascade(ig, seeds, &rng);
+    for (uint8_t a : active) total += a;
+  }
+  return static_cast<double>(total) / trials;
+}
+
+std::vector<double> ExactReachProbabilities(
+    const InfluenceGraph& ig, const std::vector<VertexId>& seeds) {
+  const Graph& g = ig.graph();
+  const EdgeId m = g.num_edges();
+  OIPA_CHECK_LE(m, 24) << "exact enumeration is exponential in m";
+  const VertexId n = g.num_vertices();
+  std::vector<double> reach(n, 0.0);
+  if (seeds.empty()) return reach;
+
+  std::vector<uint8_t> active(n);
+  std::vector<VertexId> stack;
+  // Enumerate all live-edge worlds; world probability is the product of
+  // per-edge live/blocked probabilities.
+  for (uint32_t world = 0; world < (1u << m); ++world) {
+    double world_prob = 1.0;
+    for (EdgeId e = 0; e < m; ++e) {
+      const double p = ig.EdgeProb(e);
+      world_prob *= (world >> e) & 1u ? p : 1.0 - p;
+      if (world_prob == 0.0) break;
+    }
+    if (world_prob == 0.0) continue;
+    // BFS over live edges.
+    std::fill(active.begin(), active.end(), 0);
+    stack.clear();
+    for (VertexId s : seeds) {
+      if (!active[s]) {
+        active[s] = 1;
+        stack.push_back(s);
+      }
+    }
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      const auto nbrs = g.OutNeighbors(u);
+      const auto eids = g.OutEdgeIds(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (((world >> eids[i]) & 1u) && !active[nbrs[i]]) {
+          active[nbrs[i]] = 1;
+          stack.push_back(nbrs[i]);
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (active[v]) reach[v] += world_prob;
+    }
+  }
+  return reach;
+}
+
+double ExactSpread(const InfluenceGraph& ig,
+                   const std::vector<VertexId>& seeds) {
+  double total = 0.0;
+  for (double p : ExactReachProbabilities(ig, seeds)) total += p;
+  return total;
+}
+
+}  // namespace oipa

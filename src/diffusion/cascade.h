@@ -1,0 +1,38 @@
+#ifndef OIPA_DIFFUSION_CASCADE_H_
+#define OIPA_DIFFUSION_CASCADE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topic/influence_graph.h"
+#include "util/random.h"
+
+namespace oipa {
+
+/// Runs one forward Independent Cascade from `seeds` on `ig`: every newly
+/// activated node gets a single chance to activate each out-neighbor with
+/// the edge's probability. Returns the activation indicator for every
+/// vertex (seeds included). Duplicate seeds are tolerated.
+std::vector<uint8_t> SimulateCascade(const InfluenceGraph& ig,
+                                     const std::vector<VertexId>& seeds,
+                                     Rng* rng);
+
+/// Monte-Carlo estimate of the expected influence spread sigma_im(seeds):
+/// the mean number of activated nodes over `trials` cascades.
+double EstimateSpread(const InfluenceGraph& ig,
+                      const std::vector<VertexId>& seeds, int trials,
+                      uint64_t seed);
+
+/// Exact per-vertex reach probabilities P[v activated | seeds] by
+/// enumerating all 2^m live-edge worlds. Only feasible for tiny graphs;
+/// checked to m <= 24. Used by tests to validate samplers.
+std::vector<double> ExactReachProbabilities(
+    const InfluenceGraph& ig, const std::vector<VertexId>& seeds);
+
+/// Exact expected spread: sum of ExactReachProbabilities.
+double ExactSpread(const InfluenceGraph& ig,
+                   const std::vector<VertexId>& seeds);
+
+}  // namespace oipa
+
+#endif  // OIPA_DIFFUSION_CASCADE_H_

@@ -1,0 +1,107 @@
+#include "diffusion/lt_cascade.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+std::vector<float> LtWeights(const InfluenceGraph& ig) {
+  const Graph& g = ig.graph();
+  std::vector<float> weights(g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto eids = g.InEdgeIds(v);
+    double sum = 0.0;
+    for (EdgeId e : eids) sum += ig.EdgeProb(e);
+    const double scale = sum > 1.0 ? 1.0 / sum : 1.0;
+    for (EdgeId e : eids) {
+      weights[e] = static_cast<float>(ig.EdgeProb(e) * scale);
+    }
+  }
+  return weights;
+}
+
+std::vector<uint8_t> SimulateLtCascade(const Graph& graph,
+                                       const std::vector<float>& weights,
+                                       const std::vector<VertexId>& seeds,
+                                       Rng* rng) {
+  OIPA_CHECK_EQ(static_cast<EdgeId>(weights.size()), graph.num_edges());
+  const VertexId n = graph.num_vertices();
+  std::vector<uint8_t> active(n, 0);
+  // Thresholds are sampled lazily: a vertex draws its threshold the
+  // first time an active neighbor pushes weight at it.
+  std::vector<float> threshold(n, -1.0f);
+  std::vector<float> incoming(n, 0.0f);
+  std::vector<VertexId> frontier, next;
+  for (VertexId s : seeds) {
+    OIPA_CHECK_GE(s, 0);
+    OIPA_CHECK_LT(s, n);
+    if (!active[s]) {
+      active[s] = 1;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    next.clear();
+    for (VertexId u : frontier) {
+      const auto nbrs = graph.OutNeighbors(u);
+      const auto eids = graph.OutEdgeIds(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId v = nbrs[i];
+        if (active[v]) continue;
+        if (threshold[v] < 0.0f) threshold[v] = rng->NextFloat();
+        incoming[v] += weights[eids[i]];
+        if (incoming[v] >= threshold[v]) {
+          active[v] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return active;
+}
+
+double EstimateLtSpread(const Graph& graph,
+                        const std::vector<float>& weights,
+                        const std::vector<VertexId>& seeds, int trials,
+                        uint64_t seed) {
+  OIPA_CHECK_GT(trials, 0);
+  Rng rng(seed);
+  int64_t total = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto active = SimulateLtCascade(graph, weights, seeds, &rng);
+    for (uint8_t a : active) total += a;
+  }
+  return static_cast<double>(total) / trials;
+}
+
+void SampleLtRrSet(const Graph& graph, const std::vector<float>& weights,
+                   VertexId root, Rng* rng, std::vector<VertexId>* out) {
+  OIPA_CHECK_GE(root, 0);
+  OIPA_CHECK_LT(root, graph.num_vertices());
+  out->clear();
+  out->push_back(root);
+  // Under LT's live-edge distribution each vertex keeps at most one
+  // incoming edge, so the reverse walk is a path (cycle-checked).
+  VertexId cur = root;
+  for (;;) {
+    const auto nbrs = graph.InNeighbors(cur);
+    const auto eids = graph.InEdgeIds(cur);
+    double r = rng->NextDouble();
+    VertexId picked = -1;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      r -= weights[eids[i]];
+      if (r < 0.0) {
+        picked = nbrs[i];
+        break;
+      }
+    }
+    if (picked < 0) break;  // leftover mass: no incoming live edge
+    if (std::find(out->begin(), out->end(), picked) != out->end()) break;
+    out->push_back(picked);
+    cur = picked;
+  }
+}
+
+}  // namespace oipa

@@ -1,0 +1,50 @@
+#ifndef OIPA_DIFFUSION_LT_CASCADE_H_
+#define OIPA_DIFFUSION_LT_CASCADE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topic/influence_graph.h"
+#include "util/random.h"
+
+namespace oipa {
+
+/// Linear Threshold (LT) diffusion — the second classical model of Kempe
+/// et al. (the paper's hardness discussion covers both IC and LT). Edge
+/// probabilities are interpreted as influence weights; each vertex's
+/// incoming weights are normalized to sum to at most 1 by LtWeights.
+///
+/// Forward process: every vertex draws a threshold uniformly from [0,1];
+/// it activates once the weight sum of its active in-neighbors reaches
+/// the threshold.
+///
+/// Reverse-reachable sampling under LT (live-edge formulation): each
+/// vertex picks AT MOST ONE incoming edge, edge (u,v) with probability
+/// weight(u,v) and no edge with the leftover probability; an RR set is
+/// the reverse path from the root through picked edges.
+
+/// Per-edge LT weights derived from `ig`: each in-neighborhood is
+/// rescaled by min(1, 1/sum) so incoming weights sum to <= 1.
+std::vector<float> LtWeights(const InfluenceGraph& ig);
+
+/// Runs one forward LT cascade from `seeds` using `weights` (from
+/// LtWeights); returns activation indicators.
+std::vector<uint8_t> SimulateLtCascade(const Graph& graph,
+                                       const std::vector<float>& weights,
+                                       const std::vector<VertexId>& seeds,
+                                       Rng* rng);
+
+/// Monte-Carlo estimate of the LT spread of `seeds`.
+double EstimateLtSpread(const Graph& graph,
+                        const std::vector<float>& weights,
+                        const std::vector<VertexId>& seeds, int trials,
+                        uint64_t seed);
+
+/// Samples one LT RR set rooted at `root` (live-edge path sampling),
+/// appending members to `out` (cleared first).
+void SampleLtRrSet(const Graph& graph, const std::vector<float>& weights,
+                   VertexId root, Rng* rng, std::vector<VertexId>* out);
+
+}  // namespace oipa
+
+#endif  // OIPA_DIFFUSION_LT_CASCADE_H_

@@ -1,0 +1,70 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+Graph::Graph(VertexId num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  OIPA_CHECK_GE(num_vertices_, 0);
+  const EdgeId m = static_cast<EdgeId>(edges_.size());
+
+  out_offsets_.assign(num_vertices_ + 1, 0);
+  in_offsets_.assign(num_vertices_ + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& edge = edges_[e];
+    OIPA_CHECK_GE(edge.src, 0);
+    OIPA_CHECK_LT(edge.src, num_vertices_);
+    OIPA_CHECK_GE(edge.dst, 0);
+    OIPA_CHECK_LT(edge.dst, num_vertices_);
+    OIPA_CHECK_NE(edge.src, edge.dst) << "self-loop at vertex " << edge.src;
+    if (e > 0) {
+      OIPA_CHECK(edges_[e - 1] < edge)
+          << "edges must be sorted and deduplicated";
+    }
+    ++out_offsets_[edge.src + 1];
+    ++in_offsets_[edge.dst + 1];
+  }
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+
+  out_nbrs_.resize(m);
+  out_edge_ids_.resize(m);
+  in_nbrs_.resize(m);
+  in_edge_ids_.resize(m);
+  std::vector<int64_t> out_fill(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<int64_t> in_fill(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& edge = edges_[e];
+    const int64_t op = out_fill[edge.src]++;
+    out_nbrs_[op] = edge.dst;
+    out_edge_ids_[op] = e;
+    const int64_t ip = in_fill[edge.dst]++;
+    in_nbrs_[ip] = edge.src;
+    in_edge_ids_[ip] = e;
+  }
+}
+
+Graph Graph::Empty(VertexId num_vertices) {
+  return Graph(num_vertices, {});
+}
+
+double Graph::AverageDegree() const {
+  if (num_vertices_ == 0) return 0.0;
+  return static_cast<double>(num_edges()) /
+         static_cast<double>(num_vertices_);
+}
+
+std::vector<double> Graph::OutDegreeSequence() const {
+  std::vector<double> seq(num_vertices_);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    seq[v] = static_cast<double>(OutDegree(v));
+  }
+  return seq;
+}
+
+}  // namespace oipa

@@ -1,0 +1,37 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  OIPA_CHECK_GE(u, 0);
+  OIPA_CHECK_GE(v, 0);
+  edges_.push_back({u, v});
+  num_vertices_ = std::max(num_vertices_, std::max(u, v) + 1);
+}
+
+void GraphBuilder::AddUndirectedEdge(VertexId u, VertexId v) {
+  AddEdge(u, v);
+  AddEdge(v, u);
+}
+
+void GraphBuilder::ReserveVertices(VertexId n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges_.end());
+  Graph g(num_vertices_, std::move(edges_));
+  edges_.clear();
+  num_vertices_ = 0;
+  return g;
+}
+
+}  // namespace oipa

@@ -1,0 +1,73 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace oipa {
+
+namespace {
+
+StatusOr<Graph> ParseEdgeListStream(std::istream& in) {
+  GraphBuilder builder;
+  std::unordered_map<int64_t, VertexId> remap;
+  auto dense_id = [&remap](int64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    int64_t raw_src, raw_dst;
+    if (!(ls >> raw_src)) continue;  // blank or comment-only line
+    if (!(ls >> raw_dst)) {
+      return Status::InvalidArgument("edge list line " +
+                                     std::to_string(line_no) +
+                                     ": missing target vertex");
+    }
+    if (raw_src < 0 || raw_dst < 0) {
+      return Status::InvalidArgument("edge list line " +
+                                     std::to_string(line_no) +
+                                     ": negative vertex id");
+    }
+    builder.AddEdge(dense_id(raw_src), dense_id(raw_dst));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+StatusOr<Graph> LoadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ParseEdgeListStream(in);
+}
+
+StatusOr<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseEdgeListStream(in);
+}
+
+Status SaveEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# " << graph.num_vertices() << " " << graph.num_edges() << "\n";
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    out << graph.edge(e).src << " " << graph.edge(e).dst << "\n";
+  }
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+}  // namespace oipa

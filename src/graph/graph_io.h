@@ -1,0 +1,25 @@
+#ifndef OIPA_GRAPH_GRAPH_IO_H_
+#define OIPA_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace oipa {
+
+/// Parses a SNAP-style edge-list text file: one "src dst" pair per line
+/// (whitespace separated), '#' comment lines ignored. Vertex ids may be
+/// arbitrary non-negative integers; they are remapped to a dense [0, n)
+/// range in first-seen order.
+StatusOr<Graph> LoadEdgeListFile(const std::string& path);
+
+/// Parses an edge list from an in-memory string (same format).
+StatusOr<Graph> ParseEdgeList(const std::string& text);
+
+/// Writes "src dst" lines (dense ids) with a leading "# n m" comment.
+Status SaveEdgeListFile(const Graph& graph, const std::string& path);
+
+}  // namespace oipa
+
+#endif  // OIPA_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,125 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace oipa {
+
+namespace {
+
+/// Undirected-skeleton neighbor set of v (out + in, deduplicated).
+std::vector<VertexId> SkeletonNeighbors(const Graph& graph, VertexId v) {
+  std::vector<VertexId> nbrs;
+  for (VertexId u : graph.OutNeighbors(v)) nbrs.push_back(u);
+  for (VertexId u : graph.InNeighbors(v)) nbrs.push_back(u);
+  std::sort(nbrs.begin(), nbrs.end());
+  nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  return nbrs;
+}
+
+}  // namespace
+
+double LocalClusteringCoefficient(const Graph& graph, VertexId v) {
+  const std::vector<VertexId> nbrs = SkeletonNeighbors(graph, v);
+  const size_t deg = nbrs.size();
+  if (deg < 2) return 0.0;
+  std::unordered_set<VertexId> nbr_set(nbrs.begin(), nbrs.end());
+  int64_t links = 0;
+  for (VertexId u : nbrs) {
+    // Count each undirected neighbor pair once (u < w); skeleton
+    // neighbors are deduplicated across edge directions.
+    for (VertexId w : SkeletonNeighbors(graph, u)) {
+      if (w > u && nbr_set.count(w)) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(deg) * static_cast<double>(deg - 1));
+}
+
+double AverageClusteringCoefficient(const Graph& graph, int sample_size) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return 0.0;
+  std::vector<VertexId> vertices;
+  if (sample_size > 0 && sample_size < n) {
+    Rng rng(0x5eed);
+    for (int i = 0; i < sample_size; ++i) {
+      vertices.push_back(static_cast<VertexId>(rng.NextBounded(n)));
+    }
+  } else {
+    vertices.resize(n);
+    for (VertexId v = 0; v < n; ++v) vertices[v] = v;
+  }
+  double sum = 0.0;
+  int64_t counted = 0;
+  for (VertexId v : vertices) {
+    if (SkeletonNeighbors(graph, v).size() >= 2) {
+      sum += LocalClusteringCoefficient(graph, v);
+      ++counted;
+    }
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+std::vector<int32_t> WeaklyConnectedComponents(const Graph& graph,
+                                               int* num_components) {
+  const VertexId n = graph.num_vertices();
+  std::vector<int32_t> component(n, -1);
+  int next_id = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (component[start] >= 0) continue;
+    const int32_t id = next_id++;
+    component[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId v : graph.OutNeighbors(u)) {
+        if (component[v] < 0) {
+          component[v] = id;
+          stack.push_back(v);
+        }
+      }
+      for (VertexId v : graph.InNeighbors(u)) {
+        if (component[v] < 0) {
+          component[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_id;
+  return component;
+}
+
+int64_t LargestComponentSize(const Graph& graph) {
+  int num = 0;
+  const std::vector<int32_t> component =
+      WeaklyConnectedComponents(graph, &num);
+  if (num == 0) return 0;
+  std::vector<int64_t> sizes(num, 0);
+  for (int32_t c : component) ++sizes[c];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+DegreeStats ComputeOutDegreeStats(const Graph& graph, double x_min) {
+  DegreeStats stats;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return stats;
+  std::vector<double> degrees = graph.OutDegreeSequence();
+  RunningStats rs;
+  for (double d : degrees) rs.Add(d);
+  stats.min = static_cast<int64_t>(rs.min());
+  stats.max = static_cast<int64_t>(rs.max());
+  stats.mean = rs.mean();
+  stats.median = Quantile(degrees, 0.5);
+  stats.p99 = Quantile(degrees, 0.99);
+  stats.power_law_alpha = PowerLawExponentMle(degrees, x_min);
+  return stats;
+}
+
+}  // namespace oipa

@@ -1,0 +1,52 @@
+#ifndef OIPA_GRAPH_METRICS_H_
+#define OIPA_GRAPH_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace oipa {
+
+/// Structural measurements used to validate that the synthetic datasets
+/// match the regimes of the paper's real graphs (power-law tails,
+/// clustering, component structure).
+
+/// Local clustering coefficient of v, treating the digraph as its
+/// undirected skeleton: (#links among neighbors) / (deg * (deg-1) / 2).
+/// 0 for degree < 2.
+double LocalClusteringCoefficient(const Graph& graph, VertexId v);
+
+/// Average of LocalClusteringCoefficient over all vertices of (skeleton)
+/// degree >= 2; 0 if none. For large graphs, pass sample_size > 0 to
+/// average over a deterministic vertex sample instead of all vertices.
+double AverageClusteringCoefficient(const Graph& graph,
+                                    int sample_size = 0);
+
+/// Weakly connected components: returns the component id per vertex
+/// (ids are 0-based, assigned in discovery order) and fills
+/// *num_components.
+std::vector<int32_t> WeaklyConnectedComponents(const Graph& graph,
+                                               int* num_components);
+
+/// Size of the largest weakly connected component.
+int64_t LargestComponentSize(const Graph& graph);
+
+/// Summary of a degree sequence.
+struct DegreeStats {
+  int64_t min = 0;
+  int64_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p99 = 0.0;
+  /// Continuous power-law MLE exponent over degrees >= x_min (see
+  /// PowerLawExponentMle); 0 when too few tail samples.
+  double power_law_alpha = 0.0;
+};
+
+/// Out-degree statistics; `x_min` is the power-law tail cutoff.
+DegreeStats ComputeOutDegreeStats(const Graph& graph, double x_min = 5.0);
+
+}  // namespace oipa
+
+#endif  // OIPA_GRAPH_METRICS_H_

@@ -1,0 +1,98 @@
+#include "im/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace oipa {
+
+namespace {
+
+std::vector<VertexId> PoolOrAll(const Graph& graph,
+                                const std::vector<VertexId>& candidates) {
+  if (!candidates.empty()) return candidates;
+  std::vector<VertexId> all(graph.num_vertices());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+}  // namespace
+
+std::vector<VertexId> HighDegreeSeeds(
+    const Graph& graph, int k, const std::vector<VertexId>& candidates) {
+  OIPA_CHECK_GE(k, 0);
+  std::vector<VertexId> pool = PoolOrAll(graph, candidates);
+  std::sort(pool.begin(), pool.end(), [&graph](VertexId a, VertexId b) {
+    const int64_t da = graph.OutDegree(a), db = graph.OutDegree(b);
+    return da != db ? da > db : a < b;
+  });
+  if (static_cast<int>(pool.size()) > k) pool.resize(k);
+  return pool;
+}
+
+std::vector<VertexId> DegreeDiscountSeeds(
+    const InfluenceGraph& ig, int k,
+    const std::vector<VertexId>& candidates) {
+  OIPA_CHECK_GE(k, 0);
+  const Graph& graph = ig.graph();
+  const std::vector<VertexId> pool = PoolOrAll(graph, candidates);
+
+  // Representative propagation probability: mean over edges (0 if none).
+  double p = 0.0;
+  if (graph.num_edges() > 0) {
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) p += ig.EdgeProb(e);
+    p /= static_cast<double>(graph.num_edges());
+  }
+
+  std::vector<double> discounted(graph.num_vertices());
+  std::vector<int> taken_neighbors(graph.num_vertices(), 0);
+  std::vector<uint8_t> selected(graph.num_vertices(), 0);
+  for (VertexId v : pool) {
+    discounted[v] = static_cast<double>(graph.OutDegree(v));
+  }
+
+  std::vector<VertexId> seeds;
+  for (int round = 0; round < k && round < static_cast<int>(pool.size());
+       ++round) {
+    VertexId best = -1;
+    double best_score = -1.0;
+    for (VertexId v : pool) {
+      if (selected[v]) continue;
+      if (discounted[v] > best_score ||
+          (discounted[v] == best_score && v < best)) {
+        best_score = discounted[v];
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    selected[best] = 1;
+    seeds.push_back(best);
+    // Discount every (skeleton) neighbor of the chosen seed exactly once.
+    std::vector<VertexId> nbrs;
+    for (VertexId v : graph.OutNeighbors(best)) nbrs.push_back(v);
+    for (VertexId v : graph.InNeighbors(best)) nbrs.push_back(v);
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    for (VertexId v : nbrs) {
+      if (selected[v]) continue;
+      const double d = static_cast<double>(graph.OutDegree(v));
+      const double t = static_cast<double>(++taken_neighbors[v]);
+      discounted[v] = d - 2.0 * t - (d - t) * t * p;
+    }
+  }
+  return seeds;
+}
+
+std::vector<VertexId> RandomSeeds(const Graph& graph, int k, uint64_t seed,
+                                  const std::vector<VertexId>& candidates) {
+  OIPA_CHECK_GE(k, 0);
+  std::vector<VertexId> pool = PoolOrAll(graph, candidates);
+  Rng rng(seed);
+  rng.Shuffle(&pool);
+  if (static_cast<int>(pool.size()) > k) pool.resize(k);
+  return pool;
+}
+
+}  // namespace oipa

@@ -1,0 +1,33 @@
+#ifndef OIPA_IM_HEURISTICS_H_
+#define OIPA_IM_HEURISTICS_H_
+
+#include <vector>
+
+#include "topic/influence_graph.h"
+
+namespace oipa {
+
+/// Classic seed-selection heuristics from the IM literature (Chen et al.
+/// KDD'09 and earlier), used as cheap reference points in ablations.
+
+/// Top-k vertices by out-degree. `candidates` empty means all vertices.
+std::vector<VertexId> HighDegreeSeeds(
+    const Graph& graph, int k,
+    const std::vector<VertexId>& candidates = {});
+
+/// DegreeDiscount (Chen et al.): iteratively picks the highest
+/// discounted-degree vertex, discounting neighbors of chosen seeds by
+/// dd(v) = d(v) - 2*t(v) - (d(v) - t(v)) * t(v) * p, where t(v) counts
+/// already-selected in/out neighbors and p is a representative
+/// propagation probability (mean edge probability of `ig`).
+std::vector<VertexId> DegreeDiscountSeeds(
+    const InfluenceGraph& ig, int k,
+    const std::vector<VertexId>& candidates = {});
+
+/// k uniform random candidates (baseline floor).
+std::vector<VertexId> RandomSeeds(const Graph& graph, int k, uint64_t seed,
+                                  const std::vector<VertexId>& candidates = {});
+
+}  // namespace oipa
+
+#endif  // OIPA_IM_HEURISTICS_H_

@@ -1,0 +1,48 @@
+#ifndef OIPA_IM_IMM_H_
+#define OIPA_IM_IMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "im/max_cover.h"
+#include "topic/influence_graph.h"
+
+namespace oipa {
+
+/// Parameters for IMM (Tang, Shi, Xiao: "Influence Maximization in
+/// Near-Linear Time: A Martingale Approach", SIGMOD 2015).
+struct ImmOptions {
+  /// Approximation slack: the output is a (1 - 1/e - epsilon)
+  /// approximation with probability >= 1 - n^-failure_exponent.
+  double epsilon = 0.5;
+  double failure_exponent = 1.0;  // "l" in the paper
+  uint64_t seed = 1;
+  /// Safety cap on the total number of RR sets.
+  int64_t max_theta = 10'000'000;
+};
+
+struct ImmResult {
+  std::vector<VertexId> seeds;
+  double spread_estimate = 0.0;
+  /// RR sets generated across all phases (sampling + selection).
+  int64_t theta_used = 0;
+  /// The lower bound LB on OPT found by the sampling phase.
+  double opt_lower_bound = 0.0;
+};
+
+/// Full IMM: the sampling phase estimates a lower bound on OPT via
+/// geometrically increasing RR batches and martingale concentration
+/// bounds, then the selection phase runs greedy max cover on
+/// theta = lambda* / LB sets. Used as the "state-of-the-art IM algorithm"
+/// the paper's baselines are built from.
+ImmResult Imm(const InfluenceGraph& ig, int k, const ImmOptions& options);
+
+/// Fixed-theta RIS: generates exactly `theta` RR sets and greedily covers.
+/// This is the paper's experimental configuration (theta fixed at 1e6 for
+/// all compared approaches).
+ImmResult FixedThetaRis(const InfluenceGraph& ig, int k, int64_t theta,
+                        uint64_t seed);
+
+}  // namespace oipa
+
+#endif  // OIPA_IM_IMM_H_

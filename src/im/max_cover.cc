@@ -1,0 +1,107 @@
+#include "im/max_cover.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+namespace {
+
+std::vector<VertexId> AllVertices(VertexId n) {
+  std::vector<VertexId> out(n);
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+double Scale(const RrCollection& rr) {
+  return rr.theta() == 0
+             ? 0.0
+             : static_cast<double>(rr.num_vertices()) /
+                   static_cast<double>(rr.theta());
+}
+
+}  // namespace
+
+MaxCoverResult GreedyMaxCover(const RrCollection& rr, int k,
+                              const std::vector<VertexId>& candidates) {
+  OIPA_CHECK_GE(k, 0);
+  const std::vector<VertexId> pool =
+      candidates.empty() ? AllVertices(rr.num_vertices()) : candidates;
+  std::vector<uint8_t> covered(rr.theta(), 0);
+  std::vector<uint8_t> taken(rr.num_vertices(), 0);
+
+  MaxCoverResult result;
+  for (int round = 0; round < k; ++round) {
+    VertexId best = -1;
+    int64_t best_gain = 0;
+    for (VertexId v : pool) {
+      if (taken[v]) continue;
+      int64_t gain = 0;
+      for (int64_t i : rr.SamplesContaining(v)) gain += !covered[i];
+      // Ties broken toward the smaller vertex id (strict > keeps first).
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best < 0) break;  // no positive marginal gain left
+    taken[best] = 1;
+    result.seeds.push_back(best);
+    result.covered += best_gain;
+    for (int64_t i : rr.SamplesContaining(best)) covered[i] = 1;
+  }
+  result.spread_estimate = static_cast<double>(result.covered) * Scale(rr);
+  return result;
+}
+
+MaxCoverResult CelfMaxCover(const RrCollection& rr, int k,
+                            const std::vector<VertexId>& candidates) {
+  OIPA_CHECK_GE(k, 0);
+  const std::vector<VertexId> pool =
+      candidates.empty() ? AllVertices(rr.num_vertices()) : candidates;
+  std::vector<uint8_t> covered(rr.theta(), 0);
+
+  // Entries ordered by (gain desc, vertex asc) to match plain greedy's
+  // tie-breaking exactly.
+  struct Entry {
+    int64_t gain;
+    VertexId v;
+    int round;  // round at which gain was computed
+  };
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.v > b.v;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (VertexId v : pool) {
+    const int64_t gain =
+        static_cast<int64_t>(rr.SamplesContaining(v).size());
+    if (gain > 0) heap.push({gain, v, 0});
+  }
+
+  MaxCoverResult result;
+  int round = 0;
+  while (static_cast<int>(result.seeds.size()) < k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.round != round) {
+      // Stale: recompute marginal gain under current coverage.
+      int64_t gain = 0;
+      for (int64_t i : rr.SamplesContaining(top.v)) gain += !covered[i];
+      if (gain > 0) heap.push({gain, top.v, round});
+      continue;
+    }
+    if (top.gain <= 0) break;
+    result.seeds.push_back(top.v);
+    result.covered += top.gain;
+    for (int64_t i : rr.SamplesContaining(top.v)) covered[i] = 1;
+    ++round;
+  }
+  result.spread_estimate = static_cast<double>(result.covered) * Scale(rr);
+  return result;
+}
+
+}  // namespace oipa

@@ -1,0 +1,73 @@
+#include "learn/action_log.h"
+
+#include <algorithm>
+
+#include "topic/influence_graph.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace oipa {
+
+ActionLog GenerateActionLog(const Graph& graph, const EdgeTopicProbs& truth,
+                            int num_items, int seeds_per_item,
+                            uint64_t seed) {
+  OIPA_CHECK_GT(num_items, 0);
+  OIPA_CHECK_GT(seeds_per_item, 0);
+  OIPA_CHECK_GT(graph.num_vertices(), 0);
+  Rng rng(seed);
+  const int num_topics = truth.num_topics();
+
+  ActionLog log;
+  log.item_topics.reserve(num_items);
+
+  std::vector<int> activation_round(graph.num_vertices());
+  std::vector<VertexId> frontier, next;
+  for (int item = 0; item < num_items; ++item) {
+    const TopicVector topics = TopicVector::SampleSparse(
+        num_topics, std::min(2, num_topics), &rng);
+    const InfluenceGraph ig =
+        InfluenceGraph::ForPiece(graph, truth, topics);
+    log.item_topics.push_back(topics);
+
+    // Round-stamped forward cascade.
+    std::fill(activation_round.begin(), activation_round.end(), -1);
+    frontier.clear();
+    for (int s = 0; s < seeds_per_item; ++s) {
+      const VertexId v =
+          static_cast<VertexId>(rng.NextBounded(graph.num_vertices()));
+      if (activation_round[v] < 0) {
+        activation_round[v] = 0;
+        frontier.push_back(v);
+        log.events.push_back({v, item, 0});
+      }
+    }
+    int round = 1;
+    while (!frontier.empty()) {
+      next.clear();
+      for (VertexId u : frontier) {
+        const auto nbrs = graph.OutNeighbors(u);
+        const auto eids = graph.OutEdgeIds(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          const VertexId v = nbrs[i];
+          if (activation_round[v] >= 0) continue;
+          if (rng.NextBernoulli(ig.EdgeProb(eids[i]))) {
+            activation_round[v] = round;
+            next.push_back(v);
+            log.events.push_back({v, item, round});
+          }
+        }
+      }
+      frontier.swap(next);
+      ++round;
+    }
+  }
+  std::sort(log.events.begin(), log.events.end(),
+            [](const ActionEvent& a, const ActionEvent& b) {
+              if (a.item != b.item) return a.item < b.item;
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.user < b.user;
+            });
+  return log;
+}
+
+}  // namespace oipa

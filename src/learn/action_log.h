@@ -1,0 +1,43 @@
+#ifndef OIPA_LEARN_ACTION_LOG_H_
+#define OIPA_LEARN_ACTION_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topic/edge_topic_probs.h"
+#include "topic/topic_vector.h"
+
+namespace oipa {
+
+/// One entry of a propagation log: `user` performed the action on `item`
+/// at (discrete) time `timestamp`. This is the "log of past propagation
+/// activities" the paper learns influence probabilities from (lastfm).
+struct ActionEvent {
+  VertexId user;
+  int item;
+  int timestamp;
+};
+
+/// A propagation log over a set of items with known topic mixtures.
+struct ActionLog {
+  /// Topic mixture of each item (items are what propagate in cascades).
+  std::vector<TopicVector> item_topics;
+  /// Events sorted by (item, timestamp).
+  std::vector<ActionEvent> events;
+
+  int num_items() const { return static_cast<int>(item_topics.size()); }
+};
+
+/// Generates a synthetic action log by running topic-aware IC cascades of
+/// `num_items` items (each a sparse topic mixture) from random seed users
+/// over the ground-truth probabilities; the BFS round of each activation
+/// is its timestamp. The log is the training input for TicLearner; tests
+/// compare learned probabilities against `truth`.
+ActionLog GenerateActionLog(const Graph& graph, const EdgeTopicProbs& truth,
+                            int num_items, int seeds_per_item,
+                            uint64_t seed);
+
+}  // namespace oipa
+
+#endif  // OIPA_LEARN_ACTION_LOG_H_

@@ -1,0 +1,84 @@
+#include "oipa/assignment_plan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+AssignmentPlan::AssignmentPlan(int num_pieces) : seed_sets_(num_pieces) {
+  OIPA_CHECK_GT(num_pieces, 0);
+}
+
+AssignmentPlan AssignmentPlan::FromSeedSets(
+    std::vector<std::vector<VertexId>> seed_sets) {
+  AssignmentPlan plan(static_cast<int>(seed_sets.size()));
+  for (int j = 0; j < plan.num_pieces(); ++j) {
+    for (VertexId v : seed_sets[j]) plan.Add(j, v);
+  }
+  return plan;
+}
+
+bool AssignmentPlan::Add(int piece, VertexId v) {
+  OIPA_CHECK_GE(piece, 0);
+  OIPA_CHECK_LT(piece, num_pieces());
+  auto& set = seed_sets_[piece];
+  if (std::find(set.begin(), set.end(), v) != set.end()) return false;
+  set.push_back(v);
+  ++size_;
+  return true;
+}
+
+bool AssignmentPlan::Remove(int piece, VertexId v) {
+  OIPA_CHECK_GE(piece, 0);
+  OIPA_CHECK_LT(piece, num_pieces());
+  auto& set = seed_sets_[piece];
+  auto it = std::find(set.begin(), set.end(), v);
+  if (it == set.end()) return false;
+  set.erase(it);
+  --size_;
+  return true;
+}
+
+bool AssignmentPlan::Contains(int piece, VertexId v) const {
+  const auto& set = seed_sets_[piece];
+  return std::find(set.begin(), set.end(), v) != set.end();
+}
+
+bool AssignmentPlan::ContainedIn(const AssignmentPlan& other) const {
+  if (num_pieces() != other.num_pieces()) return false;
+  for (int j = 0; j < num_pieces(); ++j) {
+    for (VertexId v : seed_sets_[j]) {
+      if (!other.Contains(j, v)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Assignment> AssignmentPlan::Assignments() const {
+  std::vector<Assignment> out;
+  out.reserve(size_);
+  for (int j = 0; j < num_pieces(); ++j) {
+    for (VertexId v : seed_sets_[j]) out.emplace_back(j, v);
+  }
+  return out;
+}
+
+std::string AssignmentPlan::DebugString() const {
+  std::string out = "{";
+  for (int j = 0; j < num_pieces(); ++j) {
+    if (j > 0) out += ", ";
+    out += "S" + std::to_string(j) + "={";
+    std::vector<VertexId> sorted = seed_sets_[j];
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(sorted[i]);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace oipa

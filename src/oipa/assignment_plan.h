@@ -1,0 +1,62 @@
+#ifndef OIPA_OIPA_ASSIGNMENT_PLAN_H_
+#define OIPA_OIPA_ASSIGNMENT_PLAN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace oipa {
+
+/// A (piece, promoter) assignment: promoter v is selected to spread piece
+/// `piece`. A plan is a set of such pairs; the paper's S̄ = {S_1..S_l}
+/// with S_j = {v : (j, v) in plan}.
+using Assignment = std::pair<int, VertexId>;
+
+/// An assignment plan for an l-piece campaign. Budget |S̄| is the total
+/// number of assignments across pieces (Definition 1).
+class AssignmentPlan {
+ public:
+  explicit AssignmentPlan(int num_pieces);
+
+  /// Builds a plan from per-piece seed sets.
+  static AssignmentPlan FromSeedSets(
+      std::vector<std::vector<VertexId>> seed_sets);
+
+  int num_pieces() const { return static_cast<int>(seed_sets_.size()); }
+
+  /// Total number of assignments sum_j |S_j|.
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const std::vector<VertexId>& SeedSet(int piece) const {
+    return seed_sets_[piece];
+  }
+
+  /// Adds promoter v for `piece`. Returns false (no-op) if already there.
+  bool Add(int piece, VertexId v);
+
+  /// Removes promoter v from `piece`. Returns false if absent.
+  bool Remove(int piece, VertexId v);
+
+  bool Contains(int piece, VertexId v) const;
+
+  /// True if every seed set of this plan is a subset of `other`'s
+  /// (Definition 2 containment).
+  bool ContainedIn(const AssignmentPlan& other) const;
+
+  /// All assignments as (piece, vertex) pairs, piece-major order.
+  std::vector<Assignment> Assignments() const;
+
+  /// e.g. "{S0={1,5}, S1={3}}".
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::vector<VertexId>> seed_sets_;
+  int size_ = 0;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_ASSIGNMENT_PLAN_H_

@@ -1,0 +1,78 @@
+#include "oipa/baselines.h"
+
+#include "im/imm.h"
+#include "oipa/adoption.h"
+#include "rrset/rr_collection.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace oipa {
+
+namespace {
+
+/// Evaluates assigning `seeds` to each piece alone and returns the best
+/// single-piece plan under the MRR-estimated adoption utility.
+BaselineResult BestSinglePieceAssignment(
+    const MrrCollection& mrr, const LogisticAdoptionModel& model,
+    const std::vector<std::vector<VertexId>>& per_piece_seeds) {
+  BaselineResult best;
+  best.plan = AssignmentPlan(mrr.num_pieces());
+  best.utility = -1.0;
+  for (int j = 0; j < mrr.num_pieces(); ++j) {
+    AssignmentPlan plan(mrr.num_pieces());
+    for (VertexId v : per_piece_seeds[j]) plan.Add(j, v);
+    const double utility = EstimateAdoptionUtility(mrr, model, plan);
+    if (utility > best.utility) {
+      best.utility = utility;
+      best.plan = plan;
+      best.chosen_piece = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+BaselineResult ImBaseline(const Graph& graph, const EdgeTopicProbs& probs,
+                          const Campaign& campaign,
+                          const MrrCollection& mrr,
+                          const LogisticAdoptionModel& model,
+                          const std::vector<VertexId>& pool, int k,
+                          int64_t theta, uint64_t seed) {
+  WallTimer timer;
+  OIPA_CHECK_EQ(campaign.num_pieces(), mrr.num_pieces());
+  // One IM run on the topic-blind graph.
+  const InfluenceGraph blind = InfluenceGraph::TopicBlind(graph, probs);
+  RrCollection rr = RrCollection::Generate(blind, theta, seed);
+  const MaxCoverResult cover = CelfMaxCover(rr, k, pool);
+
+  // Try the same seed set on every piece; keep the best.
+  std::vector<std::vector<VertexId>> per_piece(
+      campaign.num_pieces(), cover.seeds);
+  BaselineResult result = BestSinglePieceAssignment(mrr, model, per_piece);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+BaselineResult TimBaseline(const Graph& graph, const EdgeTopicProbs& probs,
+                           const Campaign& campaign,
+                           const MrrCollection& mrr,
+                           const LogisticAdoptionModel& model,
+                           const std::vector<VertexId>& pool, int k,
+                           int64_t theta, uint64_t seed) {
+  WallTimer timer;
+  OIPA_CHECK_EQ(campaign.num_pieces(), mrr.num_pieces());
+  // One IM run per piece on that piece's influence graph.
+  std::vector<std::vector<VertexId>> per_piece(campaign.num_pieces());
+  for (int j = 0; j < campaign.num_pieces(); ++j) {
+    const InfluenceGraph ig =
+        InfluenceGraph::ForPiece(graph, probs, campaign.piece(j).topics);
+    RrCollection rr = RrCollection::Generate(ig, theta, seed + j + 1);
+    per_piece[j] = CelfMaxCover(rr, k, pool).seeds;
+  }
+  BaselineResult result = BestSinglePieceAssignment(mrr, model, per_piece);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace oipa

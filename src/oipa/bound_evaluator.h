@@ -1,0 +1,141 @@
+#ifndef OIPA_OIPA_BOUND_EVALUATOR_H_
+#define OIPA_OIPA_BOUND_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oipa/assignment_plan.h"
+#include "oipa/logistic_model.h"
+#include "oipa/tangent_bound.h"
+#include "rrset/coverage_state.h"
+#include "rrset/mrr_collection.h"
+
+namespace oipa {
+
+/// The promoter-piece pair a ComputeBound call would add first — the
+/// branch variable the branch-and-bound engine splits on.
+struct BoundPick {
+  int piece = -1;
+  VertexId v = -1;
+  double gain = 0.0;
+
+  bool valid() const { return piece >= 0; }
+};
+
+/// Output of one upper-bound estimation (Algorithm 2 or Algorithm 3).
+struct BoundResult {
+  /// Greedy-selected completion of the anchor plan, in selection order.
+  std::vector<Assignment> additions;
+  /// tau(S̄ | S̄a), utility-scaled: the submodular surrogate's value at
+  /// the greedy completion. Per Theorem 2, pruning against this value
+  /// yields a global (1-1/e) approximation.
+  double tau = 0.0;
+  /// sigma(S̄ ∪ S̄a), utility-scaled: the true (MRR-estimated) adoption
+  /// utility of the completed candidate plan — the lower bound.
+  double sigma = 0.0;
+  BoundPick first_pick;
+  /// Number of tau marginal-gain evaluations performed (Theorem 4's cost
+  /// metric).
+  int64_t tau_evals = 0;
+  /// ComputeBoundPro only: number of threshold levels scanned. Equation 9
+  /// bounds this by log_{1+eps}(2k) + O(1).
+  int threshold_scans = 0;
+};
+
+/// Implements ComputeBound (Algorithm 2, plain greedy over the tangent
+/// surrogate) and ComputeBoundPro (Algorithm 3, progressive threshold
+/// with early termination). One evaluator is reused across all
+/// branch-and-bound nodes; per-sample scratch state is epoch-stamped so a
+/// call costs O(touched index lists), not O(theta * l).
+class BoundEvaluator {
+ public:
+  /// `pools[j]` is the promoter pool eligible for piece j (the paper uses
+  /// one shared pool V_p; the hardness gadget uses per-piece pools).
+  BoundEvaluator(const MrrCollection* mrr,
+                 const LogisticAdoptionModel& model,
+                 std::vector<std::vector<VertexId>> pools,
+                 BoundVariant variant = BoundVariant::kZeroAnchored);
+
+  /// Convenience: the same pool for every piece.
+  BoundEvaluator(const MrrCollection* mrr,
+                 const LogisticAdoptionModel& model,
+                 const std::vector<VertexId>& shared_pool,
+                 BoundVariant variant = BoundVariant::kZeroAnchored);
+
+  /// Algorithm 2: greedily completes the anchor plan held in `state` with
+  /// up to `budget_remaining` assignments maximizing the tangent
+  /// surrogate. `excluded` pairs are unavailable. `state` is mutated to
+  /// evaluate the candidate's sigma and restored before returning.
+  BoundResult ComputeBound(CoverageState* state, int budget_remaining,
+                           const std::vector<Assignment>& excluded);
+
+  /// Algorithm 3: progressive threshold variant; `epsilon` is the
+  /// threshold decay (h <- h/(1+epsilon)). With `fill_budget` false this
+  /// is the verbatim algorithm: the Line-14 cutoff may return fewer than
+  /// `budget_remaining` additions. With `fill_budget` true (default) the
+  /// threshold schedule keeps running past the cutoff until the budget is
+  /// filled or no candidate has positive gain — the bound value and its
+  /// guarantee are unchanged, but the returned candidate plan (the
+  /// incumbent source) never wastes budget.
+  BoundResult ComputeBoundPro(CoverageState* state, int budget_remaining,
+                              const std::vector<Assignment>& excluded,
+                              double epsilon, bool fill_budget = true);
+
+  /// CELF-accelerated Algorithm 2 (our ablation, not in the paper):
+  /// identical selections to ComputeBound — the surrogate is submodular,
+  /// so lazy re-evaluation is exact — with far fewer gain evaluations.
+  BoundResult ComputeBoundLazy(CoverageState* state, int budget_remaining,
+                               const std::vector<Assignment>& excluded);
+
+  /// Cumulative tau evaluations across all calls.
+  int64_t total_tau_evals() const { return total_tau_evals_; }
+
+  const TangentTable& tangent_table() const { return table_; }
+
+ private:
+  /// Lazily initializes and returns the current surrogate line value of
+  /// sample i (anchor value plus greedy-phase gains this call).
+  double LineValue(int64_t i, const CoverageState& state);
+
+  /// Marginal surrogate gain of covering one more piece of sample i.
+  double SampleGain(int64_t i, const CoverageState& state);
+
+  /// Gain of candidate (piece, v) under the current greedy-phase state.
+  double CandidateGain(int piece, VertexId v, const CoverageState& state);
+
+  /// Applies candidate (piece, v): marks its samples covered and advances
+  /// their line values. Returns the realized gain.
+  double ApplyCandidate(int piece, VertexId v, const CoverageState& state);
+
+  /// Sum of anchor line values over all samples (unscaled).
+  double BaseTau(const CoverageState& state) const;
+
+  void BeginCall(const std::vector<Assignment>& excluded);
+  void EndCall(const std::vector<Assignment>& excluded);
+  bool IsExcluded(int piece, VertexId v) const;
+
+  /// Completes the BoundResult: evaluates sigma by temporarily adding the
+  /// additions to `state`.
+  void FinishResult(CoverageState* state, double tau_raw,
+                    BoundResult* result);
+
+  const MrrCollection* mrr_;
+  LogisticAdoptionModel model_;
+  TangentTable table_;
+  std::vector<std::vector<VertexId>> pools_;
+  VertexId num_vertices_;
+  int num_pieces_;
+
+  // Epoch-stamped scratch (no O(theta) clearing between calls).
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> line_epoch_;          // theta
+  std::vector<double> line_value_;            // theta
+  std::vector<uint32_t> greedy_cover_epoch_;  // theta * l
+  std::vector<uint8_t> excluded_flag_;        // l * n (set/cleared per call)
+
+  int64_t total_tau_evals_ = 0;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_BOUND_EVALUATOR_H_

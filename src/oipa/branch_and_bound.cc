@@ -1,0 +1,211 @@
+#include "oipa/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace oipa {
+
+namespace {
+
+/// One open subspace of the search: assignments forced in, assignments
+/// forced out, the surrogate upper bound of the subspace, and the pair to
+/// branch on next.
+struct SearchNode {
+  std::vector<Assignment> included;
+  std::vector<Assignment> excluded;
+  double upper = 0.0;
+  BoundPick branch;
+};
+
+struct NodeCompare {
+  bool operator()(const SearchNode& a, const SearchNode& b) const {
+    return a.upper < b.upper;  // max-heap on the upper bound
+  }
+};
+
+AssignmentPlan PlanFromPairs(int num_pieces,
+                             const std::vector<Assignment>& included,
+                             const std::vector<Assignment>& additions) {
+  AssignmentPlan plan(num_pieces);
+  for (const auto& [piece, v] : included) plan.Add(piece, v);
+  for (const auto& [piece, v] : additions) plan.Add(piece, v);
+  return plan;
+}
+
+}  // namespace
+
+BabSolver::BabSolver(const MrrCollection* mrr,
+                     const LogisticAdoptionModel& model,
+                     std::vector<std::vector<VertexId>> pools,
+                     BabOptions options)
+    : mrr_(mrr),
+      model_(model),
+      options_(options),
+      evaluator_(mrr, model, std::move(pools), options.variant) {
+  OIPA_CHECK_GE(options_.budget, 1);
+  OIPA_CHECK_GE(options_.gap, 0.0);
+}
+
+BabSolver::BabSolver(const MrrCollection* mrr,
+                     const LogisticAdoptionModel& model,
+                     const std::vector<VertexId>& shared_pool,
+                     BabOptions options)
+    : BabSolver(mrr, model,
+                std::vector<std::vector<VertexId>>(mrr->num_pieces(),
+                                                   shared_pool),
+                options) {}
+
+BabResult BabSolver::Solve() {
+  WallTimer timer;
+  BabResult result;
+  result.plan = AssignmentPlan(mrr_->num_pieces());
+
+  CoverageState state(mrr_, model_.AdoptionTable(mrr_->num_pieces()));
+  // Theorem-2 pruning uses tau(greedy) directly; exact pruning inflates
+  // the bound by e/(e-1) so no subspace that could beat the incumbent
+  // under the MRR objective is ever dropped.
+  const double bound_scale =
+      options_.exact_pruning ? 1.0 / (1.0 - std::exp(-1.0)) : 1.0;
+
+  auto compute = [&](CoverageState* st, int budget_remaining,
+                     const std::vector<Assignment>& excluded) {
+    ++result.bound_calls;
+    if (options_.progressive) {
+      return evaluator_.ComputeBoundPro(st, budget_remaining, excluded,
+                                        options_.epsilon,
+                                        options_.progressive_fill);
+    }
+    if (options_.lazy_greedy) {
+      return evaluator_.ComputeBoundLazy(st, budget_remaining, excluded);
+    }
+    return evaluator_.ComputeBound(st, budget_remaining, excluded);
+  };
+
+  // `state` mirrors `current_pairs` at all times; MoveTo diffs plans.
+  std::vector<Assignment> current_pairs;
+  auto move_to = [&](const std::vector<Assignment>& target) {
+    for (const auto& pair : current_pairs) {
+      if (std::find(target.begin(), target.end(), pair) == target.end()) {
+        state.RemoveSeed(pair.second, pair.first);
+      }
+    }
+    for (const auto& pair : target) {
+      if (std::find(current_pairs.begin(), current_pairs.end(), pair) ==
+          current_pairs.end()) {
+        state.AddSeed(pair.second, pair.first);
+      }
+    }
+    current_pairs = target;
+  };
+
+  double lower = 0.0;
+  bool have_incumbent = false;
+
+  std::priority_queue<SearchNode, std::vector<SearchNode>, NodeCompare>
+      heap;
+
+  // Root bound (empty plan, nothing excluded).
+  {
+    const BoundResult root = compute(&state, options_.budget, {});
+    result.plan = PlanFromPairs(mrr_->num_pieces(), {}, root.additions);
+    lower = root.sigma;
+    have_incumbent = true;
+    const double upper = root.tau * bound_scale;
+    if (root.first_pick.valid() && upper > lower) {
+      heap.push(SearchNode{{}, {}, upper, root.first_pick});
+    }
+    result.upper_bound = std::max(upper, lower);
+  }
+
+  result.converged = true;
+  while (!heap.empty()) {
+    const SearchNode top = heap.top();
+    // The heap is ordered by upper bound, so the top is the global bound
+    // over all open subspaces.
+    result.upper_bound = std::max(top.upper, lower);
+    if (top.upper <= lower * (1.0 + options_.gap)) break;  // gap met
+    if (result.nodes_expanded >= options_.max_nodes) {
+      result.converged = false;
+      break;
+    }
+    heap.pop();
+    ++result.nodes_expanded;
+
+    // Branch on the node's stored pick: one child forces it into the
+    // plan, the other forbids it.
+    for (const bool include : {true, false}) {
+      SearchNode child;
+      child.included = top.included;
+      child.excluded = top.excluded;
+      if (include) {
+        child.included.emplace_back(top.branch.piece, top.branch.v);
+      } else {
+        child.excluded.emplace_back(top.branch.piece, top.branch.v);
+      }
+      const int remaining =
+          options_.budget - static_cast<int>(child.included.size());
+      OIPA_CHECK_GE(remaining, 0);
+      move_to(child.included);
+      const BoundResult r = compute(&state, remaining, child.excluded);
+      if (!have_incumbent || r.sigma > lower) {
+        lower = r.sigma;
+        have_incumbent = true;
+        result.plan =
+            PlanFromPairs(mrr_->num_pieces(), child.included, r.additions);
+      }
+      const double upper = r.tau * bound_scale;
+      if (upper > lower * (1.0 + options_.gap) && r.first_pick.valid() &&
+          remaining > 0) {
+        child.upper = upper;
+        child.branch = r.first_pick;
+        heap.push(std::move(child));
+      }
+    }
+  }
+  if (heap.empty()) result.upper_bound = lower;
+
+  move_to({});
+  result.utility = lower;
+  result.tau_evals = evaluator_.total_tau_evals();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+BabResult GreedySigmaSolve(const MrrCollection& mrr,
+                           const LogisticAdoptionModel& model,
+                           const std::vector<VertexId>& pool, int budget) {
+  WallTimer timer;
+  BabResult result;
+  result.plan = AssignmentPlan(mrr.num_pieces());
+  CoverageState state(&mrr, model.AdoptionTable(mrr.num_pieces()));
+  for (int round = 0; round < budget; ++round) {
+    double best_gain = 0.0;
+    int best_piece = -1;
+    VertexId best_v = -1;
+    for (int j = 0; j < mrr.num_pieces(); ++j) {
+      for (VertexId v : pool) {
+        if (result.plan.Contains(j, v)) continue;
+        const double gain = state.GainOfAdding(v, j);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_piece = j;
+          best_v = v;
+        }
+      }
+    }
+    if (best_piece < 0) break;
+    state.AddSeed(best_v, best_piece);
+    result.plan.Add(best_piece, best_v);
+  }
+  result.utility = state.Utility();
+  result.upper_bound = result.utility;
+  result.converged = true;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace oipa

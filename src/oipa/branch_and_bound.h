@@ -1,0 +1,92 @@
+#ifndef OIPA_OIPA_BRANCH_AND_BOUND_H_
+#define OIPA_OIPA_BRANCH_AND_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oipa/assignment_plan.h"
+#include "oipa/bound_evaluator.h"
+#include "oipa/logistic_model.h"
+#include "rrset/mrr_collection.h"
+
+namespace oipa {
+
+/// Configuration for the OIPA branch-and-bound solvers (BAB / BAB-P).
+struct BabOptions {
+  /// Total assignment budget k = sum_j |S_j|.
+  int budget = 10;
+  /// Relative termination gap: stop once the global upper bound U and the
+  /// incumbent L satisfy U <= L * (1 + gap). The paper's experiments use
+  /// 1% (Section VI-A).
+  double gap = 0.01;
+  /// false = BAB (Algorithm 2 bound), true = BAB-P (Algorithm 3 bound).
+  bool progressive = false;
+  /// BAB only: use the CELF-lazy variant of Algorithm 2 (identical
+  /// selections, fewer gain evaluations — our ablation, not the paper's).
+  bool lazy_greedy = false;
+  /// BAB-P threshold decay; the paper fixes 0.5 after Figure 3.
+  double epsilon = 0.5;
+  /// BAB-P: keep the threshold schedule running past the Line-14 cutoff
+  /// so candidate plans always use the full budget (see
+  /// BoundEvaluator::ComputeBoundPro). False reproduces Algorithm 3
+  /// verbatim.
+  bool progressive_fill = true;
+  /// Tangent-surrogate anchoring (see tangent_bound.h).
+  BoundVariant variant = BoundVariant::kZeroAnchored;
+  /// If true, scale the pruning bound by e/(e-1) so pruning is lossless
+  /// w.r.t. the MRR objective (exact search); the paper prunes against
+  /// tau(greedy) directly, which yields the (1-1/e) guarantee instead.
+  bool exact_pruning = false;
+  /// Safety cap on expanded nodes; the search reports converged=false if
+  /// it trips.
+  int64_t max_nodes = 100'000;
+};
+
+/// Outcome of a branch-and-bound run.
+struct BabResult {
+  AssignmentPlan plan{1};
+  /// MRR-estimated adoption utility of `plan`.
+  double utility = 0.0;
+  /// Global upper bound at termination (equals utility when the search
+  /// space was exhausted).
+  double upper_bound = 0.0;
+  int64_t nodes_expanded = 0;
+  int64_t bound_calls = 0;
+  int64_t tau_evals = 0;
+  double seconds = 0.0;
+  bool converged = false;
+};
+
+/// The paper's branch-and-bound framework (Algorithm 1): a max-heap of
+/// partial plans ordered by tangent-surrogate upper bound; each expansion
+/// branches on the bound's first greedy pick (include vs. exclude);
+/// pruning drops subspaces whose bound cannot beat the incumbent.
+class BabSolver {
+ public:
+  /// All arguments must outlive the solver. `pools[j]` is the promoter
+  /// pool for piece j.
+  BabSolver(const MrrCollection* mrr, const LogisticAdoptionModel& model,
+            std::vector<std::vector<VertexId>> pools, BabOptions options);
+
+  /// Shared-pool convenience constructor.
+  BabSolver(const MrrCollection* mrr, const LogisticAdoptionModel& model,
+            const std::vector<VertexId>& shared_pool, BabOptions options);
+
+  BabResult Solve();
+
+ private:
+  const MrrCollection* mrr_;
+  LogisticAdoptionModel model_;
+  BabOptions options_;
+  BoundEvaluator evaluator_;
+};
+
+/// Baseline heuristic for ablations: greedy directly on the
+/// (non-submodular) MRR-estimated adoption utility, no guarantee.
+BabResult GreedySigmaSolve(const MrrCollection& mrr,
+                           const LogisticAdoptionModel& model,
+                           const std::vector<VertexId>& pool, int budget);
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_BRANCH_AND_BOUND_H_

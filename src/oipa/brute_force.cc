@@ -1,0 +1,94 @@
+#include "oipa/brute_force.h"
+
+#include <cmath>
+
+#include "rrset/coverage_state.h"
+#include "util/logging.h"
+
+namespace oipa {
+
+namespace {
+
+/// Depth-first enumeration over the flattened candidate list with an
+/// incrementally maintained coverage state.
+class Enumerator {
+ public:
+  Enumerator(const MrrCollection& mrr, const LogisticAdoptionModel& model,
+             std::vector<Assignment> candidates, int budget)
+      : candidates_(std::move(candidates)),
+        budget_(budget),
+        state_(&mrr, model.AdoptionTable(mrr.num_pieces())),
+        result_{AssignmentPlan(mrr.num_pieces()), -1.0, 0} {}
+
+  BruteForceResult Run() {
+    Recurse(0, 0);
+    if (result_.utility < 0.0) {
+      result_.utility = 0.0;  // empty plan
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void Recurse(size_t next, int chosen) {
+    // Evaluate the current plan (any size <= budget).
+    ++result_.plans_evaluated;
+    const double utility = state_.Utility();
+    if (utility > result_.utility) {
+      result_.utility = utility;
+      AssignmentPlan plan(state_.mrr().num_pieces());
+      for (const auto& [piece, v] : stack_) plan.Add(piece, v);
+      result_.plan = plan;
+    }
+    if (chosen == budget_) return;
+    for (size_t i = next; i < candidates_.size(); ++i) {
+      const auto& [piece, v] = candidates_[i];
+      state_.AddSeed(v, piece);
+      stack_.push_back(candidates_[i]);
+      Recurse(i + 1, chosen + 1);
+      stack_.pop_back();
+      state_.RemoveSeed(v, piece);
+    }
+  }
+
+  std::vector<Assignment> candidates_;
+  int budget_;
+  CoverageState state_;
+  std::vector<Assignment> stack_;
+  BruteForceResult result_;
+};
+
+double LogChoose(double n, double k) {
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) sum += std::log((n - i) / (i + 1));
+  return sum;
+}
+
+}  // namespace
+
+BruteForceResult BruteForceSolve(
+    const MrrCollection& mrr, const LogisticAdoptionModel& model,
+    const std::vector<std::vector<VertexId>>& pools, int budget) {
+  OIPA_CHECK_EQ(static_cast<int>(pools.size()), mrr.num_pieces());
+  OIPA_CHECK_GE(budget, 0);
+  std::vector<Assignment> candidates;
+  for (int j = 0; j < mrr.num_pieces(); ++j) {
+    for (VertexId v : pools[j]) candidates.emplace_back(j, v);
+  }
+  OIPA_CHECK_LE(LogChoose(static_cast<double>(candidates.size()),
+                          std::min<double>(budget, candidates.size())),
+                std::log(5e7))
+      << "brute force instance too large";
+  Enumerator enumerator(mrr, model, std::move(candidates), budget);
+  return enumerator.Run();
+}
+
+BruteForceResult BruteForceSolve(const MrrCollection& mrr,
+                                 const LogisticAdoptionModel& model,
+                                 const std::vector<VertexId>& pool,
+                                 int budget) {
+  return BruteForceSolve(
+      mrr, model,
+      std::vector<std::vector<VertexId>>(mrr.num_pieces(), pool), budget);
+}
+
+}  // namespace oipa

@@ -1,0 +1,37 @@
+#ifndef OIPA_OIPA_BRUTE_FORCE_H_
+#define OIPA_OIPA_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "oipa/assignment_plan.h"
+#include "oipa/logistic_model.h"
+#include "rrset/mrr_collection.h"
+
+namespace oipa {
+
+struct BruteForceResult {
+  AssignmentPlan plan{1};
+  double utility = 0.0;
+  int64_t plans_evaluated = 0;
+};
+
+/// Exhaustive OIPA over the MRR-estimated objective: enumerates every
+/// assignment plan with |S̄| <= budget drawn from `pools` and returns the
+/// maximum. Exponential — test-sized instances only (it checks that the
+/// candidate count is sane). Monotonicity of sigma means only plans of
+/// exactly `budget` assignments need their utility compared, but all
+/// sizes are enumerated when the candidate pool is smaller than the
+/// budget.
+BruteForceResult BruteForceSolve(
+    const MrrCollection& mrr, const LogisticAdoptionModel& model,
+    const std::vector<std::vector<VertexId>>& pools, int budget);
+
+/// Shared-pool convenience overload.
+BruteForceResult BruteForceSolve(const MrrCollection& mrr,
+                                 const LogisticAdoptionModel& model,
+                                 const std::vector<VertexId>& pool,
+                                 int budget);
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_BRUTE_FORCE_H_

@@ -1,0 +1,80 @@
+#include "oipa/correlated.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+std::vector<int> SimulateCorrelatedCascade(
+    const std::vector<InfluenceGraph>& pieces, const AssignmentPlan& plan,
+    double rho, Rng* rng) {
+  OIPA_CHECK(!pieces.empty());
+  OIPA_CHECK_EQ(plan.num_pieces(), static_cast<int>(pieces.size()));
+  OIPA_CHECK_GE(rho, 0.0);
+  OIPA_CHECK_LE(rho, 1.0);
+  const Graph& g = pieces[0].graph();
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+
+  // Latent shared uniforms, drawn lazily per edge (stamped).
+  std::vector<float> shared_u(m, -1.0f);
+
+  std::vector<int> receive_count(n, 0);
+  std::vector<uint8_t> active(n);
+  std::vector<VertexId> frontier, next;
+  for (int j = 0; j < plan.num_pieces(); ++j) {
+    const InfluenceGraph& ig = pieces[j];
+    std::fill(active.begin(), active.end(), 0);
+    frontier.clear();
+    for (VertexId s : plan.SeedSet(j)) {
+      if (!active[s]) {
+        active[s] = 1;
+        frontier.push_back(s);
+      }
+    }
+    while (!frontier.empty()) {
+      next.clear();
+      for (VertexId u : frontier) {
+        const auto nbrs = g.OutNeighbors(u);
+        const auto eids = g.OutEdgeIds(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          const VertexId v = nbrs[i];
+          if (active[v]) continue;
+          const EdgeId e = eids[i];
+          float u_draw;
+          if (rng->NextDouble() < rho) {
+            if (shared_u[e] < 0.0f) shared_u[e] = rng->NextFloat();
+            u_draw = shared_u[e];
+          } else {
+            u_draw = rng->NextFloat();
+          }
+          if (u_draw < ig.EdgeProb(e)) {
+            active[v] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    for (VertexId v = 0; v < n; ++v) receive_count[v] += active[v];
+  }
+  return receive_count;
+}
+
+double SimulateCorrelatedAdoptionUtility(
+    const std::vector<InfluenceGraph>& pieces,
+    const LogisticAdoptionModel& model, const AssignmentPlan& plan,
+    double rho, int trials, uint64_t seed) {
+  OIPA_CHECK_GT(trials, 0);
+  Rng rng(seed);
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<int> counts =
+        SimulateCorrelatedCascade(pieces, plan, rho, &rng);
+    for (int c : counts) total += model.AdoptionProb(c);
+  }
+  return total / trials;
+}
+
+}  // namespace oipa

@@ -1,0 +1,46 @@
+#ifndef OIPA_OIPA_CORRELATED_H_
+#define OIPA_OIPA_CORRELATED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "oipa/assignment_plan.h"
+#include "oipa/logistic_model.h"
+#include "topic/influence_graph.h"
+#include "util/random.h"
+
+namespace oipa {
+
+/// The paper's Section-VII future-work direction: dropping the piece-
+/// independence assumption. This module provides an interdependent
+/// propagation simulator so the estimator's behavior under correlation
+/// can be studied (the MRR machinery assumes independence; tests and the
+/// correlation example quantify the resulting bias).
+///
+/// Correlation model: every edge draws one latent uniform U_e per
+/// cascade run; with probability `rho`, piece j reuses U_e (comonotone
+/// coupling: the edge is live for piece j iff U_e < p_j(e)), and with
+/// probability 1 - rho it draws an independent uniform. rho = 0
+/// recovers the paper's independent model; rho = 1 makes edge liveness
+/// perfectly positively correlated across pieces (a user who shares one
+/// piece shares them all).
+///
+/// Positive correlation concentrates pieces on the same audience, which
+/// HELPS logistic adoption in the convex (low-coverage) regime — the
+/// direction of the bias is itself a finding tests assert.
+
+/// Runs one multi-piece cascade with edge-level correlation `rho`;
+/// returns per-vertex counts of distinct pieces received.
+std::vector<int> SimulateCorrelatedCascade(
+    const std::vector<InfluenceGraph>& pieces, const AssignmentPlan& plan,
+    double rho, Rng* rng);
+
+/// Monte-Carlo adoption utility under the correlated model.
+double SimulateCorrelatedAdoptionUtility(
+    const std::vector<InfluenceGraph>& pieces,
+    const LogisticAdoptionModel& model, const AssignmentPlan& plan,
+    double rho, int trials, uint64_t seed);
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_CORRELATED_H_

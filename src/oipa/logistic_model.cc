@@ -1,0 +1,21 @@
+#include "oipa/logistic_model.h"
+
+#include "util/logging.h"
+
+namespace oipa {
+
+LogisticAdoptionModel::LogisticAdoptionModel(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  OIPA_CHECK_GT(alpha, 0.0);
+  OIPA_CHECK_GT(beta, 0.0);
+}
+
+std::vector<double> LogisticAdoptionModel::AdoptionTable(
+    int max_count) const {
+  OIPA_CHECK_GE(max_count, 0);
+  std::vector<double> table(max_count + 1);
+  for (int c = 0; c <= max_count; ++c) table[c] = AdoptionProb(c);
+  return table;
+}
+
+}  // namespace oipa

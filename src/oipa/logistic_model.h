@@ -1,0 +1,45 @@
+#ifndef OIPA_OIPA_LOGISTIC_MODEL_H_
+#define OIPA_OIPA_LOGISTIC_MODEL_H_
+
+#include <vector>
+
+#include "util/math.h"
+
+namespace oipa {
+
+/// The paper's logistic adoption model (Equation 1): a user that has
+/// received c >= 1 distinct campaign pieces adopts the campaign with
+/// probability 1 / (1 + exp(alpha - beta * c)); a user that received no
+/// piece never adopts. `alpha` raises the adoption barrier, `beta` weighs
+/// each additional piece.
+class LogisticAdoptionModel {
+ public:
+  LogisticAdoptionModel(double alpha, double beta);
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  /// Adoption probability after receiving `count` distinct pieces.
+  double AdoptionProb(int count) const {
+    if (count <= 0) return 0.0;
+    return Sigmoid(beta_ * count - alpha_);
+  }
+
+  /// The logistic curve value at coverage `count` ignoring the
+  /// "no piece => no adoption" floor — i.e. Sigmoid(beta*count - alpha).
+  /// This is the curve the tangent upper bound is anchored on.
+  double CurveValue(double count) const {
+    return Sigmoid(beta_ * count - alpha_);
+  }
+
+  /// f(0..max_count) table for CoverageState.
+  std::vector<double> AdoptionTable(int max_count) const;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_LOGISTIC_MODEL_H_

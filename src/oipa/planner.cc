@@ -1,0 +1,105 @@
+#include "oipa/planner.h"
+
+#include "oipa/adoption.h"
+#include "util/logging.h"
+
+namespace oipa {
+
+OipaPlanner::OipaPlanner(const Graph& graph, const EdgeTopicProbs& probs,
+                         const Campaign& campaign,
+                         const LogisticAdoptionModel& model,
+                         PlannerOptions options)
+    : graph_(graph),
+      probs_(probs),
+      campaign_(campaign),
+      model_(model),
+      options_(options) {
+  OIPA_CHECK_GT(campaign.num_pieces(), 0);
+  pieces_ = BuildPieceGraphs(graph_, probs_, campaign_);
+  mrr_ = std::make_unique<MrrCollection>(
+      MrrCollection::Generate(pieces_, options_.theta, options_.seed,
+                              options_.diffusion));
+  holdout_ = std::make_unique<MrrCollection>(MrrCollection::Generate(
+      pieces_, options_.theta, options_.seed ^ 0xABCDEF12345ULL,
+      options_.diffusion));
+}
+
+PlanReport OipaPlanner::Finish(PlanReport report) const {
+  report.holdout_utility =
+      EstimateAdoptionUtility(*holdout_, model_, report.plan);
+  return report;
+}
+
+PlanReport OipaPlanner::SolveBab(const std::vector<VertexId>& pool,
+                                 int k) const {
+  BabOptions opts;
+  opts.budget = k;
+  opts.gap = options_.gap;
+  opts.max_nodes = options_.max_nodes;
+  const BabResult r = BabSolver(mrr_.get(), model_, pool, opts).Solve();
+  PlanReport report;
+  report.plan = r.plan;
+  report.utility = r.utility;
+  report.seconds = r.seconds;
+  report.method = "BAB";
+  return Finish(std::move(report));
+}
+
+PlanReport OipaPlanner::SolveBabP(const std::vector<VertexId>& pool,
+                                  int k) const {
+  BabOptions opts;
+  opts.budget = k;
+  opts.gap = options_.gap;
+  opts.max_nodes = options_.max_nodes;
+  opts.progressive = true;
+  opts.epsilon = options_.epsilon;
+  const BabResult r = BabSolver(mrr_.get(), model_, pool, opts).Solve();
+  PlanReport report;
+  report.plan = r.plan;
+  report.utility = r.utility;
+  report.seconds = r.seconds;
+  report.method = "BAB-P";
+  return Finish(std::move(report));
+}
+
+PlanReport OipaPlanner::SolveImBaseline(const std::vector<VertexId>& pool,
+                                        int k) const {
+  const BaselineResult r =
+      ImBaseline(graph_, probs_, campaign_, *mrr_, model_, pool, k,
+                 options_.theta, options_.seed + 17);
+  PlanReport report;
+  report.plan = r.plan;
+  report.utility = r.utility;
+  report.seconds = r.seconds;
+  report.method = "IM";
+  return Finish(std::move(report));
+}
+
+PlanReport OipaPlanner::SolveTimBaseline(const std::vector<VertexId>& pool,
+                                         int k) const {
+  const BaselineResult r =
+      TimBaseline(graph_, probs_, campaign_, *mrr_, model_, pool, k,
+                  options_.theta, options_.seed + 19);
+  PlanReport report;
+  report.plan = r.plan;
+  report.utility = r.utility;
+  report.seconds = r.seconds;
+  report.method = "TIM";
+  return Finish(std::move(report));
+}
+
+PlanReport OipaPlanner::EvaluatePlan(const AssignmentPlan& plan,
+                                     const std::string& label) const {
+  PlanReport report;
+  report.plan = plan;
+  report.utility = EstimateAdoptionUtility(*mrr_, model_, plan);
+  report.method = label;
+  return Finish(std::move(report));
+}
+
+double OipaPlanner::SimulateUtility(const AssignmentPlan& plan, int trials,
+                                    uint64_t seed) const {
+  return SimulateAdoptionUtility(pieces_, model_, plan, trials, seed);
+}
+
+}  // namespace oipa

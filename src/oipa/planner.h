@@ -1,0 +1,97 @@
+#ifndef OIPA_OIPA_PLANNER_H_
+#define OIPA_OIPA_PLANNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oipa/baselines.h"
+#include "oipa/branch_and_bound.h"
+#include "oipa/logistic_model.h"
+#include "rrset/mrr_collection.h"
+#include "topic/campaign.h"
+#include "topic/edge_topic_probs.h"
+#include "topic/influence_graph.h"
+
+namespace oipa {
+
+/// One-stop facade over the full OIPA pipeline for application code:
+/// owns the piece influence graphs and MRR samples for one
+/// (graph, probabilities, campaign, adoption model) configuration and
+/// exposes the solvers and evaluators against them.
+///
+///   OipaPlanner planner(graph, probs, campaign,
+///                       LogisticAdoptionModel(2.0, 1.0),
+///                       {.theta = 100'000});
+///   PlanReport best = planner.SolveBabP(pool, /*k=*/20);
+///   PlanReport tim  = planner.SolveTimBaseline(pool, 20);
+///
+/// The referenced graph/probs/campaign must outlive the planner.
+struct PlannerOptions {
+  int64_t theta = 100'000;
+  uint64_t seed = 1;
+  DiffusionModel diffusion = DiffusionModel::kIndependentCascade;
+  /// Solver settings forwarded to BabSolver.
+  double gap = 0.01;
+  double epsilon = 0.5;
+  int64_t max_nodes = 100'000;
+};
+
+/// A solved plan with its quality measurements.
+struct PlanReport {
+  AssignmentPlan plan{1};
+  /// In-sample MRR estimate (what the optimizer maximized).
+  double utility = 0.0;
+  /// Estimate on an independent holdout MRR collection (unbiased).
+  double holdout_utility = 0.0;
+  double seconds = 0.0;
+  std::string method;
+};
+
+class OipaPlanner {
+ public:
+  OipaPlanner(const Graph& graph, const EdgeTopicProbs& probs,
+              const Campaign& campaign, const LogisticAdoptionModel& model,
+              PlannerOptions options = {});
+
+  /// Plain branch-and-bound (paper's BAB).
+  PlanReport SolveBab(const std::vector<VertexId>& pool, int k) const;
+
+  /// Progressive branch-and-bound (paper's BAB-P).
+  PlanReport SolveBabP(const std::vector<VertexId>& pool, int k) const;
+
+  /// Paper baselines.
+  PlanReport SolveImBaseline(const std::vector<VertexId>& pool,
+                             int k) const;
+  PlanReport SolveTimBaseline(const std::vector<VertexId>& pool,
+                              int k) const;
+
+  /// Evaluates an externally supplied plan (in-sample + holdout).
+  PlanReport EvaluatePlan(const AssignmentPlan& plan,
+                          const std::string& label = "external") const;
+
+  /// Ground-truth check by forward Monte-Carlo simulation.
+  double SimulateUtility(const AssignmentPlan& plan, int trials,
+                         uint64_t seed) const;
+
+  const MrrCollection& mrr() const { return *mrr_; }
+  const std::vector<InfluenceGraph>& pieces() const { return pieces_; }
+  const LogisticAdoptionModel& model() const { return model_; }
+
+ private:
+  PlanReport Finish(PlanReport report) const;
+
+  const Graph& graph_;
+  const EdgeTopicProbs& probs_;
+  const Campaign& campaign_;
+  LogisticAdoptionModel model_;
+  PlannerOptions options_;
+  std::vector<InfluenceGraph> pieces_;
+  std::unique_ptr<MrrCollection> mrr_;
+  std::unique_ptr<MrrCollection> holdout_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_PLANNER_H_

@@ -1,0 +1,74 @@
+#ifndef OIPA_OIPA_REDUCTION_H_
+#define OIPA_OIPA_REDUCTION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "oipa/logistic_model.h"
+#include "topic/campaign.h"
+#include "topic/edge_topic_probs.h"
+#include "topic/influence_graph.h"
+
+namespace oipa {
+
+/// The Section-IV gap-preserving reduction from Maximum Clique to OIPA,
+/// as executable code. Given an undirected clique instance on n vertices
+/// (edge list over vertices 0..n-1), builds the OIPA instance Pi_b:
+///
+///  * 3n vertices: x_i (piece promoters matching v_i's neighborhood),
+///    y_i (promoters reaching every r-vertex except r_i), r_i (targets);
+///  * n topics and n pure-topic pieces; edge (x_i, r_j) exists iff j == i
+///    or (v_i, v_j) is an edge, carrying topic i with probability 1;
+///    edge (y_i, r_j) exists iff j != i, also pure topic i;
+///  * alpha = 2n ln(2n), beta = 2 ln(2n), budget k = n, promoter pool for
+///    piece i restricted to {x_i, y_i}.
+///
+/// Lemma 1 then sandwiches the optimal clique size:
+///   2*OPT(Pi_b) - 1/n  <=  OPT(Pi_a)  <=  2*OPT(Pi_b).
+class MaxCliqueReduction {
+ public:
+  /// `n` is the clique instance's vertex count; `clique_edges` are its
+  /// undirected edges (u < v pairs over [0, n)).
+  MaxCliqueReduction(int n, const std::vector<std::pair<int, int>>& edges);
+
+  int n() const { return n_; }
+  const Graph& graph() const { return graph_; }
+  const EdgeTopicProbs& probs() const { return probs_; }
+  const Campaign& campaign() const { return campaign_; }
+  LogisticAdoptionModel model() const;
+
+  VertexId XVertex(int i) const { return static_cast<VertexId>(i); }
+  VertexId YVertex(int i) const { return static_cast<VertexId>(n_ + i); }
+  VertexId RVertex(int i) const {
+    return static_cast<VertexId>(2 * n_ + i);
+  }
+
+  /// Per-piece promoter pools: piece i may be assigned to x_i or y_i.
+  std::vector<std::vector<VertexId>> PromoterPools() const;
+
+  /// Per-piece influence graphs (deterministic: all probabilities 1).
+  std::vector<InfluenceGraph> PieceGraphs() const;
+
+  /// Exact adoption utility of the plan that picks x_i for members of
+  /// `clique_vertices` and y_i otherwise (deterministic instance, so the
+  /// utility is exact, no sampling).
+  double UtilityOfCliquePlan(const std::vector<int>& clique_vertices) const;
+
+  /// Brute-force maximum clique size of the original instance.
+  int ExactMaxClique() const;
+
+  /// Brute-force OPT(Pi_b): maximum exact adoption utility over all 2^n
+  /// x/y choice vectors (the only budget-feasible plan shape).
+  double ExactOipaOpt() const;
+
+ private:
+  int n_;
+  std::vector<std::vector<char>> adj_;  // clique-instance adjacency
+  Graph graph_;
+  EdgeTopicProbs probs_;
+  Campaign campaign_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_REDUCTION_H_

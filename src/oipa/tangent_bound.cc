@@ -1,0 +1,76 @@
+#include "oipa/tangent_bound.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace oipa {
+
+namespace {
+
+/// The x > 0 point where the sigmoid has derivative w (0 < w < 1/4):
+/// sigmoid'(t) = s(1-s) = w with s > 1/2 gives
+/// t = log((1 + sqrt(1-4w)) / (1 - sqrt(1-4w))).
+double TangentPointForSlope(double w) {
+  const double r = std::sqrt(std::max(0.0, 1.0 - 4.0 * w));
+  return std::log((1.0 + r) / (1.0 - r));
+}
+
+}  // namespace
+
+double RefineTangentSlope(double x0, double tolerance) {
+  if (x0 >= 0.0) {
+    // The sigmoid is concave on [0, inf): its own tangent at x0 bounds it.
+    return SigmoidDerivative(x0);
+  }
+  const double y0 = Sigmoid(x0);
+  // Binary search on the gradient in (0, 1/4): for candidate w, evaluate
+  // the line through (x0, y0) at the matching tangent point t(w); if the
+  // line passes above the curve there, the slope is too large.
+  double lo = 0.0;
+  double hi = 0.25;
+  for (int iter = 0; iter < 200 && hi - lo > tolerance; ++iter) {
+    const double w = 0.5 * (lo + hi);
+    const double t = TangentPointForSlope(w);
+    const double line_at_t = w * t + y0 - w * x0;
+    if (line_at_t > Sigmoid(t)) {
+      hi = w;
+    } else {
+      lo = w;
+    }
+  }
+  // Return the upper end: the line with slope hi is guaranteed to pass
+  // (weakly) above the tangency point, hence above the whole curve.
+  return hi;
+}
+
+double ZeroAnchoredSlope(const LogisticAdoptionModel& model, int max_count) {
+  OIPA_CHECK_GE(max_count, 1);
+  double w = 0.0;
+  for (int c = 1; c <= max_count; ++c) {
+    w = std::max(w, model.AdoptionProb(c) / static_cast<double>(c));
+  }
+  return w;
+}
+
+TangentTable::TangentTable(const LogisticAdoptionModel& model, int max_count,
+                           BoundVariant variant)
+    : variant_(variant) {
+  OIPA_CHECK_GE(max_count, 0);
+  lines_.resize(max_count + 1);
+  for (int a = 0; a <= max_count; ++a) {
+    TangentLine& line = lines_[a];
+    if (a == 0 && variant == BoundVariant::kZeroAnchored &&
+        max_count >= 1) {
+      line.value_at_anchor = 0.0;
+      line.slope_per_piece = ZeroAnchoredSlope(model, max_count);
+      continue;
+    }
+    const double x0 = model.beta() * a - model.alpha();
+    line.value_at_anchor = Sigmoid(x0);
+    line.slope_per_piece = RefineTangentSlope(x0) * model.beta();
+  }
+}
+
+}  // namespace oipa

@@ -1,0 +1,87 @@
+#ifndef OIPA_OIPA_TANGENT_BOUND_H_
+#define OIPA_OIPA_TANGENT_BOUND_H_
+
+#include <vector>
+
+#include "oipa/logistic_model.h"
+
+namespace oipa {
+
+/// How the per-sample submodular surrogate is anchored for samples with
+/// zero anchor coverage (samples with coverage >= 1 are identical in both
+/// variants, since there the logistic value is the true f value).
+enum class BoundVariant {
+  /// The paper's construction (Figure 2 / Algorithm 4): the line passes
+  /// through the logistic curve point (x0, sigmoid(x0)) with x0 =
+  /// beta*a - alpha, and is tangent to the curve at some t >= max(x0, 0).
+  /// Note: anchoring uncovered samples at sigmoid(-alpha) > 0 adds a
+  /// constant n*sigmoid(-alpha) to every bound that no plan's utility can
+  /// reach, so gap-based termination effectively never fires on large
+  /// graphs; kept for ablation (bench_ablation_bound).
+  kPaperTangent,
+  /// Default: for anchor coverage a = 0, anchor the line at value 0 (the
+  /// true f(0)) with the minimal slope w satisfying w*c >= f(c) for every
+  /// integer count c. Still a monotone submodular upper bound on the true
+  /// adoption value (coverage counts are integral), tight at c = 0, and
+  /// identical to kPaperTangent for samples with anchor coverage >= 1.
+  kZeroAnchored,
+};
+
+/// A per-sample linear upper bound on the logistic adoption curve: for a
+/// sample already covered on `a` pieces, the bound of covering d more is
+/// min(1, value_at_anchor + slope_per_piece * d) — monotone and concave
+/// in d, hence monotone submodular as a set function of the plan.
+struct TangentLine {
+  double value_at_anchor = 0.0;
+  double slope_per_piece = 0.0;  // already multiplied by beta
+
+  double ValueAt(int extra_pieces) const {
+    const double y =
+        value_at_anchor + slope_per_piece * extra_pieces;
+    return y < 1.0 ? y : 1.0;
+  }
+  /// Marginal bound gain of covering one more piece given `extra_pieces`
+  /// already added beyond the anchor.
+  double GainAt(int extra_pieces) const {
+    return ValueAt(extra_pieces + 1) - ValueAt(extra_pieces);
+  }
+};
+
+/// Finds the slope w of the unique line through (x0, sigmoid(x0)) that is
+/// tangent to the sigmoid at some point t >= max(x0, 0), so the line upper
+/// bounds the sigmoid on [x0, inf). For x0 >= 0 this is the tangent at x0
+/// itself (closed form); for x0 < 0 it runs the paper's binary search on
+/// the gradient (Algorithm 4, "Refine"). `tolerance` bounds the slope
+/// error of the search.
+double RefineTangentSlope(double x0, double tolerance = 1e-12);
+
+/// For the zero-anchored variant: the minimal w such that w * c >=
+/// sigmoid(beta*c - alpha) for every integer coverage count c in
+/// {1..max_count} (a line through the origin in coverage-count space).
+/// Coverage counts are integral, which is what makes a finite slope
+/// sufficient: the continuous curve has sigmoid(-alpha) > 0 at c = 0.
+double ZeroAnchoredSlope(const LogisticAdoptionModel& model, int max_count);
+
+/// Precomputed tangent lines for every possible anchor coverage count
+/// a in {0..max_count}. The branch-and-bound "refinement" of Figure 2 —
+/// shifting the tangent as a partial plan covers more pieces of a sample
+/// — becomes a table lookup.
+class TangentTable {
+ public:
+  TangentTable(const LogisticAdoptionModel& model, int max_count,
+               BoundVariant variant = BoundVariant::kPaperTangent);
+
+  const TangentLine& line(int anchor_count) const {
+    return lines_[anchor_count];
+  }
+  int max_count() const { return static_cast<int>(lines_.size()) - 1; }
+  BoundVariant variant() const { return variant_; }
+
+ private:
+  std::vector<TangentLine> lines_;
+  BoundVariant variant_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_TANGENT_BOUND_H_

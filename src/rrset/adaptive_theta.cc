@@ -1,0 +1,86 @@
+#include "rrset/adaptive_theta.h"
+
+#include <cmath>
+
+#include "rrset/coverage_state.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace oipa {
+
+namespace {
+
+std::vector<double> AdoptionTable(double alpha, double beta, int l) {
+  std::vector<double> f(l + 1, 0.0);
+  for (int c = 1; c <= l; ++c) f[c] = Sigmoid(beta * c - alpha);
+  return f;
+}
+
+/// Greedy probe plan on `state` (coverage-gain greedy over the pool),
+/// applied in place. Returns the (piece, vertex) selections.
+std::vector<std::pair<int, VertexId>> BuildProbePlan(
+    CoverageState* state, const std::vector<VertexId>& pool, int budget) {
+  std::vector<std::pair<int, VertexId>> plan;
+  const int l = state->mrr().num_pieces();
+  for (int round = 0; round < budget; ++round) {
+    double best_gain = 0.0;
+    int best_piece = -1;
+    VertexId best_v = -1;
+    for (int j = 0; j < l; ++j) {
+      for (VertexId v : pool) {
+        const double gain = state->GainOfAdding(v, j);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_piece = j;
+          best_v = v;
+        }
+      }
+    }
+    if (best_piece < 0) break;
+    state->AddSeed(best_v, best_piece);
+    plan.emplace_back(best_piece, best_v);
+  }
+  return plan;
+}
+
+}  // namespace
+
+AdaptiveThetaResult ChooseTheta(
+    const std::vector<InfluenceGraph>& piece_graphs,
+    const std::vector<VertexId>& promoter_pool,
+    const AdaptiveThetaOptions& options) {
+  OIPA_CHECK(!piece_graphs.empty());
+  OIPA_CHECK(!promoter_pool.empty());
+  OIPA_CHECK_GT(options.initial_theta, 0);
+  OIPA_CHECK_GT(options.relative_tolerance, 0.0);
+  const int l = static_cast<int>(piece_graphs.size());
+  const std::vector<double> f = AdoptionTable(options.alpha, options.beta, l);
+
+  AdaptiveThetaResult result;
+  int64_t theta = options.initial_theta;
+  for (;; theta *= 2, ++result.rounds) {
+    const MrrCollection train =
+        MrrCollection::Generate(piece_graphs, theta, options.seed + 1);
+    const MrrCollection test =
+        MrrCollection::Generate(piece_graphs, theta, options.seed + 2);
+    CoverageState train_state(&train, f);
+    const auto plan = BuildProbePlan(&train_state, promoter_pool,
+                                     options.probe_budget);
+    const double train_utility = train_state.Utility();
+    CoverageState test_state(&test, f);
+    for (const auto& [piece, v] : plan) test_state.AddSeed(v, piece);
+    const double test_utility = test_state.Utility();
+
+    const double scale =
+        std::max(1e-9, std::max(train_utility, test_utility));
+    result.achieved_disagreement =
+        std::fabs(train_utility - test_utility) / scale;
+    result.theta = theta;
+    if (result.achieved_disagreement <= options.relative_tolerance ||
+        theta * 2 > options.max_theta) {
+      return result;
+    }
+  }
+}
+
+}  // namespace oipa

@@ -1,0 +1,50 @@
+#ifndef OIPA_RRSET_ADAPTIVE_THETA_H_
+#define OIPA_RRSET_ADAPTIVE_THETA_H_
+
+#include <cstdint>
+
+#include "rrset/mrr_collection.h"
+#include "topic/influence_graph.h"
+
+namespace oipa {
+
+/// Options for adaptive MRR sample-size selection.
+struct AdaptiveThetaOptions {
+  /// Initial sample count; doubles each round.
+  int64_t initial_theta = 2'000;
+  /// Hard cap.
+  int64_t max_theta = 2'000'000;
+  /// Convergence test: two independent half-collections must agree on a
+  /// probe plan's estimated utility within this relative tolerance.
+  double relative_tolerance = 0.05;
+  /// Probe budget: the utility probe is a greedy plan of this many
+  /// assignments built on one half.
+  int probe_budget = 10;
+  /// Values of f(1..l) are taken from this logistic model.
+  double alpha = 2.0;
+  double beta = 1.0;
+  uint64_t seed = 1;
+};
+
+struct AdaptiveThetaResult {
+  int64_t theta = 0;
+  /// Relative disagreement achieved at the chosen theta.
+  double achieved_disagreement = 0.0;
+  /// Rounds of doubling performed.
+  int rounds = 0;
+};
+
+/// Practical theta selection for OIPA (a convenience the paper leaves to
+/// "a large theta"): doubles theta until two INDEPENDENT MRR collections
+/// of that size agree on the utility of a non-trivial probe plan within
+/// `relative_tolerance`. The probe plan is built greedily on the first
+/// collection, so the check also captures the optimizer's overfitting
+/// exposure at that sample size, not just estimator variance.
+AdaptiveThetaResult ChooseTheta(
+    const std::vector<InfluenceGraph>& piece_graphs,
+    const std::vector<VertexId>& promoter_pool,
+    const AdaptiveThetaOptions& options);
+
+}  // namespace oipa
+
+#endif  // OIPA_RRSET_ADAPTIVE_THETA_H_

@@ -1,0 +1,79 @@
+#include "rrset/coverage_state.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+CoverageState::CoverageState(const MrrCollection* mrr,
+                             std::vector<double> f_by_count)
+    : mrr_(mrr),
+      num_pieces_(mrr->num_pieces()),
+      f_by_count_(std::move(f_by_count)) {
+  OIPA_CHECK_EQ(static_cast<int>(f_by_count_.size()), num_pieces_ + 1);
+  multiplicity_.assign(
+      static_cast<size_t>(mrr_->theta()) * num_pieces_, 0);
+  cover_count_.assign(mrr_->theta(), 0);
+  count_hist_.assign(num_pieces_ + 1, 0);
+  count_hist_[0] = mrr_->theta();
+}
+
+void CoverageState::AddSeed(VertexId v, int piece) {
+  OIPA_CHECK_GE(piece, 0);
+  OIPA_CHECK_LT(piece, num_pieces_);
+  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
+    uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
+    OIPA_CHECK_LT(mult, UINT16_MAX);
+    if (mult++ == 0) {
+      const int c = cover_count_[i]++;
+      sum_f_ += f_by_count_[c + 1] - f_by_count_[c];
+      --count_hist_[c];
+      ++count_hist_[c + 1];
+      if (c == 0) touched_.push_back(i);
+    }
+  }
+}
+
+void CoverageState::RemoveSeed(VertexId v, int piece) {
+  OIPA_CHECK_GE(piece, 0);
+  OIPA_CHECK_LT(piece, num_pieces_);
+  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
+    uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
+    OIPA_CHECK_GT(mult, 0) << "RemoveSeed without matching AddSeed";
+    if (--mult == 0) {
+      const int c = cover_count_[i]--;
+      sum_f_ += f_by_count_[c - 1] - f_by_count_[c];
+      --count_hist_[c];
+      ++count_hist_[c - 1];
+    }
+  }
+}
+
+void CoverageState::Clear() {
+  // touched_ may contain duplicates and samples whose count has already
+  // returned to zero; both are harmless to re-clear.
+  for (int64_t i : touched_) {
+    cover_count_[i] = 0;
+    for (int j = 0; j < num_pieces_; ++j) {
+      multiplicity_[i * num_pieces_ + j] = 0;
+    }
+  }
+  touched_.clear();
+  sum_f_ = 0.0;
+  std::fill(count_hist_.begin(), count_hist_.end(), 0);
+  count_hist_[0] = mrr_->theta();
+}
+
+double CoverageState::GainOfAdding(VertexId v, int piece) const {
+  double gain = 0.0;
+  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
+    if (multiplicity_[i * num_pieces_ + piece] == 0) {
+      const int c = cover_count_[i];
+      gain += f_by_count_[c + 1] - f_by_count_[c];
+    }
+  }
+  return gain * mrr_->UtilityScale();
+}
+
+}  // namespace oipa

@@ -1,0 +1,71 @@
+#ifndef OIPA_RRSET_COVERAGE_STATE_H_
+#define OIPA_RRSET_COVERAGE_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rrset/mrr_collection.h"
+
+namespace oipa {
+
+/// Incremental coverage bookkeeping for an assignment plan over an
+/// MrrCollection, with a pluggable per-count value function f (for OIPA, f
+/// is the logistic adoption probability; f(0) must be 0 for the "no piece
+/// received" case unless a caller deliberately overrides it).
+///
+/// Maintains, per sample i: how many seeds of piece j hit R_i^j
+/// (multiplicity), the covered-piece count c_i, and the running sum of
+/// f(c_i) — so AddSeed / RemoveSeed are O(|inverted list|) and the
+/// branch-and-bound engine can move between plans by diffing.
+class CoverageState {
+ public:
+  /// `f_by_count` has num_pieces()+1 entries: f[c] is the value of a
+  /// sample covered on c distinct pieces. Not owned; copied.
+  CoverageState(const MrrCollection* mrr, std::vector<double> f_by_count);
+
+  /// Registers one more seed `v` for piece `j`. Multiple seeds covering
+  /// the same (sample, piece) are counted, so removal is exact.
+  void AddSeed(VertexId v, int piece);
+
+  /// Reverses a prior AddSeed(v, piece).
+  void RemoveSeed(VertexId v, int piece);
+
+  /// Removes all seeds (O(#touched samples), not O(theta)).
+  void Clear();
+
+  /// Marginal utility (in utility units, i.e. scaled by n/theta) of adding
+  /// seed v for piece j, without mutating the state.
+  double GainOfAdding(VertexId v, int piece) const;
+
+  /// Current adoption-utility estimate: (n/theta) * sum_i f(c_i).
+  double Utility() const { return sum_f_ * mrr_->UtilityScale(); }
+
+  /// Raw per-sample sum (unscaled).
+  double RawSum() const { return sum_f_; }
+
+  int CoverCount(int64_t sample) const { return cover_count_[sample]; }
+  bool IsCovered(int64_t sample, int piece) const {
+    return multiplicity_[sample * num_pieces_ + piece] > 0;
+  }
+
+  /// Histogram over coverage counts: entry c is the number of samples
+  /// currently covered on exactly c pieces. Size num_pieces()+1.
+  const std::vector<int64_t>& CountHistogram() const { return count_hist_; }
+
+  const MrrCollection& mrr() const { return *mrr_; }
+  const std::vector<double>& f_by_count() const { return f_by_count_; }
+
+ private:
+  const MrrCollection* mrr_;  // not owned
+  int num_pieces_;
+  std::vector<double> f_by_count_;
+  std::vector<uint16_t> multiplicity_;  // theta x l
+  std::vector<uint8_t> cover_count_;    // theta
+  std::vector<int64_t> touched_;        // samples with any multiplicity
+  std::vector<int64_t> count_hist_;     // l + 1
+  double sum_f_ = 0.0;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_RRSET_COVERAGE_STATE_H_

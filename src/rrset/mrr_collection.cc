@@ -1,0 +1,150 @@
+#include "rrset/mrr_collection.h"
+
+#include "diffusion/lt_cascade.h"
+#include "rrset/rr_sampler.h"
+#include "util/logging.h"
+#include "util/threading.h"
+
+namespace oipa {
+
+MrrCollection MrrCollection::Generate(
+    const std::vector<InfluenceGraph>& piece_graphs, int64_t theta,
+    uint64_t seed, DiffusionModel model) {
+  OIPA_CHECK_GE(theta, 0);
+  OIPA_CHECK(!piece_graphs.empty());
+  const VertexId n = piece_graphs[0].graph().num_vertices();
+  for (const InfluenceGraph& ig : piece_graphs) {
+    OIPA_CHECK_EQ(ig.graph().num_vertices(), n)
+        << "all pieces must share the social graph";
+  }
+  const int ell = static_cast<int>(piece_graphs.size());
+
+  MrrCollection mc;
+  mc.theta_ = theta;
+  mc.num_pieces_ = ell;
+  mc.num_vertices_ = n;
+  if (theta == 0 || n == 0) {
+    mc.inv_offsets_.assign(
+        static_cast<size_t>(ell) * (n + 1) + 1, 0);
+    return mc;
+  }
+
+  // Precompute LT weights once per piece when sampling under LT.
+  std::vector<std::vector<float>> lt_weights;
+  if (model == DiffusionModel::kLinearThreshold) {
+    lt_weights.reserve(ell);
+    for (const InfluenceGraph& ig : piece_graphs) {
+      lt_weights.push_back(LtWeights(ig));
+    }
+  }
+
+  const int shards = GetNumThreads();
+  std::vector<std::vector<VertexId>> shard_roots(shards);
+  std::vector<std::vector<int32_t>> shard_sizes(shards);
+  std::vector<std::vector<VertexId>> shard_nodes(shards);
+
+  ParallelFor(theta, [&](int shard, int64_t lo, int64_t hi) {
+    RrSampler sampler(n);
+    std::vector<VertexId> set;
+    auto& roots = shard_roots[shard];
+    auto& sizes = shard_sizes[shard];
+    auto& nodes = shard_nodes[shard];
+    for (int64_t i = lo; i < hi; ++i) {
+      Rng root_rng(PerSampleSeed(seed, i, -1));
+      const VertexId root = static_cast<VertexId>(root_rng.NextBounded(n));
+      roots.push_back(root);
+      for (int j = 0; j < ell; ++j) {
+        Rng rng(PerSampleSeed(seed, i, j));
+        if (model == DiffusionModel::kLinearThreshold) {
+          SampleLtRrSet(piece_graphs[j].graph(), lt_weights[j], root,
+                        &rng, &set);
+        } else {
+          sampler.Sample(piece_graphs[j], root, &rng, &set);
+        }
+        sizes.push_back(static_cast<int32_t>(set.size()));
+        nodes.insert(nodes.end(), set.begin(), set.end());
+      }
+    }
+  });
+
+  for (int shard = 0; shard < shards; ++shard) {
+    mc.roots_.insert(mc.roots_.end(), shard_roots[shard].begin(),
+                     shard_roots[shard].end());
+    for (int32_t size : shard_sizes[shard]) {
+      mc.offsets_.push_back(mc.offsets_.back() + size);
+    }
+    mc.nodes_.insert(mc.nodes_.end(), shard_nodes[shard].begin(),
+                     shard_nodes[shard].end());
+  }
+  OIPA_CHECK_EQ(static_cast<int64_t>(mc.roots_.size()), theta);
+  OIPA_CHECK_EQ(static_cast<int64_t>(mc.offsets_.size()),
+                theta * ell + 1);
+
+  mc.BuildInvertedIndex();
+  return mc;
+}
+
+MrrCollection MrrCollection::FromParts(int64_t theta, int num_pieces,
+                                       VertexId num_vertices,
+                                       std::vector<VertexId> roots,
+                                       std::vector<int64_t> offsets,
+                                       std::vector<VertexId> nodes) {
+  OIPA_CHECK_GE(theta, 0);
+  OIPA_CHECK_GT(num_pieces, 0);
+  OIPA_CHECK_GE(num_vertices, 0);
+  OIPA_CHECK_EQ(static_cast<int64_t>(roots.size()), theta);
+  OIPA_CHECK_EQ(static_cast<int64_t>(offsets.size()),
+                theta * num_pieces + 1);
+  OIPA_CHECK(offsets.empty() || offsets.front() == 0);
+  OIPA_CHECK(offsets.empty() ||
+             offsets.back() == static_cast<int64_t>(nodes.size()));
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    OIPA_CHECK_LE(offsets[i - 1], offsets[i]);
+  }
+  for (VertexId v : nodes) {
+    OIPA_CHECK_GE(v, 0);
+    OIPA_CHECK_LT(v, num_vertices);
+  }
+  for (VertexId r : roots) {
+    OIPA_CHECK_GE(r, 0);
+    OIPA_CHECK_LT(r, num_vertices);
+  }
+  MrrCollection mc;
+  mc.theta_ = theta;
+  mc.num_pieces_ = num_pieces;
+  mc.num_vertices_ = num_vertices;
+  mc.roots_ = std::move(roots);
+  mc.offsets_ = std::move(offsets);
+  mc.nodes_ = std::move(nodes);
+  mc.BuildInvertedIndex();
+  return mc;
+}
+
+void MrrCollection::BuildInvertedIndex() {
+  const int64_t keys =
+      static_cast<int64_t>(num_pieces_) * (num_vertices_ + 1);
+  inv_offsets_.assign(keys + 1, 0);
+  for (int64_t i = 0; i < theta_; ++i) {
+    for (int j = 0; j < num_pieces_; ++j) {
+      for (VertexId v : Set(i, j)) {
+        const int64_t key =
+            static_cast<int64_t>(j) * (num_vertices_ + 1) + v;
+        ++inv_offsets_[key + 1];
+      }
+    }
+  }
+  for (int64_t k = 0; k < keys; ++k) inv_offsets_[k + 1] += inv_offsets_[k];
+  inv_samples_.resize(nodes_.size());
+  std::vector<int64_t> fill(inv_offsets_.begin(), inv_offsets_.end() - 1);
+  for (int64_t i = 0; i < theta_; ++i) {
+    for (int j = 0; j < num_pieces_; ++j) {
+      for (VertexId v : Set(i, j)) {
+        const int64_t key =
+            static_cast<int64_t>(j) * (num_vertices_ + 1) + v;
+        inv_samples_[fill[key]++] = i;
+      }
+    }
+  }
+}
+
+}  // namespace oipa

@@ -1,0 +1,97 @@
+#ifndef OIPA_RRSET_MRR_COLLECTION_H_
+#define OIPA_RRSET_MRR_COLLECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topic/influence_graph.h"
+
+namespace oipa {
+
+/// Multi-RR (MRR) sets — the paper's Section V-A extension of RR sets to
+/// multifaceted campaigns. Each of the `theta` samples draws one uniform
+/// root v_i and, for every piece j, one RR set R_i^j on that piece's
+/// influence graph, all rooted at v_i. A plan S̄ covers piece j of sample
+/// i iff S_j intersects R_i^j; the adoption-utility estimator of Lemma 2
+/// is (n/theta) * sum_i f(#covered pieces of sample i).
+/// Which diffusion model the reverse-reachable sets are sampled under.
+enum class DiffusionModel {
+  kIndependentCascade,  // the paper's model
+  kLinearThreshold,     // extension: LT live-edge path sampling
+};
+
+class MrrCollection {
+ public:
+  /// Generates theta samples over `piece_graphs` (all sharing one social
+  /// graph). Deterministic given `seed`, independent of thread count.
+  /// Under kLinearThreshold, each piece's edge probabilities are first
+  /// normalized to LT weights (see diffusion/lt_cascade.h) and RR sets
+  /// are reverse live-edge paths; everything downstream (estimators,
+  /// bounds, solvers) works unchanged, so OIPA can be solved under LT.
+  static MrrCollection Generate(
+      const std::vector<InfluenceGraph>& piece_graphs, int64_t theta,
+      uint64_t seed,
+      DiffusionModel model = DiffusionModel::kIndependentCascade);
+
+  /// Rebuilds a collection from raw storage (deserialization path; see
+  /// rrset/mrr_io.h). `offsets` has theta*num_pieces+1 entries indexing
+  /// into `nodes`; all vertex ids must lie in [0, num_vertices). The
+  /// inverted index is rebuilt. CHECK-fails on malformed input — callers
+  /// (the loader) validate untrusted bytes first.
+  static MrrCollection FromParts(int64_t theta, int num_pieces,
+                                 VertexId num_vertices,
+                                 std::vector<VertexId> roots,
+                                 std::vector<int64_t> offsets,
+                                 std::vector<VertexId> nodes);
+
+  int64_t theta() const { return theta_; }
+  int num_pieces() const { return num_pieces_; }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  VertexId root(int64_t i) const { return roots_[i]; }
+
+  /// Members of RR set R_i^j.
+  std::span<const VertexId> Set(int64_t i, int piece) const {
+    const int64_t s = i * num_pieces_ + piece;
+    return {nodes_.data() + offsets_[s], nodes_.data() + offsets_[s + 1]};
+  }
+
+  /// Sample ids i such that v is in R_i^piece.
+  std::span<const int64_t> SamplesContaining(int piece, VertexId v) const {
+    const int64_t key =
+        static_cast<int64_t>(piece) * (num_vertices_ + 1) + v;
+    return {inv_samples_.data() + inv_offsets_[key],
+            inv_samples_.data() + inv_offsets_[key + 1]};
+  }
+
+  /// Total number of (sample, piece, vertex) memberships.
+  int64_t TotalSize() const { return static_cast<int64_t>(nodes_.size()); }
+
+  /// Scaling factor n/theta that converts per-sample sums to utilities.
+  double UtilityScale() const {
+    return theta_ == 0 ? 0.0
+                       : static_cast<double>(num_vertices_) /
+                             static_cast<double>(theta_);
+  }
+
+ private:
+  MrrCollection() = default;
+
+  void BuildInvertedIndex();
+
+  int64_t theta_ = 0;
+  int num_pieces_ = 0;
+  VertexId num_vertices_ = 0;
+  std::vector<VertexId> roots_;
+  std::vector<int64_t> offsets_{0};  // theta*l + 1
+  std::vector<VertexId> nodes_;
+
+  // Inverted index keyed by piece * (n+1) + v.
+  std::vector<int64_t> inv_offsets_;
+  std::vector<int64_t> inv_samples_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_RRSET_MRR_COLLECTION_H_

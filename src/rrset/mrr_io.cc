@@ -1,0 +1,120 @@
+#include "rrset/mrr_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace oipa {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4f4950414d525231ULL;  // "OIPAMRR1"
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteVector(std::ofstream& out, const std::vector<T>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVector(std::ifstream& in, std::vector<T>* v) {
+  uint64_t size = 0;
+  if (!ReadPod(in, &size)) return false;
+  if (size > (1ULL << 34)) return false;
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveMrrCollection(const MrrCollection& mrr,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WritePod(out, kMagic);
+  WritePod(out, static_cast<int64_t>(mrr.theta()));
+  WritePod(out, static_cast<int32_t>(mrr.num_pieces()));
+  WritePod(out, static_cast<int32_t>(mrr.num_vertices()));
+
+  std::vector<VertexId> roots(mrr.theta());
+  for (int64_t i = 0; i < mrr.theta(); ++i) roots[i] = mrr.root(i);
+  WriteVector(out, roots);
+
+  std::vector<int64_t> offsets;
+  std::vector<VertexId> nodes;
+  offsets.reserve(mrr.theta() * mrr.num_pieces() + 1);
+  offsets.push_back(0);
+  for (int64_t i = 0; i < mrr.theta(); ++i) {
+    for (int j = 0; j < mrr.num_pieces(); ++j) {
+      const auto set = mrr.Set(i, j);
+      nodes.insert(nodes.end(), set.begin(), set.end());
+      offsets.push_back(static_cast<int64_t>(nodes.size()));
+    }
+  }
+  WriteVector(out, offsets);
+  WriteVector(out, nodes);
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+StatusOr<MrrCollection> LoadMrrCollection(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument(path + ": bad MRR magic");
+  }
+  int64_t theta = 0;
+  int32_t pieces = 0, n = 0;
+  if (!ReadPod(in, &theta) || !ReadPod(in, &pieces) || !ReadPod(in, &n) ||
+      theta < 0 || pieces <= 0 || n < 0) {
+    return Status::InvalidArgument(path + ": bad MRR header");
+  }
+  std::vector<VertexId> roots;
+  std::vector<int64_t> offsets;
+  std::vector<VertexId> nodes;
+  if (!ReadVector(in, &roots) || !ReadVector(in, &offsets) ||
+      !ReadVector(in, &nodes)) {
+    return Status::InvalidArgument(path + ": truncated MRR arrays");
+  }
+  if (static_cast<int64_t>(roots.size()) != theta ||
+      static_cast<int64_t>(offsets.size()) != theta * pieces + 1 ||
+      (offsets.empty() ? !nodes.empty()
+                       : offsets.back() !=
+                             static_cast<int64_t>(nodes.size()))) {
+    return Status::InvalidArgument(path + ": inconsistent MRR sizes");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i - 1] > offsets[i]) {
+      return Status::InvalidArgument(path + ": non-monotone offsets");
+    }
+  }
+  for (VertexId v : nodes) {
+    if (v < 0 || v >= n) {
+      return Status::InvalidArgument(path + ": member out of range");
+    }
+  }
+  for (VertexId r : roots) {
+    if (r < 0 || r >= n) {
+      return Status::InvalidArgument(path + ": root out of range");
+    }
+  }
+  return MrrCollection::FromParts(theta, pieces, n, std::move(roots),
+                                  std::move(offsets), std::move(nodes));
+}
+
+}  // namespace oipa

@@ -1,0 +1,22 @@
+#ifndef OIPA_RRSET_MRR_IO_H_
+#define OIPA_RRSET_MRR_IO_H_
+
+#include <string>
+
+#include "rrset/mrr_collection.h"
+#include "util/status.h"
+
+namespace oipa {
+
+/// Binary snapshotting for MRR collections. At the paper's theta = 10^6
+/// the sampling phase dominates setup time (Table III), so benches and
+/// applications cache collections between runs. Format: little-endian,
+/// magic "OIPAMRR1", then theta/l/n, roots, set offsets, members; the
+/// inverted index is rebuilt on load (cheaper to rebuild than to store).
+Status SaveMrrCollection(const MrrCollection& mrr, const std::string& path);
+
+StatusOr<MrrCollection> LoadMrrCollection(const std::string& path);
+
+}  // namespace oipa
+
+#endif  // OIPA_RRSET_MRR_IO_H_

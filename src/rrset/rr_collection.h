@@ -1,0 +1,67 @@
+#ifndef OIPA_RRSET_RR_COLLECTION_H_
+#define OIPA_RRSET_RR_COLLECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topic/influence_graph.h"
+
+namespace oipa {
+
+/// A batch of theta random RR sets for one influence graph, stored CSR
+/// style, with an inverted vertex -> samples index for max-cover style
+/// algorithms. For any seed set S, (n/theta) * |{i : R_i and S intersect}|
+/// is an unbiased estimate of the expected spread sigma_im(S).
+class RrCollection {
+ public:
+  /// Generates `theta` RR sets with uniformly random roots. Deterministic
+  /// given `seed` (independent of thread count); generation is
+  /// parallelized across samples.
+  static RrCollection Generate(const InfluenceGraph& ig, int64_t theta,
+                               uint64_t seed);
+
+  /// Generates `extra` additional sets (sample indices continue from the
+  /// current theta, so Extend is equivalent to having generated
+  /// theta+extra sets up front with the same base seed).
+  void Extend(const InfluenceGraph& ig, int64_t extra);
+
+  int64_t theta() const { return static_cast<int64_t>(roots_.size()); }
+  VertexId num_vertices() const { return num_vertices_; }
+  VertexId root(int64_t i) const { return roots_[i]; }
+
+  std::span<const VertexId> Set(int64_t i) const {
+    return {nodes_.data() + offsets_[i], nodes_.data() + offsets_[i + 1]};
+  }
+
+  /// Total number of (sample, vertex) memberships.
+  int64_t TotalSize() const { return static_cast<int64_t>(nodes_.size()); }
+
+  /// Sample ids whose RR set contains v. (Re)built lazily after
+  /// generation/extension.
+  std::span<const int64_t> SamplesContaining(VertexId v) const;
+
+  /// Unbiased spread estimate for `seeds`: n * covered fraction.
+  double EstimateSpread(const std::vector<VertexId>& seeds) const;
+
+ private:
+  RrCollection(VertexId num_vertices, uint64_t base_seed)
+      : num_vertices_(num_vertices), base_seed_(base_seed) {}
+
+  void BuildInvertedIndex() const;
+
+  VertexId num_vertices_;
+  uint64_t base_seed_;
+  std::vector<VertexId> roots_;
+  std::vector<int64_t> offsets_{0};
+  std::vector<VertexId> nodes_;
+
+  // Lazily built inverted index.
+  mutable bool index_valid_ = false;
+  mutable std::vector<int64_t> inv_offsets_;
+  mutable std::vector<int64_t> inv_samples_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_RRSET_RR_COLLECTION_H_

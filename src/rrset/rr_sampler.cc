@@ -1,0 +1,54 @@
+#include "rrset/rr_sampler.h"
+
+#include "util/logging.h"
+
+namespace oipa {
+
+RrSampler::RrSampler(VertexId num_vertices)
+    : visit_epoch_(num_vertices, 0) {}
+
+void RrSampler::Sample(const InfluenceGraph& ig, VertexId root, Rng* rng,
+                       std::vector<VertexId>* out) {
+  const Graph& g = ig.graph();
+  OIPA_CHECK_EQ(static_cast<VertexId>(visit_epoch_.size()),
+                g.num_vertices());
+  OIPA_CHECK_GE(root, 0);
+  OIPA_CHECK_LT(root, g.num_vertices());
+
+  out->clear();
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: reset stamps
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+
+  queue_.clear();
+  visit_epoch_[root] = epoch_;
+  queue_.push_back(root);
+  out->push_back(root);
+  size_t head = 0;
+  while (head < queue_.size()) {
+    const VertexId u = queue_[head++];
+    const auto nbrs = g.InNeighbors(u);
+    const auto eids = g.InEdgeIds(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId w = nbrs[i];
+      if (visit_epoch_[w] == epoch_) continue;
+      const float p = ig.EdgeProb(eids[i]);
+      if (p > 0.0f && rng->NextFloat() < p) {
+        visit_epoch_[w] = epoch_;
+        queue_.push_back(w);
+        out->push_back(w);
+      }
+    }
+  }
+}
+
+uint64_t PerSampleSeed(uint64_t base_seed, int64_t sample, int piece) {
+  uint64_t state = base_seed ^ (0x9e3779b97f4a7c15ULL *
+                                (static_cast<uint64_t>(sample) + 1));
+  state ^= 0xbf58476d1ce4e5b9ULL * (static_cast<uint64_t>(piece) + 1);
+  return SplitMix64Next(&state);
+}
+
+}  // namespace oipa

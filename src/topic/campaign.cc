@@ -1,0 +1,28 @@
+#include "topic/campaign.h"
+
+namespace oipa {
+
+Campaign Campaign::SampleUniformPieces(int num_pieces, int num_topics,
+                                       Rng* rng) {
+  std::vector<ViralPiece> pieces;
+  pieces.reserve(num_pieces);
+  for (int j = 0; j < num_pieces; ++j) {
+    const int topic = static_cast<int>(rng->NextBounded(num_topics));
+    pieces.push_back({"piece_" + std::to_string(j),
+                      TopicVector::PureTopic(num_topics, topic)});
+  }
+  return Campaign(std::move(pieces));
+}
+
+Campaign Campaign::SampleSparsePieces(int num_pieces, int num_topics,
+                                      int nonzeros, Rng* rng) {
+  std::vector<ViralPiece> pieces;
+  pieces.reserve(num_pieces);
+  for (int j = 0; j < num_pieces; ++j) {
+    pieces.push_back({"piece_" + std::to_string(j),
+                      TopicVector::SampleSparse(num_topics, nonzeros, rng)});
+  }
+  return Campaign(std::move(pieces));
+}
+
+}  // namespace oipa

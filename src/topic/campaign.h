@@ -1,0 +1,52 @@
+#ifndef OIPA_TOPIC_CAMPAIGN_H_
+#define OIPA_TOPIC_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "topic/topic_vector.h"
+#include "util/random.h"
+
+namespace oipa {
+
+/// One facet of a multifaceted campaign: a named message piece with a
+/// topic distribution that governs its propagation.
+struct ViralPiece {
+  std::string name;
+  TopicVector topics;
+};
+
+/// A multifaceted campaign T = {t_1 .. t_l}. Each piece spreads in the
+/// network independently; users adopt the campaign after receiving enough
+/// distinct pieces (logistic model, see oipa/logistic_model.h).
+class Campaign {
+ public:
+  Campaign() = default;
+  explicit Campaign(std::vector<ViralPiece> pieces)
+      : pieces_(std::move(pieces)) {}
+
+  /// Generates `num_pieces` pieces, each with a one-hot topic vector on a
+  /// uniformly sampled topic dimension — the paper's experimental setup
+  /// ("we generate the topic vector by uniformly sampling a non-zero topic
+  /// dimension", Section VI-A).
+  static Campaign SampleUniformPieces(int num_pieces, int num_topics,
+                                      Rng* rng);
+
+  /// Generates pieces with sparse mixed topic vectors (`nonzeros` non-zero
+  /// dimensions each) — used by examples that model realistic facets.
+  static Campaign SampleSparsePieces(int num_pieces, int num_topics,
+                                     int nonzeros, Rng* rng);
+
+  int num_pieces() const { return static_cast<int>(pieces_.size()); }
+  const ViralPiece& piece(int j) const { return pieces_[j]; }
+  const std::vector<ViralPiece>& pieces() const { return pieces_; }
+
+  void AddPiece(ViralPiece piece) { pieces_.push_back(std::move(piece)); }
+
+ private:
+  std::vector<ViralPiece> pieces_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_TOPIC_CAMPAIGN_H_

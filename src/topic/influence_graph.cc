@@ -1,0 +1,66 @@
+#include "topic/influence_graph.h"
+
+#include "util/logging.h"
+
+namespace oipa {
+
+InfluenceGraph::InfluenceGraph(const Graph* graph,
+                               std::vector<float> edge_probs)
+    : graph_(graph), edge_probs_(std::move(edge_probs)) {
+  OIPA_CHECK(graph_ != nullptr);
+  OIPA_CHECK_EQ(static_cast<EdgeId>(edge_probs_.size()),
+                graph_->num_edges());
+  for (float p : edge_probs_) {
+    OIPA_CHECK_GE(p, 0.0f);
+    OIPA_CHECK_LE(p, 1.0f);
+  }
+}
+
+InfluenceGraph InfluenceGraph::ForPiece(const Graph& graph,
+                                        const EdgeTopicProbs& probs,
+                                        const TopicVector& piece) {
+  OIPA_CHECK_EQ(probs.num_edges(), graph.num_edges());
+  std::vector<float> edge_probs(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    edge_probs[e] = static_cast<float>(probs.PieceProb(e, piece));
+  }
+  return InfluenceGraph(&graph, std::move(edge_probs));
+}
+
+InfluenceGraph InfluenceGraph::TopicBlind(const Graph& graph,
+                                          const EdgeTopicProbs& probs) {
+  OIPA_CHECK_EQ(probs.num_edges(), graph.num_edges());
+  std::vector<float> edge_probs(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    edge_probs[e] = static_cast<float>(probs.MeanProb(e));
+  }
+  return InfluenceGraph(&graph, std::move(edge_probs));
+}
+
+InfluenceGraph InfluenceGraph::Uniform(const Graph& graph, float p) {
+  return InfluenceGraph(
+      &graph, std::vector<float>(graph.num_edges(), p));
+}
+
+InfluenceGraph InfluenceGraph::WeightedCascade(const Graph& graph) {
+  std::vector<float> edge_probs(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const int64_t indeg = graph.InDegree(graph.edge(e).dst);
+    edge_probs[e] = indeg > 0 ? 1.0f / static_cast<float>(indeg) : 0.0f;
+  }
+  return InfluenceGraph(&graph, std::move(edge_probs));
+}
+
+std::vector<InfluenceGraph> BuildPieceGraphs(const Graph& graph,
+                                             const EdgeTopicProbs& probs,
+                                             const Campaign& campaign) {
+  std::vector<InfluenceGraph> out;
+  out.reserve(campaign.num_pieces());
+  for (int j = 0; j < campaign.num_pieces(); ++j) {
+    out.push_back(
+        InfluenceGraph::ForPiece(graph, probs, campaign.piece(j).topics));
+  }
+  return out;
+}
+
+}  // namespace oipa

@@ -1,0 +1,53 @@
+#ifndef OIPA_TOPIC_INFLUENCE_GRAPH_H_
+#define OIPA_TOPIC_INFLUENCE_GRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "topic/campaign.h"
+#include "topic/edge_topic_probs.h"
+
+namespace oipa {
+
+/// A homogeneous influence graph: the social graph plus one activation
+/// probability per edge. This is what a single viral piece "sees": the
+/// topic-aware model collapses to p(t, e) = t . p(e) for a piece t
+/// (Section III-A of the paper).
+class InfluenceGraph {
+ public:
+  InfluenceGraph(const Graph* graph, std::vector<float> edge_probs);
+
+  /// Collapses the topic-aware probabilities for one piece.
+  static InfluenceGraph ForPiece(const Graph& graph,
+                                 const EdgeTopicProbs& probs,
+                                 const TopicVector& piece);
+
+  /// Topic-blind collapse: mean probability across all topics (what the
+  /// classical-IM baseline runs on).
+  static InfluenceGraph TopicBlind(const Graph& graph,
+                                   const EdgeTopicProbs& probs);
+
+  /// Uniform probability p on every edge (classic IC benchmarks).
+  static InfluenceGraph Uniform(const Graph& graph, float p);
+
+  /// Weighted-cascade: probability 1/in-degree(dst) on each edge.
+  static InfluenceGraph WeightedCascade(const Graph& graph);
+
+  const Graph& graph() const { return *graph_; }
+  float EdgeProb(EdgeId e) const { return edge_probs_[e]; }
+  const std::vector<float>& edge_probs() const { return edge_probs_; }
+
+ private:
+  const Graph* graph_;  // not owned
+  std::vector<float> edge_probs_;
+};
+
+/// Builds one InfluenceGraph per campaign piece. The returned graphs alias
+/// `graph`, which must outlive them.
+std::vector<InfluenceGraph> BuildPieceGraphs(const Graph& graph,
+                                             const EdgeTopicProbs& probs,
+                                             const Campaign& campaign);
+
+}  // namespace oipa
+
+#endif  // OIPA_TOPIC_INFLUENCE_GRAPH_H_

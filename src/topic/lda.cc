@@ -1,0 +1,175 @@
+#include "topic/lda.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+int64_t Corpus::num_tokens() const {
+  int64_t total = 0;
+  for (const auto& d : documents) total += static_cast<int64_t>(d.size());
+  return total;
+}
+
+void LdaModel::Train(const Corpus& corpus) {
+  const int K = options_.num_topics;
+  OIPA_CHECK_GT(K, 0);
+  OIPA_CHECK_GT(corpus.vocab_size, 0);
+  vocab_size_ = corpus.vocab_size;
+  num_docs_ = corpus.num_documents();
+
+  doc_topic_.assign(static_cast<size_t>(num_docs_) * K, 0);
+  topic_word_.assign(static_cast<size_t>(K) * vocab_size_, 0);
+  topic_total_.assign(K, 0);
+  doc_len_.assign(num_docs_, 0);
+
+  Rng rng(options_.seed);
+
+  // Token-level topic assignments, flattened per document.
+  std::vector<std::vector<int>> assignment(num_docs_);
+  for (int d = 0; d < num_docs_; ++d) {
+    const auto& words = corpus.documents[d];
+    doc_len_[d] = static_cast<int>(words.size());
+    assignment[d].resize(words.size());
+    for (size_t i = 0; i < words.size(); ++i) {
+      const int w = words[i];
+      OIPA_CHECK_GE(w, 0);
+      OIPA_CHECK_LT(w, vocab_size_);
+      const int z = static_cast<int>(rng.NextBounded(K));
+      assignment[d][i] = z;
+      ++doc_topic_[static_cast<size_t>(d) * K + z];
+      ++topic_word_[static_cast<size_t>(z) * vocab_size_ + w];
+      ++topic_total_[z];
+    }
+  }
+
+  const double alpha = options_.alpha;
+  const double beta = options_.beta;
+  const double beta_sum = beta * vocab_size_;
+  std::vector<double> probs(K);
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    for (int d = 0; d < num_docs_; ++d) {
+      const auto& words = corpus.documents[d];
+      for (size_t i = 0; i < words.size(); ++i) {
+        const int w = words[i];
+        const int old_z = assignment[d][i];
+        // Remove the token from the counts.
+        --doc_topic_[static_cast<size_t>(d) * K + old_z];
+        --topic_word_[static_cast<size_t>(old_z) * vocab_size_ + w];
+        --topic_total_[old_z];
+        // Collapsed conditional p(z | rest).
+        for (int z = 0; z < K; ++z) {
+          const double theta =
+              doc_topic_[static_cast<size_t>(d) * K + z] + alpha;
+          const double phi =
+              (topic_word_[static_cast<size_t>(z) * vocab_size_ + w] + beta) /
+              (topic_total_[z] + beta_sum);
+          probs[z] = theta * phi;
+        }
+        const int new_z = SampleDiscrete(probs, &rng);
+        assignment[d][i] = new_z;
+        ++doc_topic_[static_cast<size_t>(d) * K + new_z];
+        ++topic_word_[static_cast<size_t>(new_z) * vocab_size_ + w];
+        ++topic_total_[new_z];
+      }
+    }
+  }
+}
+
+TopicVector LdaModel::DocumentTopics(int doc) const {
+  OIPA_CHECK_GE(doc, 0);
+  OIPA_CHECK_LT(doc, num_docs_);
+  const int K = options_.num_topics;
+  TopicVector out(K);
+  const double denom = doc_len_[doc] + options_.alpha * K;
+  for (int z = 0; z < K; ++z) {
+    out[z] =
+        (doc_topic_[static_cast<size_t>(doc) * K + z] + options_.alpha) /
+        denom;
+  }
+  return out;
+}
+
+std::vector<double> LdaModel::TopicWords(int topic) const {
+  OIPA_CHECK_GE(topic, 0);
+  OIPA_CHECK_LT(topic, options_.num_topics);
+  std::vector<double> out(vocab_size_);
+  const double denom =
+      topic_total_[topic] + options_.beta * vocab_size_;
+  for (int w = 0; w < vocab_size_; ++w) {
+    out[w] =
+        (topic_word_[static_cast<size_t>(topic) * vocab_size_ + w] +
+         options_.beta) /
+        denom;
+  }
+  return out;
+}
+
+double LdaModel::TokenLogLikelihood(const Corpus& corpus) const {
+  OIPA_CHECK_EQ(corpus.num_documents(), num_docs_);
+  const int K = options_.num_topics;
+  double ll = 0.0;
+  int64_t tokens = 0;
+  for (int d = 0; d < num_docs_; ++d) {
+    const TopicVector theta = DocumentTopics(d);
+    for (int w : corpus.documents[d]) {
+      double pw = 0.0;
+      for (int z = 0; z < K; ++z) {
+        const double phi =
+            (topic_word_[static_cast<size_t>(z) * vocab_size_ + w] +
+             options_.beta) /
+            (topic_total_[z] + options_.beta * vocab_size_);
+        pw += theta[z] * phi;
+      }
+      ll += std::log(std::max(pw, 1e-300));
+      ++tokens;
+    }
+  }
+  return tokens > 0 ? ll / static_cast<double>(tokens) : 0.0;
+}
+
+Corpus GenerateSyntheticCorpus(int num_documents, int num_topics,
+                               int vocab_size, int doc_length,
+                               uint64_t seed,
+                               std::vector<TopicVector>* true_mixtures) {
+  OIPA_CHECK_GT(num_topics, 0);
+  OIPA_CHECK_GE(vocab_size, num_topics);
+  Rng rng(seed);
+
+  // Ground-truth topics: mostly disjoint word blocks with Dirichlet noise,
+  // so topics are identifiable by the sampler.
+  std::vector<std::vector<double>> topic_word(num_topics);
+  const int block = vocab_size / num_topics;
+  for (int z = 0; z < num_topics; ++z) {
+    topic_word[z] = rng.NextDirichlet(vocab_size, 0.05);
+    // Boost this topic's own word block.
+    for (int w = z * block; w < (z + 1) * block; ++w) {
+      topic_word[z][w] += 5.0 / block;
+    }
+    double sum = 0.0;
+    for (double p : topic_word[z]) sum += p;
+    for (double& p : topic_word[z]) p /= sum;
+  }
+
+  Corpus corpus;
+  corpus.vocab_size = vocab_size;
+  corpus.documents.resize(num_documents);
+  if (true_mixtures != nullptr) true_mixtures->clear();
+  for (int d = 0; d < num_documents; ++d) {
+    const TopicVector mixture =
+        TopicVector::SampleSparse(num_topics,
+                                  std::min(2, num_topics), &rng);
+    if (true_mixtures != nullptr) true_mixtures->push_back(mixture);
+    auto& doc = corpus.documents[d];
+    doc.reserve(doc_length);
+    for (int t = 0; t < doc_length; ++t) {
+      const int z = SampleDiscrete(mixture.values(), &rng);
+      doc.push_back(SampleDiscrete(topic_word[z], &rng));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace oipa

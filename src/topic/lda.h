@@ -1,0 +1,81 @@
+#ifndef OIPA_TOPIC_LDA_H_
+#define OIPA_TOPIC_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topic/topic_vector.h"
+#include "util/random.h"
+
+namespace oipa {
+
+/// A bag-of-words corpus: documents[d] is the list of word ids in
+/// document d (with repetition).
+struct Corpus {
+  int vocab_size = 0;
+  std::vector<std::vector<int>> documents;
+
+  int num_documents() const {
+    return static_cast<int>(documents.size());
+  }
+  int64_t num_tokens() const;
+};
+
+/// Configuration for the collapsed-Gibbs LDA sampler.
+struct LdaOptions {
+  int num_topics = 10;
+  double alpha = 0.5;   // document-topic Dirichlet prior
+  double beta = 0.01;   // topic-word Dirichlet prior
+  int iterations = 100;
+  uint64_t seed = 1;
+};
+
+/// Latent Dirichlet Allocation via collapsed Gibbs sampling (Griffiths &
+/// Steyvers). The paper applies LDA to each user's hashtag "document" to
+/// obtain user topic distributions for the tweet dataset; this is the
+/// substrate that role plays here.
+class LdaModel {
+ public:
+  explicit LdaModel(LdaOptions options) : options_(options) {}
+
+  /// Runs `options.iterations` Gibbs sweeps over the corpus. Deterministic
+  /// given options.seed.
+  void Train(const Corpus& corpus);
+
+  /// Posterior document-topic distribution (smoothed by alpha).
+  /// Valid after Train(); document index is the corpus order.
+  TopicVector DocumentTopics(int doc) const;
+
+  /// Posterior topic-word distribution for topic z (smoothed by beta).
+  std::vector<double> TopicWords(int topic) const;
+
+  /// Per-token log-likelihood of the training corpus under the fitted
+  /// model (higher is better); used to test sampler convergence.
+  double TokenLogLikelihood(const Corpus& corpus) const;
+
+  int num_topics() const { return options_.num_topics; }
+
+ private:
+  LdaOptions options_;
+  int vocab_size_ = 0;
+  int num_docs_ = 0;
+  // Count matrices maintained by the collapsed sampler.
+  std::vector<int> doc_topic_;    // num_docs x K
+  std::vector<int> topic_word_;   // K x vocab
+  std::vector<int> topic_total_;  // K
+  std::vector<int> doc_len_;      // num_docs
+};
+
+/// Generates a synthetic hashtag corpus with known ground-truth structure:
+/// `num_topics` topics, each a Dirichlet(topic_word_alpha) distribution
+/// over `vocab_size` words; each document picks a sparse topic mixture and
+/// emits `doc_length` tokens. Returns the corpus and (via out-param) the
+/// ground-truth document mixtures, so tests can check LDA recovery.
+Corpus GenerateSyntheticCorpus(int num_documents, int num_topics,
+                               int vocab_size, int doc_length,
+                               uint64_t seed,
+                               std::vector<TopicVector>* true_mixtures);
+
+}  // namespace oipa
+
+#endif  // OIPA_TOPIC_LDA_H_

@@ -1,0 +1,55 @@
+#ifndef OIPA_TOPIC_PROB_MODELS_H_
+#define OIPA_TOPIC_PROB_MODELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topic/edge_topic_probs.h"
+#include "topic/topic_vector.h"
+
+namespace oipa {
+
+/// Synthetic topic-aware probability assignments. These stand in for the
+/// TIC-learned probabilities of the paper's datasets (see DESIGN.md §4);
+/// all give each edge a small set of non-zero topics so that different
+/// pieces have genuinely different influence graphs — the heterogeneity
+/// OIPA exploits.
+
+/// Weighted-cascade flavored: the total mass on edge (u,v) is
+/// 1/in-degree(v), split across `avg_nonzeros` (on average, >= 1) randomly
+/// chosen topics with Dirichlet weights, each then jittered by a uniform
+/// factor in [0.5, 1.5] and clamped to [0, 1].
+EdgeTopicProbs AssignWeightedCascadeTopics(const Graph& graph,
+                                           int num_topics,
+                                           double avg_nonzeros,
+                                           uint64_t seed);
+
+/// Trivalency flavored: each selected (edge, topic) pair draws its
+/// probability uniformly from {0.1, 0.01, 0.001}.
+EdgeTopicProbs AssignTrivalencyTopics(const Graph& graph, int num_topics,
+                                      double avg_nonzeros, uint64_t seed);
+
+/// Affinity-based: given one topic distribution per node (e.g. research
+/// fields, or LDA output over a user's hashtags), edge (u,v) carries
+/// topic z with affinity (theta_u[z] + theta_v[z]) / 2; the `top_k`
+/// strongest topics whose affinity is at least `min_rel` times the
+/// strongest are kept, scaled so the total edge mass is
+/// `scale`/in-degree(v). This mirrors how the paper derives dblp
+/// probabilities from conference fields and tweet probabilities from
+/// LDA; raising `min_rel` thins secondary topics (the paper's tweet
+/// table averages ~1.5 non-zero probabilities per edge).
+EdgeTopicProbs AssignAffinityTopics(
+    const Graph& graph, const std::vector<TopicVector>& node_topics,
+    int top_k, double scale, double min_rel = 0.0);
+
+/// Per-node topic profiles drawn from a sparse Dirichlet: every node gets
+/// Dirichlet(alpha) over `num_topics` truncated to its `keep` largest
+/// entries (renormalized).
+std::vector<TopicVector> SampleNodeTopicProfiles(VertexId n, int num_topics,
+                                                 double alpha, int keep,
+                                                 uint64_t seed);
+
+}  // namespace oipa
+
+#endif  // OIPA_TOPIC_PROB_MODELS_H_

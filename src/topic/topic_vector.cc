@@ -1,0 +1,73 @@
+#include "topic/topic_vector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+TopicVector TopicVector::PureTopic(int num_topics, int topic) {
+  OIPA_CHECK_GE(topic, 0);
+  OIPA_CHECK_LT(topic, num_topics);
+  TopicVector v(num_topics);
+  v[topic] = 1.0;
+  return v;
+}
+
+TopicVector TopicVector::Uniform(int num_topics) {
+  OIPA_CHECK_GT(num_topics, 0);
+  TopicVector v(num_topics);
+  const double u = 1.0 / num_topics;
+  for (int z = 0; z < num_topics; ++z) v[z] = u;
+  return v;
+}
+
+TopicVector TopicVector::SampleDirichlet(int num_topics, double alpha,
+                                         Rng* rng) {
+  return TopicVector(rng->NextDirichlet(num_topics, alpha));
+}
+
+TopicVector TopicVector::SampleSparse(int num_topics, int num_nonzero,
+                                      Rng* rng) {
+  OIPA_CHECK_GE(num_nonzero, 1);
+  OIPA_CHECK_LE(num_nonzero, num_topics);
+  std::vector<int> topics(num_topics);
+  std::iota(topics.begin(), topics.end(), 0);
+  rng->Shuffle(&topics);
+  TopicVector v(num_topics);
+  const std::vector<double> weights =
+      rng->NextDirichlet(num_nonzero, 1.0);
+  for (int i = 0; i < num_nonzero; ++i) v[topics[i]] = weights[i];
+  return v;
+}
+
+double TopicVector::Sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+void TopicVector::Normalize() {
+  const double s = Sum();
+  if (s <= 0.0) return;
+  for (double& v : values_) v /= s;
+}
+
+int TopicVector::NumNonZero() const {
+  return static_cast<int>(
+      std::count_if(values_.begin(), values_.end(),
+                    [](double v) { return v > 0.0; }));
+}
+
+std::string TopicVector::DebugString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%.3f", i ? ", " : "", values_[i]);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace oipa

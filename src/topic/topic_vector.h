@@ -1,0 +1,56 @@
+#ifndef OIPA_TOPIC_TOPIC_VECTOR_H_
+#define OIPA_TOPIC_TOPIC_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace oipa {
+
+/// A distribution over the hidden topic set Z: entry z is the probability
+/// that a viral piece (or a user's interest) relates to topic z. Entries
+/// are non-negative; Normalize() rescales to sum 1.
+class TopicVector {
+ public:
+  TopicVector() = default;
+  explicit TopicVector(int num_topics) : values_(num_topics, 0.0) {}
+  explicit TopicVector(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  /// A one-hot vector concentrated on `topic`.
+  static TopicVector PureTopic(int num_topics, int topic);
+
+  /// Uniform distribution over all topics.
+  static TopicVector Uniform(int num_topics);
+
+  /// Dirichlet(alpha) sample over `num_topics` dimensions.
+  static TopicVector SampleDirichlet(int num_topics, double alpha, Rng* rng);
+
+  /// A sparse mixture: `num_nonzero` topics chosen uniformly without
+  /// replacement, with Dirichlet(1) weights among them. This matches how
+  /// the paper generates piece topic vectors ("uniformly sampling a
+  /// non-zero topic dimension").
+  static TopicVector SampleSparse(int num_topics, int num_nonzero, Rng* rng);
+
+  int num_topics() const { return static_cast<int>(values_.size()); }
+  double operator[](int z) const { return values_[z]; }
+  double& operator[](int z) { return values_[z]; }
+  const std::vector<double>& values() const { return values_; }
+
+  double Sum() const;
+  /// Rescales entries to sum to 1; no-op on the all-zero vector.
+  void Normalize();
+  /// Number of strictly positive entries.
+  int NumNonZero() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_TOPIC_TOPIC_VECTOR_H_

@@ -1,0 +1,83 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace oipa {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& key,
+                           int64_t default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& key,
+                             double default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<int64_t> FlagParser::GetIntList(
+    const std::string& key, const std::vector<int64_t>& default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  std::vector<int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<double> FlagParser::GetDoubleList(
+    const std::string& key, const std::vector<double>& default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out;
+}
+
+}  // namespace oipa

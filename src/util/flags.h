@@ -1,0 +1,48 @@
+#ifndef OIPA_UTIL_FLAGS_H_
+#define OIPA_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oipa {
+
+/// Minimal --key=value command-line parser for examples and benches.
+///
+///   FlagParser flags(argc, argv);
+///   int k = flags.GetInt("k", 50);
+///   double eps = flags.GetDouble("epsilon", 0.5);
+///   if (flags.Has("help")) { ... }
+///
+/// Accepts "--key=value", "--key value" and bare "--key" (boolean true).
+/// Unrecognized positional arguments are collected in positional().
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Parses a comma-separated list of integers, e.g. "--k=10,20,50".
+  std::vector<int64_t> GetIntList(
+      const std::string& key, const std::vector<int64_t>& default_value) const;
+
+  /// Parses a comma-separated list of doubles.
+  std::vector<double> GetDoubleList(
+      const std::string& key, const std::vector<double>& default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_UTIL_FLAGS_H_

@@ -1,0 +1,99 @@
+#ifndef OIPA_UTIL_LOGGING_H_
+#define OIPA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace oipa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level that is actually emitted; default kInfo. Settable by tests
+/// and benches (e.g. to silence progress output).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Swallows a fully-streamed ostream so CHECK can be used in a ternary
+/// expression of type void. `&` binds looser than `<<`.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace oipa
+
+/// Structured logging: OIPA_LOG(INFO) << "generated " << n << " sets";
+#define OIPA_LOG(severity) OIPA_LOG_##severity
+#define OIPA_LOG_DEBUG                                                      \
+  ::oipa::internal::LogMessage(::oipa::LogLevel::kDebug, __FILE__, __LINE__) \
+      .stream()
+#define OIPA_LOG_INFO                                                      \
+  ::oipa::internal::LogMessage(::oipa::LogLevel::kInfo, __FILE__, __LINE__) \
+      .stream()
+#define OIPA_LOG_WARNING                                      \
+  ::oipa::internal::LogMessage(::oipa::LogLevel::kWarning, __FILE__, \
+                               __LINE__)                      \
+      .stream()
+#define OIPA_LOG_ERROR                                                      \
+  ::oipa::internal::LogMessage(::oipa::LogLevel::kError, __FILE__, __LINE__) \
+      .stream()
+
+/// Invariant check, active in all build types. On failure prints the
+/// condition plus any streamed context, then aborts.
+#define OIPA_CHECK(condition)                                  \
+  (condition) ? (void)0                                        \
+              : ::oipa::internal::Voidify() &                  \
+                    ::oipa::internal::FatalMessage(            \
+                        __FILE__, __LINE__, #condition)        \
+                        .stream()
+
+#define OIPA_CHECK_OP(op, a, b) OIPA_CHECK((a)op(b))
+#define OIPA_CHECK_EQ(a, b) OIPA_CHECK_OP(==, a, b)
+#define OIPA_CHECK_NE(a, b) OIPA_CHECK_OP(!=, a, b)
+#define OIPA_CHECK_LT(a, b) OIPA_CHECK_OP(<, a, b)
+#define OIPA_CHECK_LE(a, b) OIPA_CHECK_OP(<=, a, b)
+#define OIPA_CHECK_GT(a, b) OIPA_CHECK_OP(>, a, b)
+#define OIPA_CHECK_GE(a, b) OIPA_CHECK_OP(>=, a, b)
+
+/// Checks that a Status-returning expression is OK.
+#define OIPA_CHECK_OK(expr)                                          \
+  do {                                                               \
+    ::oipa::Status oipa_check_status_ = (expr);                      \
+    OIPA_CHECK(oipa_check_status_.ok()) << oipa_check_status_.ToString(); \
+  } while (0)
+
+#endif  // OIPA_UTIL_LOGGING_H_

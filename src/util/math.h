@@ -1,0 +1,47 @@
+#ifndef OIPA_UTIL_MATH_H_
+#define OIPA_UTIL_MATH_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace oipa {
+
+/// Numerically stable logistic sigmoid 1 / (1 + exp(-x)).
+inline double Sigmoid(double x) {
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Derivative of the sigmoid at x: s(x) * (1 - s(x)).
+inline double SigmoidDerivative(double x) {
+  const double s = Sigmoid(x);
+  return s * (1.0 - s);
+}
+
+/// Inverse sigmoid (logit); p must be in (0, 1).
+inline double Logit(double p) { return std::log(p / (1.0 - p)); }
+
+/// log(n!) via lgamma.
+inline double LogFactorial(int64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+/// log of the binomial coefficient C(n, k); 0 <= k <= n.
+inline double LogBinomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return -1e300;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+/// True if |a - b| <= tol * max(1, |a|, |b|).
+inline bool NearlyEqual(double a, double b, double tol = 1e-9) {
+  const double scale =
+      std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace oipa
+
+#endif  // OIPA_UTIL_MATH_H_

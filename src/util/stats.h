@@ -1,0 +1,55 @@
+#ifndef OIPA_UTIL_STATS_H_
+#define OIPA_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace oipa {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 if fewer than 2 samples.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation.
+/// Copies and sorts internally; empty input returns 0.
+double Quantile(std::vector<double> values, double q);
+
+/// Pearson correlation of two equal-length series; returns 0 for degenerate
+/// (constant) inputs.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Spearman rank correlation of two equal-length series.
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+/// Continuous power-law exponent MLE (Clauset et al. Eq. 3.1):
+/// alpha = 1 + n / sum(ln(x_i / x_min)) over samples >= x_min.
+/// Returns 0 if fewer than 2 qualifying samples.
+double PowerLawExponentMle(const std::vector<double>& samples, double x_min);
+
+}  // namespace oipa
+
+#endif  // OIPA_UTIL_STATS_H_

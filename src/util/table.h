@@ -1,0 +1,38 @@
+#ifndef OIPA_UTIL_TABLE_H_
+#define OIPA_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace oipa {
+
+/// Aligned-column text table used by the paper-figure bench harnesses.
+///
+///   TextTable t({"k", "IM", "TIM", "BAB", "BAB-P"});
+///   t.AddRow({"10", "3.1", "5.2", "8.8", "8.7"});
+///   t.Print(std::cout);
+///
+/// Also emits CSV so bench output can be re-plotted directly.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with padded columns and a header separator to stdout.
+  void Print() const;
+
+  /// Renders as comma-separated values (no padding).
+  std::string ToCsv() const;
+
+  /// Formats a double with `precision` significant decimals.
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_UTIL_TABLE_H_

@@ -1,0 +1,48 @@
+#include "util/threading.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+namespace {
+std::atomic<int> g_num_threads{0};  // 0 = auto
+}  // namespace
+
+int GetNumThreads() {
+  int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw == 0 ? 1 : hw), 1, 16);
+}
+
+void SetNumThreads(int n) {
+  OIPA_CHECK_GE(n, 0);
+  g_num_threads.store(n, std::memory_order_relaxed);
+}
+
+void ParallelFor(int64_t total,
+                 const std::function<void(int shard, int64_t begin,
+                                          int64_t end)>& fn) {
+  if (total <= 0) return;
+  const int threads = static_cast<int>(
+      std::min<int64_t>(GetNumThreads(), total));
+  if (threads <= 1) {
+    fn(0, 0, total);
+    return;
+  }
+  const int64_t chunk = (total + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    const int64_t begin = static_cast<int64_t>(t) * chunk;
+    const int64_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace oipa

@@ -1,0 +1,28 @@
+#ifndef OIPA_UTIL_THREADING_H_
+#define OIPA_UTIL_THREADING_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace oipa {
+
+/// Number of worker threads used by ParallelFor: hardware concurrency,
+/// clamped to [1, 16]. Overridable for tests/benches via SetNumThreads.
+int GetNumThreads();
+void SetNumThreads(int n);
+
+/// Runs fn(shard, begin, end) on `shards` contiguous slices of [0, total),
+/// one slice per worker thread. Blocks until all shards finish. `fn` must be
+/// safe to call concurrently on disjoint ranges.
+///
+/// With GetNumThreads() == 1 (or total small) the call is executed inline,
+/// which keeps single-threaded runs fully deterministic and debuggable.
+void ParallelFor(int64_t total,
+                 const std::function<void(int shard, int64_t begin,
+                                          int64_t end)>& fn);
+
+}  // namespace oipa
+
+#endif  // OIPA_UTIL_THREADING_H_

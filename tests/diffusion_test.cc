@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/cascade.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "topic/influence_graph.h"
+#include "util/random.h"
+
+namespace oipa {
+namespace {
+
+TEST(CascadeTest, DeterministicEdgesActivateEverythingReachable) {
+  const Graph g = MakePath(5);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 1.0f);
+  Rng rng(1);
+  const auto active = SimulateCascade(ig, {0}, &rng);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(active[v], 1) << v;
+}
+
+TEST(CascadeTest, ZeroProbabilityActivatesOnlySeeds) {
+  const Graph g = MakeCompleteDigraph(6);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.0f);
+  Rng rng(1);
+  const auto active = SimulateCascade(ig, {2, 4}, &rng);
+  int count = 0;
+  for (uint8_t a : active) count += a;
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(active[2], 1);
+  EXPECT_EQ(active[4], 1);
+}
+
+TEST(CascadeTest, UnreachableVerticesStayInactive) {
+  // Two disconnected components.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  const Graph g = b.Build();
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 1.0f);
+  Rng rng(1);
+  const auto active = SimulateCascade(ig, {0}, &rng);
+  EXPECT_EQ(active[0], 1);
+  EXPECT_EQ(active[1], 1);
+  EXPECT_EQ(active[2], 0);
+  EXPECT_EQ(active[3], 0);
+}
+
+TEST(CascadeTest, DuplicateSeedsTolerated) {
+  const Graph g = MakePath(3);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.0f);
+  Rng rng(1);
+  const auto active = SimulateCascade(ig, {1, 1, 1}, &rng);
+  EXPECT_EQ(active[1], 1);
+  EXPECT_EQ(active[0], 0);
+}
+
+TEST(EstimateSpreadTest, SingleEdgeMatchesClosedForm) {
+  // 0 -> 1 with p = 0.3: expected spread of {0} is 1.3.
+  const Graph g = MakePath(2);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.3f);
+  const double est = EstimateSpread(ig, {0}, 200'000, 5);
+  EXPECT_NEAR(est, 1.3, 0.01);
+}
+
+TEST(EstimateSpreadTest, TwoHopPathClosedForm) {
+  // 0 -> 1 -> 2, p = 0.5: E = 1 + 0.5 + 0.25 = 1.75.
+  const Graph g = MakePath(3);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.5f);
+  const double est = EstimateSpread(ig, {0}, 200'000, 7);
+  EXPECT_NEAR(est, 1.75, 0.01);
+}
+
+// -------------------------------------------------------------- Exact
+
+TEST(ExactReachTest, PathProbabilities) {
+  const Graph g = MakePath(3);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.5f);
+  const auto reach = ExactReachProbabilities(ig, {0});
+  EXPECT_DOUBLE_EQ(reach[0], 1.0);
+  EXPECT_NEAR(reach[1], 0.5, 1e-12);
+  EXPECT_NEAR(reach[2], 0.25, 1e-12);
+  EXPECT_NEAR(ExactSpread(ig, {0}), 1.75, 1e-12);
+}
+
+TEST(ExactReachTest, DiamondIndependentPaths) {
+  // 0 -> {1,2} -> 3, all p = 0.5:
+  // P(3) = P(at least one of two independent 0.25 paths) = 1-(1-.25)^2.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  const Graph g = b.Build();
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.5f);
+  const auto reach = ExactReachProbabilities(ig, {0});
+  EXPECT_NEAR(reach[3], 1.0 - 0.75 * 0.75, 1e-12);
+}
+
+TEST(ExactReachTest, EmptySeedsAllZero) {
+  const Graph g = MakePath(3);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.5f);
+  const auto reach = ExactReachProbabilities(ig, {});
+  for (double r : reach) EXPECT_EQ(r, 0.0);
+}
+
+TEST(ExactReachTest, MonteCarloAgreesWithExact) {
+  const Graph g = GenerateErdosRenyi(8, 0.25, 3);
+  ASSERT_LE(g.num_edges(), 24);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.4f);
+  const double exact = ExactSpread(ig, {0, 3});
+  const double mc = EstimateSpread(ig, {0, 3}, 300'000, 11);
+  EXPECT_NEAR(mc, exact, 0.02 * std::max(1.0, exact));
+}
+
+}  // namespace
+}  // namespace oipa

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "diffusion/cascade.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "im/heuristics.h"
+#include "im/imm.h"
+#include "topic/influence_graph.h"
+
+namespace oipa {
+namespace {
+
+TEST(HighDegreeTest, PicksHubsInOrder) {
+  const Graph g = MakeStar(8);  // 0 has degree 8, leaves 0
+  const auto seeds = HighDegreeSeeds(g, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds[0], 0);
+  // Ties among leaves broken by id.
+  EXPECT_EQ(seeds[1], 1);
+  EXPECT_EQ(seeds[2], 2);
+}
+
+TEST(HighDegreeTest, RespectsCandidatePool) {
+  const Graph g = MakeStar(8);
+  const auto seeds = HighDegreeSeeds(g, 2, {3, 5, 7});
+  ASSERT_EQ(seeds.size(), 2u);
+  for (VertexId s : seeds) {
+    EXPECT_TRUE(s == 3 || s == 5 || s == 7);
+  }
+}
+
+TEST(HighDegreeTest, KLargerThanPool) {
+  const Graph g = MakePath(3);
+  EXPECT_EQ(HighDegreeSeeds(g, 10).size(), 3u);
+}
+
+TEST(DegreeDiscountTest, FirstPickIsMaxDegree) {
+  const Graph g = MakeStar(8);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.1f);
+  const auto seeds = DegreeDiscountSeeds(ig, 1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0);
+}
+
+TEST(DegreeDiscountTest, AvoidsClusteredSeeds) {
+  // Two disjoint stars with hubs 0 and 10; a greedy-by-degree pick of
+  // {hub0, neighbor-of-hub0} is worse than {hub0, hub1} and discounting
+  // must find the latter.
+  GraphBuilder b;
+  for (VertexId leaf = 1; leaf <= 9; ++leaf) b.AddUndirectedEdge(0, leaf);
+  for (VertexId leaf = 11; leaf <= 18; ++leaf) {
+    b.AddUndirectedEdge(10, leaf);
+  }
+  const Graph g = b.Build();
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.2f);
+  const auto seeds = DegreeDiscountSeeds(ig, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_TRUE((seeds[0] == 0 && seeds[1] == 10) ||
+              (seeds[0] == 10 && seeds[1] == 0))
+      << seeds[0] << "," << seeds[1];
+}
+
+TEST(DegreeDiscountTest, NoDuplicates) {
+  const Graph g = GenerateBarabasiAlbert(300, 3, 17);
+  const InfluenceGraph ig = InfluenceGraph::WeightedCascade(g);
+  auto seeds = DegreeDiscountSeeds(ig, 20);
+  EXPECT_EQ(seeds.size(), 20u);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_TRUE(std::adjacent_find(seeds.begin(), seeds.end()) ==
+              seeds.end());
+}
+
+TEST(RandomSeedsTest, DeterministicAndInPool) {
+  const Graph g = GenerateErdosRenyi(100, 0.05, 19);
+  const std::vector<VertexId> pool{2, 4, 6, 8, 10, 12};
+  const auto a = RandomSeeds(g, 4, 23, pool);
+  const auto b = RandomSeeds(g, 4, 23, pool);
+  EXPECT_EQ(a, b);
+  for (VertexId s : a) {
+    EXPECT_TRUE(std::find(pool.begin(), pool.end(), s) != pool.end());
+  }
+}
+
+TEST(HeuristicsQualityTest, OrderingUnderSimulation) {
+  // On a power-law graph with weighted-cascade probabilities the classic
+  // ordering is RIS-greedy >= degree-discount >= high-degree >= random.
+  // We assert the endpoints strictly and the middle loosely.
+  const Graph g = GenerateBarabasiAlbert(800, 3, 29);
+  const InfluenceGraph ig = InfluenceGraph::WeightedCascade(g);
+  const int k = 10;
+  const auto ris = FixedThetaRis(ig, k, 20'000, 31).seeds;
+  const auto dd = DegreeDiscountSeeds(ig, k);
+  const auto hd = HighDegreeSeeds(g, k);
+  const auto rnd = RandomSeeds(g, k, 37);
+
+  const double s_ris = EstimateSpread(ig, ris, 5000, 41);
+  const double s_dd = EstimateSpread(ig, dd, 5000, 41);
+  const double s_hd = EstimateSpread(ig, hd, 5000, 41);
+  const double s_rnd = EstimateSpread(ig, rnd, 5000, 41);
+
+  EXPECT_GE(s_ris * 1.05, s_dd);
+  EXPECT_GE(s_dd * 1.10, s_hd);   // DD >= HD with slack
+  EXPECT_GT(s_hd, 1.5 * s_rnd);   // any hub beats random clearly
+}
+
+}  // namespace
+}  // namespace oipa

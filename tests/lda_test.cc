@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topic/lda.h"
+#include "util/stats.h"
+
+namespace oipa {
+namespace {
+
+TEST(CorpusTest, SyntheticGeneratorShape) {
+  std::vector<TopicVector> mixtures;
+  const Corpus corpus =
+      GenerateSyntheticCorpus(50, 4, 200, 30, 3, &mixtures);
+  EXPECT_EQ(corpus.num_documents(), 50);
+  EXPECT_EQ(corpus.vocab_size, 200);
+  EXPECT_EQ(corpus.num_tokens(), 50 * 30);
+  EXPECT_EQ(mixtures.size(), 50u);
+  for (const auto& doc : corpus.documents) {
+    for (int w : doc) {
+      EXPECT_GE(w, 0);
+      EXPECT_LT(w, 200);
+    }
+  }
+}
+
+TEST(LdaTest, DocumentTopicsOnSimplex) {
+  const Corpus corpus = GenerateSyntheticCorpus(30, 3, 90, 25, 5, nullptr);
+  LdaOptions opts;
+  opts.num_topics = 3;
+  opts.iterations = 30;
+  opts.seed = 7;
+  LdaModel lda(opts);
+  lda.Train(corpus);
+  for (int d = 0; d < corpus.num_documents(); ++d) {
+    const TopicVector theta = lda.DocumentTopics(d);
+    EXPECT_NEAR(theta.Sum(), 1.0, 1e-9);
+    for (int z = 0; z < 3; ++z) EXPECT_GT(theta[z], 0.0);
+  }
+}
+
+TEST(LdaTest, TopicWordsOnSimplex) {
+  const Corpus corpus = GenerateSyntheticCorpus(30, 3, 90, 25, 9, nullptr);
+  LdaOptions opts;
+  opts.num_topics = 3;
+  opts.iterations = 20;
+  LdaModel lda(opts);
+  lda.Train(corpus);
+  for (int z = 0; z < 3; ++z) {
+    const std::vector<double> phi = lda.TopicWords(z);
+    double sum = 0.0;
+    for (double p : phi) {
+      EXPECT_GT(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LdaTest, TrainingImprovesLikelihoodOverRandomInit) {
+  const Corpus corpus =
+      GenerateSyntheticCorpus(80, 4, 160, 40, 11, nullptr);
+  LdaOptions short_opts;
+  short_opts.num_topics = 4;
+  short_opts.iterations = 1;
+  short_opts.seed = 13;
+  LdaModel short_run(short_opts);
+  short_run.Train(corpus);
+
+  LdaOptions long_opts = short_opts;
+  long_opts.iterations = 60;
+  LdaModel long_run(long_opts);
+  long_run.Train(corpus);
+
+  EXPECT_GT(long_run.TokenLogLikelihood(corpus),
+            short_run.TokenLogLikelihood(corpus) + 0.01);
+}
+
+TEST(LdaTest, RecoversGroundTruthMixtures) {
+  // Documents with block-structured topics: the fitted document-topic
+  // distributions must correlate with the generating mixtures up to a
+  // topic permutation. We check via the best-match assignment.
+  std::vector<TopicVector> mixtures;
+  const int K = 3;
+  const Corpus corpus =
+      GenerateSyntheticCorpus(120, K, 300, 60, 17, &mixtures);
+  LdaOptions opts;
+  opts.num_topics = K;
+  opts.iterations = 80;
+  opts.seed = 19;
+  LdaModel lda(opts);
+  lda.Train(corpus);
+
+  // For each fitted topic, find the ground-truth topic whose per-document
+  // weights correlate best; the average matched correlation must be high.
+  std::vector<std::vector<double>> fitted(K), truth(K);
+  for (int z = 0; z < K; ++z) {
+    fitted[z].resize(corpus.num_documents());
+    truth[z].resize(corpus.num_documents());
+  }
+  for (int d = 0; d < corpus.num_documents(); ++d) {
+    const TopicVector theta = lda.DocumentTopics(d);
+    for (int z = 0; z < K; ++z) {
+      fitted[z][d] = theta[z];
+      truth[z][d] = mixtures[d][z];
+    }
+  }
+  double matched = 0.0;
+  for (int z = 0; z < K; ++z) {
+    double best = -1.0;
+    for (int t = 0; t < K; ++t) {
+      best = std::max(best, PearsonCorrelation(fitted[z], truth[t]));
+    }
+    matched += best;
+  }
+  EXPECT_GT(matched / K, 0.6);
+}
+
+TEST(LdaTest, DeterministicGivenSeed) {
+  const Corpus corpus = GenerateSyntheticCorpus(20, 3, 60, 20, 23, nullptr);
+  LdaOptions opts;
+  opts.num_topics = 3;
+  opts.iterations = 10;
+  opts.seed = 29;
+  LdaModel a(opts), b(opts);
+  a.Train(corpus);
+  b.Train(corpus);
+  for (int d = 0; d < corpus.num_documents(); ++d) {
+    const TopicVector ta = a.DocumentTopics(d);
+    const TopicVector tb = b.DocumentTopics(d);
+    for (int z = 0; z < 3; ++z) {
+      EXPECT_DOUBLE_EQ(ta[z], tb[z]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oipa

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "learn/action_log.h"
+#include "learn/tic_learner.h"
+#include "topic/prob_models.h"
+#include "util/stats.h"
+
+namespace oipa {
+namespace {
+
+TEST(ActionLogTest, EventsSortedAndTimestamped) {
+  const Graph g = GenerateErdosRenyi(60, 0.08, 7);
+  const EdgeTopicProbs truth = AssignWeightedCascadeTopics(g, 4, 2.0, 11);
+  const ActionLog log = GenerateActionLog(g, truth, 20, 3, 13);
+  EXPECT_EQ(log.num_items(), 20);
+  EXPECT_FALSE(log.events.empty());
+  for (size_t i = 1; i < log.events.size(); ++i) {
+    const ActionEvent& a = log.events[i - 1];
+    const ActionEvent& b = log.events[i];
+    EXPECT_TRUE(a.item < b.item ||
+                (a.item == b.item && a.timestamp <= b.timestamp));
+  }
+  for (const ActionEvent& ev : log.events) {
+    EXPECT_GE(ev.timestamp, 0);
+    EXPECT_GE(ev.user, 0);
+    EXPECT_LT(ev.user, g.num_vertices());
+  }
+}
+
+TEST(ActionLogTest, SeedsHaveTimestampZero) {
+  const Graph g = GenerateErdosRenyi(40, 0.1, 17);
+  const EdgeTopicProbs truth = AssignWeightedCascadeTopics(g, 3, 1.5, 19);
+  const ActionLog log = GenerateActionLog(g, truth, 10, 2, 23);
+  for (int item = 0; item < log.num_items(); ++item) {
+    int zero_count = 0;
+    for (const ActionEvent& ev : log.events) {
+      if (ev.item == item && ev.timestamp == 0) ++zero_count;
+    }
+    EXPECT_GE(zero_count, 1) << "item " << item;
+    EXPECT_LE(zero_count, 2);
+  }
+}
+
+TEST(ActionLogTest, ItemTopicsAreSparseMixtures) {
+  const Graph g = GenerateErdosRenyi(30, 0.1, 29);
+  const EdgeTopicProbs truth = AssignWeightedCascadeTopics(g, 8, 2.0, 31);
+  const ActionLog log = GenerateActionLog(g, truth, 15, 2, 37);
+  for (const TopicVector& t : log.item_topics) {
+    EXPECT_LE(t.NumNonZero(), 2);
+    EXPECT_NEAR(t.Sum(), 1.0, 1e-9);
+  }
+}
+
+TEST(TicLearnerTest, OutputShapeAndRange) {
+  const Graph g = GenerateErdosRenyi(50, 0.08, 41);
+  const EdgeTopicProbs truth = AssignWeightedCascadeTopics(g, 4, 2.0, 43);
+  const ActionLog log = GenerateActionLog(g, truth, 100, 3, 47);
+  TicLearnerOptions opts;
+  opts.iterations = 3;
+  const EdgeTopicProbs learned =
+      LearnTicProbabilities(g, log, 4, opts);
+  EXPECT_EQ(learned.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < learned.num_edges(); ++e) {
+    for (const TopicProb& tp : learned.EdgeEntries(e)) {
+      EXPECT_GE(tp.prob, 0.0f);
+      EXPECT_LE(tp.prob, 1.0f);
+    }
+  }
+}
+
+TEST(TicLearnerTest, RecoversSignalFromRichLog) {
+  // Strong-vs-weak edge discrimination: learn from many cascades and
+  // check that learned piece-collapsed probabilities correlate with the
+  // ground truth across edges.
+  const Graph g = GenerateErdosRenyi(40, 0.12, 53);
+  const EdgeTopicProbs truth = AssignWeightedCascadeTopics(g, 3, 2.0, 59);
+  const ActionLog log = GenerateActionLog(g, truth, 600, 3, 61);
+  TicLearnerOptions opts;
+  opts.iterations = 5;
+  const EdgeTopicProbs learned = LearnTicProbabilities(g, log, 3, opts);
+
+  std::vector<double> truth_vals, learned_vals;
+  const TopicVector uniform = TopicVector::Uniform(3);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    truth_vals.push_back(truth.PieceProb(e, uniform));
+    learned_vals.push_back(learned.PieceProb(e, uniform));
+  }
+  EXPECT_GT(SpearmanCorrelation(truth_vals, learned_vals), 0.35);
+}
+
+TEST(TicLearnerTest, MoreIterationsStaysBounded) {
+  const Graph g = GenerateErdosRenyi(25, 0.15, 67);
+  const EdgeTopicProbs truth = AssignWeightedCascadeTopics(g, 3, 1.5, 71);
+  const ActionLog log = GenerateActionLog(g, truth, 50, 2, 73);
+  for (int iters : {1, 2, 8}) {
+    TicLearnerOptions opts;
+    opts.iterations = iters;
+    const EdgeTopicProbs learned =
+        LearnTicProbabilities(g, log, 3, opts);
+    EXPECT_EQ(learned.num_edges(), g.num_edges());
+  }
+}
+
+TEST(TicLearnerTest, EmptyLogGivesNearZeroPrior) {
+  const Graph g = GenerateErdosRenyi(20, 0.1, 79);
+  ActionLog log;
+  TicLearnerOptions opts;
+  opts.iterations = 1;
+  const EdgeTopicProbs learned = LearnTicProbabilities(g, log, 3, opts);
+  // No evidence: every probability collapses to the weak prior
+  // smoothing / (smoothing + prior_failures) ~ 1%, and entries below
+  // min_prob are dropped entirely.
+  const double prior = opts.smoothing / (opts.smoothing + opts.prior_failures);
+  for (EdgeId e = 0; e < learned.num_edges(); ++e) {
+    for (const TopicProb& tp : learned.EdgeEntries(e)) {
+      EXPECT_NEAR(tp.prob, prior, 1e-5);
+    }
+  }
+}
+
+TEST(TicLearnerTest, UnobservedEdgesStaySparse) {
+  // The learned influence graph must not be denser than the truth:
+  // average collapsed probability should be within a small factor of
+  // the ground truth's, never coin-flip dense.
+  const Graph g = GenerateErdosRenyi(40, 0.1, 83);
+  const EdgeTopicProbs truth = AssignWeightedCascadeTopics(g, 3, 2.0, 89);
+  const ActionLog log = GenerateActionLog(g, truth, 200, 3, 97);
+  TicLearnerOptions opts;
+  opts.iterations = 3;
+  const EdgeTopicProbs learned = LearnTicProbabilities(g, log, 3, opts);
+  const TopicVector uniform = TopicVector::Uniform(3);
+  double truth_mean = 0.0, learned_mean = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    truth_mean += truth.PieceProb(e, uniform);
+    learned_mean += learned.PieceProb(e, uniform);
+  }
+  EXPECT_LT(learned_mean, 3.0 * truth_mean + 1.0);
+}
+
+}  // namespace
+}  // namespace oipa

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "diffusion/lt_cascade.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "topic/influence_graph.h"
+#include "util/random.h"
+
+namespace oipa {
+namespace {
+
+TEST(LtWeightsTest, NormalizesOverloadedInNeighborhoods) {
+  // Three parents each with probability 0.6: sum 1.8 -> rescaled to 1.
+  GraphBuilder b;
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  const Graph g = b.Build();
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.6f);
+  const std::vector<float> w = LtWeights(ig);
+  double sum = 0.0;
+  for (float x : w) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (float x : w) EXPECT_NEAR(x, 1.0 / 3.0, 1e-6);
+}
+
+TEST(LtWeightsTest, KeepsUnderloadedWeights) {
+  const Graph g = MakePath(3);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.4f);
+  const std::vector<float> w = LtWeights(ig);
+  for (float x : w) EXPECT_FLOAT_EQ(x, 0.4f);
+}
+
+TEST(LtCascadeTest, FullWeightChainActivatesEverything) {
+  // Weight 1.0 on a path: every threshold in [0,1) is met.
+  const Graph g = MakePath(5);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 1.0f);
+  const std::vector<float> w = LtWeights(ig);
+  Rng rng(3);
+  const auto active = SimulateLtCascade(g, w, {0}, &rng);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(active[v], 1);
+}
+
+TEST(LtCascadeTest, ZeroWeightActivatesOnlySeeds) {
+  const Graph g = MakeCompleteDigraph(5);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.0f);
+  const std::vector<float> w = LtWeights(ig);
+  Rng rng(3);
+  const auto active = SimulateLtCascade(g, w, {1}, &rng);
+  int total = 0;
+  for (uint8_t a : active) total += a;
+  EXPECT_EQ(total, 1);
+}
+
+TEST(LtCascadeTest, SpreadMatchesClosedFormOnSingleEdge) {
+  // 0 -> 1 with weight 0.3: P[threshold <= 0.3] = 0.3, spread = 1.3.
+  const Graph g = MakePath(2);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.3f);
+  const std::vector<float> w = LtWeights(ig);
+  const double est = EstimateLtSpread(g, w, {0}, 200'000, 7);
+  EXPECT_NEAR(est, 1.3, 0.01);
+}
+
+TEST(LtRrSetTest, PathStructure) {
+  // Under LT each vertex keeps at most one in-edge, so RR sets are
+  // reverse paths.
+  const Graph g = GenerateErdosRenyi(50, 0.1, 11);
+  const InfluenceGraph ig = InfluenceGraph::WeightedCascade(g);
+  const std::vector<float> w = LtWeights(ig);
+  Rng rng(13);
+  std::vector<VertexId> set;
+  for (int i = 0; i < 200; ++i) {
+    SampleLtRrSet(g, w, static_cast<VertexId>(rng.NextBounded(50)), &rng,
+                  &set);
+    // No duplicates (path, cycle-checked).
+    std::vector<VertexId> sorted = set;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+    // Consecutive members are connected by an edge (reverse path).
+    for (size_t j = 0; j + 1 < set.size(); ++j) {
+      bool linked = false;
+      for (VertexId nb : g.InNeighbors(set[j])) {
+        if (nb == set[j + 1]) linked = true;
+      }
+      EXPECT_TRUE(linked) << "position " << j;
+    }
+  }
+}
+
+TEST(LtRrSetTest, EstimatorMatchesForwardSimulation) {
+  // RIS identity under LT: P[S hits RR(x)] = P[S activates x].
+  const Graph g = GenerateErdosRenyi(30, 0.12, 17);
+  const InfluenceGraph ig = InfluenceGraph::WeightedCascade(g);
+  const std::vector<float> w = LtWeights(ig);
+  const std::vector<VertexId> seeds{0, 5, 9};
+
+  Rng rng(19);
+  const int64_t theta = 200'000;
+  int64_t covered = 0;
+  std::vector<VertexId> set;
+  for (int64_t i = 0; i < theta; ++i) {
+    const VertexId root = static_cast<VertexId>(rng.NextBounded(30));
+    SampleLtRrSet(g, w, root, &rng, &set);
+    for (VertexId s : seeds) {
+      if (std::find(set.begin(), set.end(), s) != set.end()) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  const double ris_estimate =
+      30.0 * static_cast<double>(covered) / static_cast<double>(theta);
+  const double simulated = EstimateLtSpread(g, w, seeds, 100'000, 23);
+  EXPECT_NEAR(ris_estimate, simulated, 0.03 * simulated);
+}
+
+}  // namespace
+}  // namespace oipa

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/metrics.h"
+
+namespace oipa {
+namespace {
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  GraphBuilder b;
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(1, 2);
+  b.AddUndirectedEdge(0, 2);
+  const Graph g = b.Build();
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, v), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, StarHasZeroClustering) {
+  const Graph g = MakeStar(6);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 0.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, MixedDirectionsCountOnce) {
+  // Triangle where one side has both directions: still one link.
+  GraphBuilder b;
+  b.AddUndirectedEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 0);  // extra reverse direction on the 0-2 side
+  const Graph g = b.Build();
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 1), 1.0);
+}
+
+TEST(ClusteringTest, DegreeBelowTwoIsZero) {
+  const Graph g = MakePath(3);
+  EXPECT_EQ(LocalClusteringCoefficient(g, 0), 0.0);  // degree 1
+}
+
+TEST(ClusteringTest, HolmeKimMoreClusteredThanBa) {
+  // The triad-closure step is the whole point of Holme-Kim.
+  const Graph hk = GenerateHolmeKim(1500, 4, 0.8, 7);
+  const Graph ba = GenerateBarabasiAlbert(1500, 4, 7);
+  const double c_hk = AverageClusteringCoefficient(hk, 400);
+  const double c_ba = AverageClusteringCoefficient(ba, 400);
+  EXPECT_GT(c_hk, 1.5 * c_ba);
+}
+
+TEST(ComponentsTest, DisconnectedPiecesCounted) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  b.ReserveVertices(6);  // vertices 4, 5 isolated
+  const Graph g = b.Build();
+  int num = 0;
+  const auto comp = WeaklyConnectedComponents(g, &num);
+  EXPECT_EQ(num, 4);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[5]);
+  EXPECT_EQ(LargestComponentSize(g), 2);
+}
+
+TEST(ComponentsTest, DirectionIgnored) {
+  // 0 -> 1 <- 2 is weakly connected.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);
+  const Graph g = b.Build();
+  int num = 0;
+  WeaklyConnectedComponents(g, &num);
+  EXPECT_EQ(num, 1);
+  EXPECT_EQ(LargestComponentSize(g), 3);
+}
+
+TEST(ComponentsTest, GeneratedBaIsConnected) {
+  const Graph g = GenerateBarabasiAlbert(500, 3, 11);
+  EXPECT_EQ(LargestComponentSize(g), 500);
+}
+
+TEST(DegreeStatsTest, StarValues) {
+  const Graph g = MakeStar(9);
+  const DegreeStats stats = ComputeOutDegreeStats(g, 1.0);
+  EXPECT_EQ(stats.min, 0);
+  EXPECT_EQ(stats.max, 9);
+  EXPECT_NEAR(stats.mean, 0.9, 1e-12);
+  EXPECT_EQ(stats.median, 0.0);
+}
+
+TEST(DegreeStatsTest, PowerLawTailDetected) {
+  const Graph g = GenerateBarabasiAlbert(4000, 4, 13);
+  const DegreeStats stats = ComputeOutDegreeStats(g, 8.0);
+  EXPECT_GT(stats.power_law_alpha, 2.0);
+  EXPECT_LT(stats.power_law_alpha, 4.0);
+  EXPECT_GT(stats.p99, stats.median);
+}
+
+}  // namespace
+}  // namespace oipa

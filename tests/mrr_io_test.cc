@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/generators.h"
+#include "oipa/adoption.h"
+#include "rrset/mrr_io.h"
+#include "topic/campaign.h"
+#include "topic/prob_models.h"
+#include "util/random.h"
+
+namespace oipa {
+namespace {
+
+MrrCollection MakeCollection(int64_t theta, uint64_t seed) {
+  static const Graph* graph =
+      new Graph(GenerateErdosRenyi(40, 0.1, 7));
+  static const EdgeTopicProbs* probs = new EdgeTopicProbs(
+      AssignWeightedCascadeTopics(*graph, 4, 2.0, 11));
+  Rng rng(13);
+  static const Campaign campaign =
+      Campaign::SampleUniformPieces(3, 4, &rng);
+  static const std::vector<InfluenceGraph>* pieces =
+      new std::vector<InfluenceGraph>(
+          BuildPieceGraphs(*graph, *probs, campaign));
+  return MrrCollection::Generate(*pieces, theta, seed);
+}
+
+TEST(MrrIoTest, RoundtripPreservesEverything) {
+  const MrrCollection original = MakeCollection(800, 17);
+  const std::string path = testing::TempDir() + "/mrr_roundtrip.bin";
+  ASSERT_TRUE(SaveMrrCollection(original, path).ok());
+  auto loaded = LoadMrrCollection(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->theta(), original.theta());
+  ASSERT_EQ(loaded->num_pieces(), original.num_pieces());
+  ASSERT_EQ(loaded->num_vertices(), original.num_vertices());
+  for (int64_t i = 0; i < original.theta(); ++i) {
+    EXPECT_EQ(loaded->root(i), original.root(i));
+    for (int j = 0; j < original.num_pieces(); ++j) {
+      const auto a = original.Set(i, j);
+      const auto b = loaded->Set(i, j);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MrrIoTest, ReloadedCollectionGivesIdenticalEstimates) {
+  const MrrCollection original = MakeCollection(1500, 19);
+  const std::string path = testing::TempDir() + "/mrr_estimates.bin";
+  ASSERT_TRUE(SaveMrrCollection(original, path).ok());
+  auto loaded = LoadMrrCollection(path);
+  ASSERT_TRUE(loaded.ok());
+  const LogisticAdoptionModel model(2.0, 1.0);
+  AssignmentPlan plan(3);
+  plan.Add(0, 1);
+  plan.Add(1, 5);
+  plan.Add(2, 9);
+  EXPECT_DOUBLE_EQ(EstimateAdoptionUtility(original, model, plan),
+                   EstimateAdoptionUtility(*loaded, model, plan));
+  std::remove(path.c_str());
+}
+
+TEST(MrrIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadMrrCollection("/no/such/mrr.bin").ok());
+}
+
+TEST(MrrIoTest, GarbageRejected) {
+  const std::string path = testing::TempDir() + "/mrr_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an MRR snapshot at all";
+  }
+  auto loaded = LoadMrrCollection(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(MrrIoTest, TruncationRejected) {
+  const MrrCollection original = MakeCollection(300, 23);
+  const std::string path = testing::TempDir() + "/mrr_trunc.bin";
+  ASSERT_TRUE(SaveMrrCollection(original, path).ok());
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    const long size = static_cast<long>(in.tellg());
+    in.close();
+    ASSERT_EQ(truncate(path.c_str(), size / 3), 0);
+  }
+  EXPECT_FALSE(LoadMrrCollection(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MrrIoTest, FromPartsBuildsUsableIndex) {
+  // Hand-rolled minimal collection: 2 samples, 1 piece, 3 vertices.
+  MrrCollection mc = MrrCollection::FromParts(
+      2, 1, 3, /*roots=*/{0, 2}, /*offsets=*/{0, 2, 3},
+      /*nodes=*/{0, 1, 2});
+  EXPECT_EQ(mc.theta(), 2);
+  EXPECT_EQ(mc.SamplesContaining(0, 1).size(), 1u);
+  EXPECT_EQ(mc.SamplesContaining(0, 1)[0], 0);
+  EXPECT_EQ(mc.SamplesContaining(0, 2).size(), 1u);
+  EXPECT_EQ(mc.SamplesContaining(0, 2)[0], 1);
+}
+
+}  // namespace
+}  // namespace oipa

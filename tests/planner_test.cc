@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "oipa/planner.h"
+#include "rrset/mrr_collection.h"
+#include "topic/prob_models.h"
+#include "util/random.h"
+
+namespace oipa {
+namespace {
+
+class PlannerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<Graph>(GenerateHolmeKim(500, 4, 0.4, 7));
+    probs_ = std::make_unique<EdgeTopicProbs>(
+        AssignWeightedCascadeTopics(*graph_, 6, 2.0, 11));
+    Rng rng(13);
+    campaign_ = Campaign::SampleUniformPieces(3, 6, &rng);
+    for (VertexId v = 0; v < graph_->num_vertices(); v += 5) {
+      pool_.push_back(v);
+    }
+    PlannerOptions options;
+    options.theta = 10'000;
+    options.seed = 17;
+    planner_ = std::make_unique<OipaPlanner>(
+        *graph_, *probs_, campaign_, LogisticAdoptionModel(2.0, 1.0),
+        options);
+  }
+
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<EdgeTopicProbs> probs_;
+  Campaign campaign_;
+  std::vector<VertexId> pool_;
+  std::unique_ptr<OipaPlanner> planner_;
+};
+
+TEST_F(PlannerFixture, SolversProduceFeasiblePlans) {
+  for (const PlanReport& r :
+       {planner_->SolveBab(pool_, 6), planner_->SolveBabP(pool_, 6),
+        planner_->SolveImBaseline(pool_, 6),
+        planner_->SolveTimBaseline(pool_, 6)}) {
+    EXPECT_LE(r.plan.size(), 6) << r.method;
+    EXPECT_GT(r.utility, 0.0) << r.method;
+    EXPECT_GT(r.holdout_utility, 0.0) << r.method;
+    for (int j = 0; j < r.plan.num_pieces(); ++j) {
+      for (VertexId v : r.plan.SeedSet(j)) {
+        EXPECT_EQ(v % 5, 0) << r.method;  // pool membership
+      }
+    }
+  }
+}
+
+TEST_F(PlannerFixture, MethodLabelsSet) {
+  EXPECT_EQ(planner_->SolveBab(pool_, 3).method, "BAB");
+  EXPECT_EQ(planner_->SolveBabP(pool_, 3).method, "BAB-P");
+  EXPECT_EQ(planner_->SolveImBaseline(pool_, 3).method, "IM");
+  EXPECT_EQ(planner_->SolveTimBaseline(pool_, 3).method, "TIM");
+}
+
+TEST_F(PlannerFixture, BabBeatsBaselinesInSample) {
+  const PlanReport bab = planner_->SolveBab(pool_, 8);
+  const PlanReport im = planner_->SolveImBaseline(pool_, 8);
+  const PlanReport tim = planner_->SolveTimBaseline(pool_, 8);
+  EXPECT_GE(bab.utility * 1.001, im.utility);
+  EXPECT_GE(bab.utility * 1.001, tim.utility);
+}
+
+TEST_F(PlannerFixture, EvaluatePlanConsistentWithSolvers) {
+  const PlanReport bab = planner_->SolveBab(pool_, 5);
+  const PlanReport re = planner_->EvaluatePlan(bab.plan, "re-eval");
+  EXPECT_NEAR(re.utility, bab.utility, 1e-9);
+  EXPECT_NEAR(re.holdout_utility, bab.holdout_utility, 1e-9);
+  EXPECT_EQ(re.method, "re-eval");
+}
+
+TEST_F(PlannerFixture, HoldoutCloseToSimulation) {
+  const PlanReport bab = planner_->SolveBabP(pool_, 6);
+  const double sim = planner_->SimulateUtility(bab.plan, 3000, 19);
+  EXPECT_NEAR(sim, bab.holdout_utility,
+              0.2 * std::max(1.0, bab.holdout_utility));
+}
+
+// ------------------------------------------------------------ LT mode
+
+TEST(LtMrrTest, GenerateAndSolveUnderLinearThreshold) {
+  const Graph graph = GenerateHolmeKim(300, 4, 0.4, 23);
+  const EdgeTopicProbs probs =
+      AssignWeightedCascadeTopics(graph, 5, 2.0, 29);
+  Rng rng(31);
+  const Campaign campaign = Campaign::SampleUniformPieces(2, 5, &rng);
+  PlannerOptions options;
+  options.theta = 8'000;
+  options.diffusion = DiffusionModel::kLinearThreshold;
+  const OipaPlanner planner(graph, probs, campaign,
+                            LogisticAdoptionModel(2.0, 1.0), options);
+  std::vector<VertexId> pool;
+  for (VertexId v = 0; v < 300; v += 4) pool.push_back(v);
+  const PlanReport r = planner.SolveBabP(pool, 5);
+  EXPECT_LE(r.plan.size(), 5);
+  EXPECT_GT(r.utility, 0.0);
+}
+
+TEST(LtMrrTest, LtSetsArePaths) {
+  const Graph graph = GenerateErdosRenyi(40, 0.1, 37);
+  const EdgeTopicProbs probs =
+      AssignWeightedCascadeTopics(graph, 3, 2.0, 41);
+  Rng rng(43);
+  const Campaign campaign = Campaign::SampleUniformPieces(2, 3, &rng);
+  const auto pieces = BuildPieceGraphs(graph, probs, campaign);
+  const MrrCollection mrr = MrrCollection::Generate(
+      pieces, 500, 47, DiffusionModel::kLinearThreshold);
+  for (int64_t i = 0; i < mrr.theta(); ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const auto set = mrr.Set(i, j);
+      ASSERT_GE(set.size(), 1u);
+      EXPECT_EQ(set[0], mrr.root(i));
+      // Consecutive members connected by reverse edges.
+      for (size_t t = 0; t + 1 < set.size(); ++t) {
+        bool linked = false;
+        for (VertexId nb : graph.InNeighbors(set[t])) {
+          if (nb == set[t + 1]) linked = true;
+        }
+        EXPECT_TRUE(linked);
+      }
+    }
+  }
+}
+
+TEST(LtMrrTest, IcAndLtDiffer) {
+  // Same seed, different diffusion models: the collections should not be
+  // identical on a graph with multi-parent vertices.
+  const Graph graph = GenerateErdosRenyi(40, 0.15, 53);
+  const EdgeTopicProbs probs =
+      AssignWeightedCascadeTopics(graph, 3, 2.0, 59);
+  Rng rng(61);
+  const Campaign campaign = Campaign::SampleUniformPieces(2, 3, &rng);
+  const auto pieces = BuildPieceGraphs(graph, probs, campaign);
+  const MrrCollection ic = MrrCollection::Generate(pieces, 400, 67);
+  const MrrCollection lt = MrrCollection::Generate(
+      pieces, 400, 67, DiffusionModel::kLinearThreshold);
+  EXPECT_NE(ic.TotalSize(), lt.TotalSize());
+}
+
+}  // namespace
+}  // namespace oipa

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "oipa/adoption.h"
+#include "oipa/branch_and_bound.h"
+#include "oipa/reduction.h"
+#include "rrset/mrr_collection.h"
+
+namespace oipa {
+namespace {
+
+/// Small clique instances: (n, edges, known max clique size).
+struct CliqueCase {
+  int n;
+  std::vector<std::pair<int, int>> edges;
+  int max_clique;
+};
+
+std::vector<CliqueCase> MakeCases() {
+  return {
+      // Triangle.
+      {3, {{0, 1}, {1, 2}, {0, 2}}, 3},
+      // Path of 4: max clique is an edge.
+      {4, {{0, 1}, {1, 2}, {2, 3}}, 2},
+      // K4.
+      {4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 4},
+      // Triangle plus pendant.
+      {4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, 3},
+      // Two disjoint edges.
+      {4, {{0, 1}, {2, 3}}, 2},
+      // 5-cycle: max clique 2.
+      {5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}, 2},
+      // K5 minus one edge: max clique 4.
+      {5,
+       {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3},
+        {2, 4}},
+       4},
+  };
+}
+
+TEST(ReductionTest, StructureMatchesSectionFour) {
+  const CliqueCase c = MakeCases()[0];  // triangle
+  const MaxCliqueReduction red(c.n, c.edges);
+  const Graph& g = red.graph();
+  EXPECT_EQ(g.num_vertices(), 3 * c.n);
+  EXPECT_EQ(red.campaign().num_pieces(), c.n);
+
+  // x_i has out-edges to r_i and r_j for each neighbor j; y_i to all
+  // r_j except r_i; r vertices have no out-edges.
+  for (int i = 0; i < c.n; ++i) {
+    EXPECT_EQ(g.OutDegree(red.XVertex(i)), 3);  // triangle: self + 2 nbrs
+    EXPECT_EQ(g.OutDegree(red.YVertex(i)), c.n - 1);
+    EXPECT_EQ(g.OutDegree(red.RVertex(i)), 0);
+  }
+}
+
+TEST(ReductionTest, ModelParametersMatchStepFive) {
+  // alpha = 2n ln(2n), beta = 2 ln(2n): a vertex receiving all n pieces
+  // adopts with probability exactly 1/2; with at most n-1 pieces the
+  // probability is at most 1/(1+(2n)^2).
+  for (int n : {3, 4, 5, 8}) {
+    MaxCliqueReduction red(n, {{0, 1}});
+    const LogisticAdoptionModel m = red.model();
+    EXPECT_NEAR(m.AdoptionProb(n), 0.5, 1e-12) << n;
+    const double cap = 1.0 / (1.0 + std::pow(2.0 * n, 2.0));
+    EXPECT_LE(m.AdoptionProb(n - 1), cap + 1e-12) << n;
+  }
+}
+
+TEST(ReductionTest, ExactMaxCliqueOnKnownCases) {
+  for (const CliqueCase& c : MakeCases()) {
+    const MaxCliqueReduction red(c.n, c.edges);
+    EXPECT_EQ(red.ExactMaxClique(), c.max_clique);
+  }
+}
+
+TEST(ReductionTest, Lemma1Sandwich) {
+  // 2*OPT(Pi_b) - 1/n <= OPT(Pi_a) <= 2*OPT(Pi_b).
+  for (const CliqueCase& c : MakeCases()) {
+    const MaxCliqueReduction red(c.n, c.edges);
+    const double opt_b = red.ExactOipaOpt();
+    const double opt_a = static_cast<double>(red.ExactMaxClique());
+    EXPECT_LE(opt_a, 2.0 * opt_b + 1e-9) << "n=" << c.n;
+    EXPECT_GE(opt_a, 2.0 * opt_b - 1.0 / c.n - 1e-9) << "n=" << c.n;
+  }
+}
+
+TEST(ReductionTest, CliquePlanUtilityCountsCliqueMembers) {
+  // For the triangle, choosing all x promoters lets every r vertex
+  // receive all 3 pieces: utility = 3 * 1/2, plus the 3 seeds that each
+  // receive their own piece.
+  const CliqueCase c = MakeCases()[0];
+  const MaxCliqueReduction red(c.n, c.edges);
+  const LogisticAdoptionModel m = red.model();
+  const double seed_term = 3.0 * m.AdoptionProb(1);
+  EXPECT_NEAR(red.UtilityOfCliquePlan({0, 1, 2}), 1.5 + seed_term, 1e-9);
+  // Empty clique: all y promoters; every r vertex receives n-1 pieces.
+  EXPECT_NEAR(red.UtilityOfCliquePlan({}),
+              3.0 * m.AdoptionProb(2) + seed_term, 1e-12);
+}
+
+TEST(ReductionTest, ExactUtilityAgreesWithGenericEvaluator) {
+  // Cross-check the closed-form clique-plan utility against the generic
+  // exact adoption evaluator on the gadget's piece graphs.
+  const CliqueCase c = MakeCases()[1];  // path of 4, m = 3*4-ish edges
+  const MaxCliqueReduction red(c.n, c.edges);
+  const auto pieces = red.PieceGraphs();
+  // Plan: x for {1, 2} (the middle edge), y elsewhere.
+  AssignmentPlan plan(c.n);
+  for (int i = 0; i < c.n; ++i) {
+    const bool in_clique = (i == 1 || i == 2);
+    plan.Add(i, in_clique ? red.XVertex(i) : red.YVertex(i));
+  }
+  if (red.graph().num_edges() <= 24) {
+    const double generic =
+        ExactAdoptionUtility(pieces, red.model(), plan);
+    EXPECT_NEAR(generic, red.UtilityOfCliquePlan({1, 2}), 1e-9);
+  }
+}
+
+TEST(ReductionTest, BabRecoversTriangleCliquePlan) {
+  // End-to-end: run the actual BAB solver on the gadget (deterministic
+  // probabilities make theta small and safe) and check it finds the
+  // all-x plan for the triangle, i.e. the maximum clique.
+  const CliqueCase c = MakeCases()[0];
+  const MaxCliqueReduction red(c.n, c.edges);
+  const auto pieces = red.PieceGraphs();
+  const MrrCollection mrr = MrrCollection::Generate(pieces, 30'000, 5);
+  BabOptions opts;
+  opts.budget = c.n;
+  opts.gap = 0.0;
+  opts.exact_pruning = true;
+  BabSolver solver(&mrr, red.model(), red.PromoterPools(), opts);
+  const BabResult res = solver.Solve();
+  EXPECT_TRUE(res.converged);
+  // Optimal utility: all three r vertices adopt with probability 1/2.
+  EXPECT_NEAR(res.utility, 1.5, 0.05);
+  for (int i = 0; i < c.n; ++i) {
+    EXPECT_TRUE(res.plan.Contains(i, red.XVertex(i)))
+        << res.plan.DebugString();
+  }
+}
+
+}  // namespace
+}  // namespace oipa

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "diffusion/cascade.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "rrset/coverage_state.h"
+#include "rrset/mrr_collection.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "topic/campaign.h"
+#include "topic/influence_graph.h"
+#include "topic/prob_models.h"
+#include "util/random.h"
+#include "util/threading.h"
+
+namespace oipa {
+namespace {
+
+// ------------------------------------------------------------- Sampler
+
+TEST(RrSamplerTest, DeterministicGraphYieldsAncestors) {
+  const Graph g = MakePath(5);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 1.0f);
+  RrSampler sampler(g.num_vertices());
+  Rng rng(1);
+  std::vector<VertexId> set;
+  sampler.Sample(ig, 3, &rng, &set);
+  std::sort(set.begin(), set.end());
+  EXPECT_EQ(set, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(RrSamplerTest, ZeroProbabilityYieldsRootOnly) {
+  const Graph g = MakeCompleteDigraph(5);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.0f);
+  RrSampler sampler(g.num_vertices());
+  Rng rng(1);
+  std::vector<VertexId> set;
+  sampler.Sample(ig, 2, &rng, &set);
+  EXPECT_EQ(set, (std::vector<VertexId>{2}));
+}
+
+TEST(RrSamplerTest, ReusableAcrossCalls) {
+  const Graph g = MakeCycle(6);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 1.0f);
+  RrSampler sampler(g.num_vertices());
+  Rng rng(1);
+  std::vector<VertexId> set;
+  for (int i = 0; i < 10; ++i) {
+    sampler.Sample(ig, i % 6, &rng, &set);
+    EXPECT_EQ(set.size(), 6u);  // cycle: everything reaches everything
+  }
+}
+
+TEST(PerSampleSeedTest, DistinctAcrossSamplesAndPieces) {
+  std::set<uint64_t> seen;
+  for (int64_t s = 0; s < 100; ++s) {
+    for (int j = -1; j < 4; ++j) {
+      seen.insert(PerSampleSeed(42, s, j));
+    }
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+// ---------------------------------------------------------- Collection
+
+TEST(RrCollectionTest, SpreadEstimateMatchesExactOnSmallGraphs) {
+  const Graph g = GenerateErdosRenyi(10, 0.2, 7);
+  ASSERT_LE(g.num_edges(), 24);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.35f);
+  const RrCollection rr = RrCollection::Generate(ig, 150'000, 3);
+  for (const std::vector<VertexId>& seeds :
+       {std::vector<VertexId>{0}, {1, 2}, {0, 5, 9}}) {
+    const double exact = ExactSpread(ig, seeds);
+    EXPECT_NEAR(rr.EstimateSpread(seeds), exact,
+                0.03 * std::max(1.0, exact));
+  }
+}
+
+TEST(RrCollectionTest, ExtendMatchesSingleShot) {
+  const Graph g = GenerateErdosRenyi(50, 0.05, 9);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.3f);
+  RrCollection incremental = RrCollection::Generate(ig, 100, 77);
+  incremental.Extend(ig, 150);
+  const RrCollection oneshot = RrCollection::Generate(ig, 250, 77);
+  ASSERT_EQ(incremental.theta(), oneshot.theta());
+  for (int64_t i = 0; i < incremental.theta(); ++i) {
+    EXPECT_EQ(incremental.root(i), oneshot.root(i)) << i;
+    const auto a = incremental.Set(i);
+    const auto b = oneshot.Set(i);
+    ASSERT_EQ(a.size(), b.size()) << i;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(RrCollectionTest, ThreadCountDoesNotChangeResults) {
+  const Graph g = GenerateErdosRenyi(60, 0.05, 11);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.4f);
+  SetNumThreads(1);
+  const RrCollection serial = RrCollection::Generate(ig, 500, 5);
+  SetNumThreads(4);
+  const RrCollection parallel = RrCollection::Generate(ig, 500, 5);
+  SetNumThreads(0);
+  ASSERT_EQ(serial.theta(), parallel.theta());
+  for (int64_t i = 0; i < serial.theta(); ++i) {
+    const auto a = serial.Set(i);
+    const auto b = parallel.Set(i);
+    ASSERT_EQ(a.size(), b.size()) << i;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << i;
+  }
+}
+
+TEST(RrCollectionTest, InvertedIndexConsistent) {
+  const Graph g = GenerateErdosRenyi(40, 0.08, 13);
+  const InfluenceGraph ig = InfluenceGraph::Uniform(g, 0.5f);
+  const RrCollection rr = RrCollection::Generate(ig, 300, 7);
+  int64_t total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (int64_t i : rr.SamplesContaining(v)) {
+      const auto set = rr.Set(i);
+      EXPECT_TRUE(std::find(set.begin(), set.end(), v) != set.end());
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, rr.TotalSize());
+}
+
+// ----------------------------------------------------------------- MRR
+
+class MrrFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_unique<Graph>(GenerateErdosRenyi(30, 0.1, 17));
+    probs_ = std::make_unique<EdgeTopicProbs>(
+        AssignWeightedCascadeTopics(*graph_, 6, 2.0, 19));
+    Rng rng(21);
+    campaign_ = Campaign::SampleUniformPieces(3, 6, &rng);
+    pieces_ = BuildPieceGraphs(*graph_, *probs_, campaign_);
+    mrr_ = std::make_unique<MrrCollection>(
+        MrrCollection::Generate(pieces_, 2000, 23));
+  }
+
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<EdgeTopicProbs> probs_;
+  Campaign campaign_;
+  std::vector<InfluenceGraph> pieces_;
+  std::unique_ptr<MrrCollection> mrr_;
+};
+
+TEST_F(MrrFixture, StructureBasics) {
+  EXPECT_EQ(mrr_->theta(), 2000);
+  EXPECT_EQ(mrr_->num_pieces(), 3);
+  EXPECT_EQ(mrr_->num_vertices(), 30);
+  EXPECT_NEAR(mrr_->UtilityScale(), 30.0 / 2000.0, 1e-15);
+}
+
+TEST_F(MrrFixture, EverySetContainsItsRoot) {
+  for (int64_t i = 0; i < mrr_->theta(); ++i) {
+    for (int j = 0; j < mrr_->num_pieces(); ++j) {
+      const auto set = mrr_->Set(i, j);
+      EXPECT_TRUE(std::find(set.begin(), set.end(), mrr_->root(i)) !=
+                  set.end());
+    }
+  }
+}
+
+TEST_F(MrrFixture, InvertedIndexConsistent) {
+  int64_t total = 0;
+  for (int j = 0; j < mrr_->num_pieces(); ++j) {
+    for (VertexId v = 0; v < mrr_->num_vertices(); ++v) {
+      for (int64_t i : mrr_->SamplesContaining(j, v)) {
+        const auto set = mrr_->Set(i, j);
+        EXPECT_TRUE(std::find(set.begin(), set.end(), v) != set.end());
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(total, mrr_->TotalSize());
+}
+
+TEST_F(MrrFixture, RootsUniformlyDistributed) {
+  std::vector<int> counts(mrr_->num_vertices(), 0);
+  for (int64_t i = 0; i < mrr_->theta(); ++i) ++counts[mrr_->root(i)];
+  const double expected =
+      static_cast<double>(mrr_->theta()) / mrr_->num_vertices();
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 6.0 * std::sqrt(expected));
+  }
+}
+
+TEST(MrrCollectionTest, ThreadCountInvariance) {
+  const Graph g = GenerateErdosRenyi(25, 0.1, 29);
+  const EdgeTopicProbs probs =
+      AssignWeightedCascadeTopics(g, 4, 1.5, 31);
+  Rng rng(33);
+  const Campaign c = Campaign::SampleUniformPieces(2, 4, &rng);
+  const auto pieces = BuildPieceGraphs(g, probs, c);
+  SetNumThreads(1);
+  const MrrCollection serial = MrrCollection::Generate(pieces, 400, 35);
+  SetNumThreads(5);
+  const MrrCollection parallel = MrrCollection::Generate(pieces, 400, 35);
+  SetNumThreads(0);
+  for (int64_t i = 0; i < 400; ++i) {
+    EXPECT_EQ(serial.root(i), parallel.root(i));
+    for (int j = 0; j < 2; ++j) {
+      const auto a = serial.Set(i, j);
+      const auto b = parallel.Set(i, j);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    }
+  }
+}
+
+// -------------------------------------------------------- CoverageState
+
+class CoverageFixture : public MrrFixture {
+ protected:
+  void SetUp() override {
+    MrrFixture::SetUp();
+    // Step-function f: counts pieces (makes sums easy to verify).
+    f_ = {0.0, 1.0, 1.5, 1.75};
+    state_ = std::make_unique<CoverageState>(mrr_.get(), f_);
+  }
+
+  std::vector<double> f_;
+  std::unique_ptr<CoverageState> state_;
+};
+
+TEST_F(CoverageFixture, EmptyStateIsZero) {
+  EXPECT_EQ(state_->Utility(), 0.0);
+  EXPECT_EQ(state_->RawSum(), 0.0);
+  EXPECT_EQ(state_->CountHistogram()[0], mrr_->theta());
+}
+
+TEST_F(CoverageFixture, AddRemoveIsInvolution) {
+  state_->AddSeed(3, 0);
+  state_->AddSeed(7, 1);
+  const double after_two = state_->RawSum();
+  state_->AddSeed(3, 2);
+  state_->RemoveSeed(3, 2);
+  EXPECT_DOUBLE_EQ(state_->RawSum(), after_two);
+  state_->RemoveSeed(7, 1);
+  state_->RemoveSeed(3, 0);
+  EXPECT_DOUBLE_EQ(state_->RawSum(), 0.0);
+  EXPECT_EQ(state_->CountHistogram()[0], mrr_->theta());
+}
+
+TEST_F(CoverageFixture, MultiplicityHandlesOverlappingSeeds) {
+  // Two different seeds may cover the same (sample, piece); removing one
+  // must keep the sample covered.
+  state_->AddSeed(1, 0);
+  state_->AddSeed(2, 0);
+  const double both = state_->RawSum();
+  state_->RemoveSeed(1, 0);
+  state_->AddSeed(1, 0);
+  EXPECT_DOUBLE_EQ(state_->RawSum(), both);
+}
+
+TEST_F(CoverageFixture, RawSumMatchesDirectComputation) {
+  state_->AddSeed(5, 0);
+  state_->AddSeed(5, 1);
+  state_->AddSeed(12, 2);
+  double direct = 0.0;
+  for (int64_t i = 0; i < mrr_->theta(); ++i) {
+    int count = 0;
+    for (int j = 0; j < 3; ++j) {
+      const VertexId seed = (j == 2) ? 12 : 5;
+      const auto set = mrr_->Set(i, j);
+      count += std::find(set.begin(), set.end(), seed) != set.end();
+    }
+    direct += f_[count];
+  }
+  EXPECT_NEAR(state_->RawSum(), direct, 1e-9);
+}
+
+TEST_F(CoverageFixture, HistogramTracksCounts) {
+  state_->AddSeed(5, 0);
+  const auto& hist = state_->CountHistogram();
+  int64_t total = 0;
+  for (int64_t h : hist) total += h;
+  EXPECT_EQ(total, mrr_->theta());
+  EXPECT_EQ(hist[1],
+            static_cast<int64_t>(mrr_->SamplesContaining(0, 5).size()));
+}
+
+TEST_F(CoverageFixture, GainOfAddingMatchesActualAdd) {
+  state_->AddSeed(9, 1);
+  const double predicted = state_->GainOfAdding(4, 1);
+  const double before = state_->Utility();
+  state_->AddSeed(4, 1);
+  EXPECT_NEAR(state_->Utility() - before, predicted, 1e-9);
+}
+
+TEST_F(CoverageFixture, ClearResetsEverything) {
+  state_->AddSeed(5, 0);
+  state_->AddSeed(6, 1);
+  state_->Clear();
+  EXPECT_EQ(state_->RawSum(), 0.0);
+  EXPECT_EQ(state_->CountHistogram()[0], mrr_->theta());
+  // State is reusable after Clear.
+  state_->AddSeed(5, 0);
+  EXPECT_GT(state_->RawSum(), 0.0);
+}
+
+}  // namespace
+}  // namespace oipa

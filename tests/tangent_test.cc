@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "oipa/logistic_model.h"
+#include "oipa/tangent_bound.h"
+#include "util/math.h"
+
+namespace oipa {
+namespace {
+
+// -------------------------------------------------------- LogisticModel
+
+TEST(LogisticModelTest, PaperExampleOneValues) {
+  // Example 1: alpha = 3, beta = 1. p(2 pieces) = 1/(1+e^1) ~ 0.27,
+  // p(1 piece) = 1/(1+e^2) ~ 0.12.
+  const LogisticAdoptionModel m(3.0, 1.0);
+  EXPECT_NEAR(m.AdoptionProb(2), 0.2689, 1e-4);
+  EXPECT_NEAR(m.AdoptionProb(1), 0.1192, 1e-4);
+  EXPECT_EQ(m.AdoptionProb(0), 0.0);
+}
+
+TEST(LogisticModelTest, ZeroPiecesNeverAdopts) {
+  const LogisticAdoptionModel m(0.5, 2.0);
+  EXPECT_EQ(m.AdoptionProb(0), 0.0);
+  EXPECT_GT(m.CurveValue(0), 0.0);  // the curve itself is positive
+}
+
+TEST(LogisticModelTest, MonotoneInCount) {
+  const LogisticAdoptionModel m(4.0, 1.5);
+  for (int c = 0; c < 10; ++c) {
+    EXPECT_LT(m.AdoptionProb(c), m.AdoptionProb(c + 1));
+  }
+}
+
+TEST(LogisticModelTest, TableMatchesPointwise) {
+  const LogisticAdoptionModel m(2.0, 0.7);
+  const auto table = m.AdoptionTable(5);
+  ASSERT_EQ(table.size(), 6u);
+  for (int c = 0; c <= 5; ++c) {
+    EXPECT_DOUBLE_EQ(table[c], m.AdoptionProb(c));
+  }
+}
+
+TEST(LogisticModelTest, AlphaRaisesBar) {
+  const LogisticAdoptionModel easy(1.0, 1.0), hard(5.0, 1.0);
+  EXPECT_GT(easy.AdoptionProb(1), hard.AdoptionProb(1));
+}
+
+// ------------------------------------------------------------- Tangent
+
+TEST(TangentTest, ClosedFormOnConcaveSide) {
+  // x0 >= 0: slope is the sigmoid derivative at x0.
+  for (double x0 : {0.0, 0.5, 2.0, 7.0}) {
+    EXPECT_NEAR(RefineTangentSlope(x0), SigmoidDerivative(x0), 1e-12);
+  }
+}
+
+TEST(TangentTest, BinarySearchFindsTangency) {
+  // For x0 < 0 the returned line must touch the curve somewhere > 0
+  // (within tolerance) and never dip below it.
+  for (double x0 : {-0.5, -2.0, -5.0, -10.0}) {
+    const double w = RefineTangentSlope(x0);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 0.25);
+    const double y0 = Sigmoid(x0);
+    double min_slack = 1e9;
+    for (double x = x0; x <= x0 + 60.0; x += 0.001) {
+      const double slack = (y0 + w * (x - x0)) - Sigmoid(x);
+      EXPECT_GE(slack, -1e-6) << "x0=" << x0 << " x=" << x;
+      min_slack = std::min(min_slack, slack);
+    }
+    EXPECT_LT(min_slack, 1e-3) << "line should be tight somewhere";
+  }
+}
+
+TEST(TangentTest, SlopeDecreasesWithAnchor) {
+  // Moving the anchor toward the curve's center steepens the tangent;
+  // past the center it flattens again. At minimum, verify slope at very
+  // negative anchor is below max derivative 1/4.
+  EXPECT_LT(RefineTangentSlope(-20.0), 0.25);
+  EXPECT_NEAR(RefineTangentSlope(0.0), 0.25, 1e-9);
+}
+
+class TangentTableProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(TangentTableProperty, LineDominatesLogisticEverywhere) {
+  const auto [alpha, beta, ell] = GetParam();
+  const LogisticAdoptionModel model(alpha, beta);
+  const TangentTable table(model, ell);
+  for (int a = 0; a <= ell; ++a) {
+    const TangentLine& line = table.line(a);
+    // The line starts on the curve...
+    EXPECT_NEAR(line.value_at_anchor, model.CurveValue(a), 1e-9);
+    // ...and dominates both the curve and the true f at a+d for all d.
+    for (int d = 0; d + a <= ell; ++d) {
+      EXPECT_GE(line.ValueAt(d) + 1e-9, model.CurveValue(a + d))
+          << "alpha=" << alpha << " beta=" << beta << " a=" << a
+          << " d=" << d;
+      EXPECT_GE(line.ValueAt(d) + 1e-9, model.AdoptionProb(a + d));
+    }
+  }
+}
+
+TEST_P(TangentTableProperty, GainsAreNonIncreasing) {
+  // Concavity of the truncated line: marginal gains must not increase.
+  const auto [alpha, beta, ell] = GetParam();
+  const LogisticAdoptionModel model(alpha, beta);
+  const TangentTable table(model, ell);
+  for (int a = 0; a <= ell; ++a) {
+    const TangentLine& line = table.line(a);
+    for (int d = 0; d + 1 < ell - a; ++d) {
+      EXPECT_GE(line.GainAt(d) + 1e-12, line.GainAt(d + 1));
+    }
+  }
+}
+
+TEST_P(TangentTableProperty, ZeroAnchoredAlsoDominates) {
+  const auto [alpha, beta, ell] = GetParam();
+  if (ell < 1) return;
+  const LogisticAdoptionModel model(alpha, beta);
+  const TangentTable table(model, ell, BoundVariant::kZeroAnchored);
+  const TangentLine& line = table.line(0);
+  EXPECT_EQ(line.value_at_anchor, 0.0);
+  for (int c = 0; c <= ell; ++c) {
+    EXPECT_GE(line.ValueAt(c) + 1e-9, model.AdoptionProb(c));
+  }
+  // And is tight for at least one count.
+  double min_gap = 1e9;
+  for (int c = 1; c <= ell; ++c) {
+    min_gap = std::min(min_gap,
+                       line.ValueAt(c) - model.AdoptionProb(c));
+  }
+  EXPECT_LT(min_gap, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TangentTableProperty,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0, 10.0 / 3.0, 5.0),
+                       ::testing::Values(0.5, 1.0, 2.0),
+                       ::testing::Values(1, 3, 5, 8)));
+
+TEST(TangentTableTest, RefinementShiftsAnchorUpward) {
+  // Figure 2: as a sample gets covered (a increases), the anchor value
+  // rises along the curve.
+  const LogisticAdoptionModel model(3.0, 1.0);
+  const TangentTable table(model, 5);
+  for (int a = 0; a < 5; ++a) {
+    EXPECT_LT(table.line(a).value_at_anchor,
+              table.line(a + 1).value_at_anchor);
+  }
+}
+
+TEST(TangentTableTest, CapAtOne) {
+  const LogisticAdoptionModel model(1.0, 5.0);  // steep: saturates fast
+  const TangentTable table(model, 8);
+  EXPECT_EQ(table.line(0).ValueAt(8), 1.0);
+}
+
+TEST(ZeroAnchoredSlopeTest, MatchesMaxRatio) {
+  const LogisticAdoptionModel model(3.0, 1.0);
+  const double w = ZeroAnchoredSlope(model, 5);
+  double expect = 0.0;
+  for (int c = 1; c <= 5; ++c) {
+    expect = std::max(expect, model.AdoptionProb(c) / c);
+  }
+  EXPECT_DOUBLE_EQ(w, expect);
+}
+
+}  // namespace
+}  // namespace oipa
