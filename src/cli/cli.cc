@@ -1,0 +1,458 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "cli/json_writer.h"
+#include "data/datasets.h"
+#include "graph/generators.h"
+#include "learn/action_log.h"
+#include "learn/tic_learner.h"
+#include "oipa/adoption.h"
+#include "oipa/branch_and_bound.h"
+#include "rrset/mrr_collection.h"
+#include "topic/campaign.h"
+#include "topic/influence_graph.h"
+#include "topic/prob_models.h"
+#include "topic/topic_vector.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+namespace oipa {
+namespace cli {
+namespace {
+
+constexpr const char* kCommands[] = {"generate", "learn", "plan",
+                                     "simulate", "bench"};
+
+bool IsKnownCommand(const std::string& name) {
+  for (const char* c : kCommands) {
+    if (name == c) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- pipeline
+
+/// Accumulated state of one CLI run: each stage fills its slice and
+/// records its JSON fragment, so deeper subcommands reuse the shallower
+/// stages unchanged (generate ⊂ learn ⊂ plan ⊂ simulate).
+struct Pipeline {
+  const CliConfig* config = nullptr;
+  Dataset dataset;
+  double dataset_seconds = 0.0;
+
+  /// Probabilities the planner optimizes on: the dataset truth, or the
+  /// TIC-learned recovery when --learn is set.
+  std::unique_ptr<EdgeTopicProbs> learned;
+  JsonValue learn_json;
+
+  Campaign campaign;
+  /// Per-piece influence graphs under the planning probabilities.
+  std::vector<InfluenceGraph> pieces;
+  std::unique_ptr<MrrCollection> mrr;
+  double sample_seconds = 0.0;
+
+  const EdgeTopicProbs& planning_probs() const {
+    return learned ? *learned : *dataset.probs;
+  }
+};
+
+Dataset MakeSyntheticDataset(const CliConfig& c) {
+  Dataset d;
+  d.name = "synthetic";
+  d.graph = std::make_unique<Graph>(GenerateHolmeKim(
+      static_cast<VertexId>(c.n), 4, 0.4, c.seed));
+  d.probs = std::make_unique<EdgeTopicProbs>(AssignWeightedCascadeTopics(
+      *d.graph, c.num_topics, 2.5, c.seed + 1));
+  d.num_topics = c.num_topics;
+  d.promoter_pool = SamplePromoterPool(d.graph->num_vertices(),
+                                       c.pool_fraction, c.seed + 2);
+  return d;
+}
+
+void BuildDataset(Pipeline* p, std::ostream& err) {
+  const CliConfig& c = *p->config;
+  err << "[oipa_cli] building dataset '" << c.dataset << "'...\n";
+  WallTimer timer;
+  p->dataset = c.dataset == "synthetic"
+                   ? MakeSyntheticDataset(c)
+                   : MakeDatasetByName(c.dataset, c.scale, c.seed);
+  p->dataset_seconds = timer.Seconds();
+}
+
+JsonValue DatasetJson(const Pipeline& p) {
+  JsonValue j = JsonValue::Object();
+  j.Set("name", p.dataset.name)
+      .Set("vertices", static_cast<int64_t>(p.dataset.graph->num_vertices()))
+      .Set("edges", p.dataset.graph->num_edges())
+      .Set("topics", p.dataset.num_topics)
+      .Set("avg_nonzero_topics", p.dataset.probs->AverageNonZeros())
+      .Set("pool_size", static_cast<int64_t>(p.dataset.promoter_pool.size()))
+      .Set("seconds", p.dataset_seconds);
+  return j;
+}
+
+/// Simulates an action log over the dataset truth and recovers the
+/// probabilities with TIC EM; reports edge-level Spearman agreement
+/// between learned and true probabilities under a uniform piece.
+void RunLearning(Pipeline* p, std::ostream& err) {
+  const CliConfig& c = *p->config;
+  const Graph& graph = *p->dataset.graph;
+  const EdgeTopicProbs& truth = *p->dataset.probs;
+
+  err << "[oipa_cli] simulating " << c.cascades
+      << " cascades and learning TIC probabilities...\n";
+  WallTimer timer;
+  const ActionLog log =
+      GenerateActionLog(graph, truth, c.cascades, 5, c.seed + 3);
+  const double log_seconds = timer.Seconds();
+
+  timer.Reset();
+  TicLearnerOptions opts;
+  opts.iterations = c.em_iterations;
+  p->learned = std::make_unique<EdgeTopicProbs>(
+      LearnTicProbabilities(graph, log, p->dataset.num_topics, opts));
+  const double em_seconds = timer.Seconds();
+
+  std::vector<double> true_vals, learned_vals;
+  true_vals.reserve(graph.num_edges());
+  learned_vals.reserve(graph.num_edges());
+  const TopicVector uniform = TopicVector::Uniform(p->dataset.num_topics);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    true_vals.push_back(truth.PieceProb(e, uniform));
+    learned_vals.push_back(p->learned->PieceProb(e, uniform));
+  }
+
+  p->learn_json = JsonValue::Object();
+  p->learn_json.Set("cascades", c.cascades)
+      .Set("events", static_cast<int64_t>(log.events.size()))
+      .Set("em_iterations", c.em_iterations)
+      .Set("learned_entries", p->learned->num_entries())
+      .Set("spearman", SpearmanCorrelation(true_vals, learned_vals))
+      .Set("log_seconds", log_seconds)
+      .Set("em_seconds", em_seconds);
+}
+
+/// Campaign + per-piece influence graphs + theta MRR samples, all under
+/// the planning probabilities.
+void BuildSamples(Pipeline* p, std::ostream& err) {
+  const CliConfig& c = *p->config;
+  Rng rng(c.seed + 4);
+  p->campaign =
+      Campaign::SampleUniformPieces(c.ell, p->dataset.num_topics, &rng);
+  p->pieces =
+      BuildPieceGraphs(*p->dataset.graph, p->planning_probs(), p->campaign);
+  err << "[oipa_cli] sampling " << c.theta << " MRR sets over " << c.ell
+      << " pieces...\n";
+  WallTimer timer;
+  p->mrr = std::make_unique<MrrCollection>(
+      MrrCollection::Generate(p->pieces, c.theta, c.seed + 5));
+  p->sample_seconds = timer.Seconds();
+}
+
+BabOptions MakeBabOptions(const CliConfig& c, int budget) {
+  BabOptions options;
+  options.budget = budget;
+  options.gap = c.gap;
+  options.progressive = c.progressive;
+  options.epsilon = c.epsilon;
+  options.variant = c.variant;
+  options.max_nodes = c.max_nodes;
+  return options;
+}
+
+BabResult SolvePlan(const Pipeline& p, int budget, std::ostream& err) {
+  const CliConfig& c = *p.config;
+  err << "[oipa_cli] solving OIPA (k=" << budget << ", "
+      << (c.progressive ? "BAB-P" : "BAB") << ")...\n";
+  const LogisticAdoptionModel model(c.alpha, c.beta);
+  BabSolver solver(p.mrr.get(), model, p.dataset.promoter_pool,
+                   MakeBabOptions(c, budget));
+  return solver.Solve();
+}
+
+JsonValue PlanJson(const Pipeline& p, const BabResult& result) {
+  JsonValue seed_sets = JsonValue::Array();
+  for (int j = 0; j < result.plan.num_pieces(); ++j) {
+    JsonValue piece = JsonValue::Array();
+    for (const VertexId v : result.plan.SeedSet(j)) {
+      piece.Append(static_cast<int64_t>(v));
+    }
+    seed_sets.Append(std::move(piece));
+  }
+  JsonValue j = JsonValue::Object();
+  j.Set("seed_sets", std::move(seed_sets))
+      .Set("budget_used", result.plan.size())
+      .Set("utility", result.utility)
+      .Set("upper_bound", result.upper_bound)
+      .Set("nodes_expanded", result.nodes_expanded)
+      .Set("bound_calls", result.bound_calls)
+      .Set("tau_evals", result.tau_evals)
+      .Set("converged", result.converged)
+      .Set("sample_seconds", p.sample_seconds)
+      .Set("solve_seconds", result.seconds);
+  return j;
+}
+
+/// Forward Monte-Carlo validation of `plan` under the dataset TRUTH (when
+/// planning used learned probabilities this measures the real utility of
+/// the learned-model plan, as in examples/learning_pipeline.cpp).
+JsonValue SimulateJson(const Pipeline& p, const AssignmentPlan& plan,
+                       std::ostream& err) {
+  const CliConfig& c = *p.config;
+  err << "[oipa_cli] validating with " << c.trials
+      << " forward simulations...\n";
+  const LogisticAdoptionModel model(c.alpha, c.beta);
+  WallTimer timer;
+  double utility;
+  if (p.learned) {
+    const auto truth_pieces =
+        BuildPieceGraphs(*p.dataset.graph, *p.dataset.probs, p.campaign);
+    utility = SimulateAdoptionUtility(truth_pieces, model, plan, c.trials,
+                                      c.seed + 6);
+  } else {
+    utility = SimulateAdoptionUtility(p.pieces, model, plan, c.trials,
+                                      c.seed + 6);
+  }
+  JsonValue j = JsonValue::Object();
+  j.Set("trials", c.trials)
+      .Set("utility", utility)
+      .Set("seconds", timer.Seconds());
+  return j;
+}
+
+JsonValue ConfigJson(const CliConfig& c) {
+  JsonValue j = JsonValue::Object();
+  j.Set("dataset", c.dataset)
+      .Set("k", c.k)
+      .Set("ell", c.ell)
+      .Set("theta", c.theta)
+      .Set("epsilon", c.epsilon)
+      .Set("gap", c.gap)
+      .Set("alpha", c.alpha)
+      .Set("beta", c.beta)
+      .Set("bound", c.bound)
+      .Set("progressive", c.progressive)
+      .Set("learn", c.learn)
+      .Set("threads", GetNumThreads())
+      .Set("seed", static_cast<int64_t>(c.seed));
+  return j;
+}
+
+/// Prints the result and, when --output is set, writes it to the file.
+/// Returns the process exit code: a requested file that cannot be
+/// written is an error (scripts rely on the exit code to know the
+/// trajectory file exists), though the JSON still reaches stdout.
+int EmitResult(const CliConfig& c, const JsonValue& result,
+               std::ostream& out, std::ostream& err) {
+  const std::string text = result.Dump(c.indent);
+  out << text << "\n";
+  if (!c.output.empty()) {
+    std::ofstream file(c.output);
+    if (file) file << text << "\n";
+    if (!file) {
+      err << "oipa_cli: cannot write --output file '" << c.output << "'\n";
+      return 1;
+    }
+    err << "[oipa_cli] wrote " << c.output << "\n";
+  }
+  return 0;
+}
+
+int RunPipeline(const CliConfig& c, std::ostream& out, std::ostream& err) {
+  Pipeline p;
+  p.config = &c;
+
+  JsonValue result = JsonValue::Object();
+  result.Set("command", c.command).Set("config", ConfigJson(c));
+
+  BuildDataset(&p, err);
+  result.Set("dataset", DatasetJson(p));
+  if (c.command == "generate") {
+    return EmitResult(c, result, out, err);
+  }
+
+  if (c.command == "learn" || c.learn) {
+    RunLearning(&p, err);
+    result.Set("learn", p.learn_json);
+    if (c.command == "learn") {
+      return EmitResult(c, result, out, err);
+    }
+  }
+
+  BuildSamples(&p, err);
+
+  if (c.command == "bench") {
+    JsonValue sweep = JsonValue::Array();
+    for (const int64_t budget : c.k_sweep) {
+      const BabResult r = SolvePlan(p, static_cast<int>(budget), err);
+      JsonValue row = PlanJson(p, r);
+      row.Set("k", budget);
+      sweep.Append(std::move(row));
+    }
+    result.Set("sweep", std::move(sweep));
+    return EmitResult(c, result, out, err);
+  }
+
+  const BabResult r = SolvePlan(p, c.k, err);
+  result.Set("plan", PlanJson(p, r));
+  if (c.command == "simulate") {
+    result.Set("simulate", SimulateJson(p, r.plan, err));
+  }
+  return EmitResult(c, result, out, err);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- parsing
+
+Status ParseBoundVariant(const std::string& name, BoundVariant* out) {
+  if (name == "zero") {
+    *out = BoundVariant::kZeroAnchored;
+    return Status::Ok();
+  }
+  if (name == "paper") {
+    *out = BoundVariant::kPaperTangent;
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown --bound '" + name +
+                                 "' (expected zero|paper)");
+}
+
+Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
+  CliConfig c;
+  if (flags.positional().empty()) {
+    return Status::InvalidArgument("missing subcommand");
+  }
+  c.command = flags.positional().front();
+  if (!IsKnownCommand(c.command)) {
+    return Status::InvalidArgument("unknown subcommand '" + c.command +
+                                   "' (expected generate|learn|plan|"
+                                   "simulate|bench)");
+  }
+
+  c.dataset = flags.GetString("dataset", c.dataset);
+  if (c.dataset != "synthetic" && c.dataset != "lastfm" &&
+      c.dataset != "dblp" && c.dataset != "tweet") {
+    return Status::InvalidArgument(
+        "unknown --dataset '" + c.dataset +
+        "' (expected synthetic|lastfm|dblp|tweet)");
+  }
+  c.n = flags.GetInt("n", c.n);
+  c.num_topics = static_cast<int>(flags.GetInt("topics", c.num_topics));
+  c.scale = flags.GetDouble("scale", c.scale);
+  c.pool_fraction = flags.GetDouble("pool_fraction", c.pool_fraction);
+
+  c.learn = flags.GetBool("learn", c.learn);
+  c.cascades = static_cast<int>(flags.GetInt("cascades", c.cascades));
+  c.em_iterations =
+      static_cast<int>(flags.GetInt("em_iterations", c.em_iterations));
+
+  c.k = static_cast<int>(flags.GetInt("k", c.k));
+  c.ell = static_cast<int>(flags.GetInt("ell", c.ell));
+  c.theta = flags.GetInt("theta", c.theta);
+  c.epsilon = flags.GetDouble("epsilon", c.epsilon);
+  c.gap = flags.GetDouble("gap", c.gap);
+  c.alpha = flags.GetDouble("alpha", c.alpha);
+  c.beta = flags.GetDouble("beta", c.beta);
+  c.bound = flags.GetString("bound", c.bound);
+  c.progressive = flags.GetBool("progressive", c.progressive);
+  c.max_nodes = flags.GetInt("max_nodes", c.max_nodes);
+  c.trials = static_cast<int>(flags.GetInt("trials", c.trials));
+  c.k_sweep = flags.GetIntList("k", {c.k});
+
+  c.threads = static_cast<int>(flags.GetInt("threads", c.threads));
+  c.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  c.indent = static_cast<int>(flags.GetInt("indent", c.indent));
+  c.output = flags.GetString("output", c.output);
+
+  if (c.n < 1) return Status::InvalidArgument("--n must be >= 1");
+  if (c.num_topics < 1) {
+    return Status::InvalidArgument("--topics must be >= 1");
+  }
+  if (c.k < 1) return Status::InvalidArgument("--k must be >= 1");
+  if (c.ell < 1) return Status::InvalidArgument("--ell must be >= 1");
+  if (c.theta < 1) return Status::InvalidArgument("--theta must be >= 1");
+  if (c.epsilon <= 0.0 || c.epsilon >= 1.0) {
+    return Status::InvalidArgument("--epsilon must be in (0, 1)");
+  }
+  if (c.trials < 1) return Status::InvalidArgument("--trials must be >= 1");
+  if (c.threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  for (const int64_t budget : c.k_sweep) {
+    if (budget < 1) return Status::InvalidArgument("--k entries must be >= 1");
+  }
+  if (c.command != "bench" && c.k_sweep.size() > 1) {
+    return Status::InvalidArgument(
+        "--k accepts a list only with the bench subcommand");
+  }
+  OIPA_RETURN_IF_ERROR(ParseBoundVariant(c.bound, &c.variant));
+
+  *config = std::move(c);
+  return Status::Ok();
+}
+
+std::string UsageString() {
+  std::ostringstream os;
+  os << "usage: oipa_cli <command> [--flag=value ...]\n"
+     << "\n"
+     << "commands:\n"
+     << "  generate   build a dataset and report its shape\n"
+     << "  learn      + simulate an action log and learn TIC probabilities\n"
+     << "  plan       + sample MRR sets and solve OIPA with BAB/BAB-P\n"
+     << "  simulate   + validate the plan with forward Monte-Carlo\n"
+     << "  bench      plan across a budget sweep (--k=10,20,50)\n"
+     << "\n"
+     << "flags (defaults in parentheses):\n"
+     << "  --dataset=synthetic|lastfm|dblp|tweet  (synthetic)\n"
+     << "  --n=<vertices>           synthetic graph size (2000)\n"
+     << "  --topics=<count>         synthetic topic count (10)\n"
+     << "  --scale=<frac>           dblp/tweet scale (0.01)\n"
+     << "  --k=<budget[,budget..]>  assignment budget; list for bench (10)\n"
+     << "  --ell=<pieces>           campaign pieces L (3)\n"
+     << "  --theta=<samples>        MRR samples (20000)\n"
+     << "  --epsilon=<0..1>         BAB-P threshold decay (0.5)\n"
+     << "  --gap=<frac>             termination gap (0.01)\n"
+     << "  --alpha --beta           logistic adoption model (2.0, 1.0)\n"
+     << "  --bound=zero|paper       tangent-bound variant (zero)\n"
+     << "  --progressive=<bool>     BAB-P vs plain BAB (true)\n"
+     << "  --learn                  plan on TIC-learned probabilities\n"
+     << "  --cascades=<count>       action-log cascades for --learn (1000)\n"
+     << "  --trials=<count>         simulate Monte-Carlo trials (2000)\n"
+     << "  --threads=<count>        worker threads; 0 = auto (0)\n"
+     << "  --seed=<u64>             master RNG seed (1)\n"
+     << "  --indent=<n>             JSON indent; negative = compact (2)\n"
+     << "  --output=<path>          also write the JSON result to a file\n";
+  return os.str();
+}
+
+int RunCommand(const CliConfig& config, std::ostream& out,
+               std::ostream& err) {
+  if (config.threads > 0) SetNumThreads(config.threads);
+  return RunPipeline(config, out, err);
+}
+
+int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  const FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    out << UsageString();
+    return 0;
+  }
+  CliConfig config;
+  const Status status = ParseCliConfig(flags, &config);
+  if (!status.ok()) {
+    err << "oipa_cli: " << status.ToString() << "\n\n" << UsageString();
+    return 2;
+  }
+  return RunCommand(config, out, err);
+}
+
+}  // namespace cli
+}  // namespace oipa

@@ -1,0 +1,106 @@
+#ifndef OIPA_CLI_CLI_H_
+#define OIPA_CLI_CLI_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "oipa/tangent_bound.h"
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace oipa {
+namespace cli {
+
+/// Fully-resolved configuration of one oipa_cli invocation. Every field
+/// maps to a --flag (see UsageString()); defaults mirror
+/// examples/quickstart.cpp so `oipa_cli plan` out of the box reproduces
+/// the quickstart scenario with JSON output.
+struct CliConfig {
+  /// generate | learn | plan | simulate | bench.
+  std::string command;
+
+  // ------------------------------------------------------ dataset stage
+  /// synthetic | lastfm | dblp | tweet.
+  std::string dataset = "synthetic";
+  /// Vertices of the synthetic graph (ignored for named datasets).
+  int64_t n = 2000;
+  /// Topics of the synthetic probability model.
+  int num_topics = 10;
+  /// Scale of the dblp/tweet datasets (fraction of paper-size vertices).
+  double scale = 0.01;
+  /// Fraction of users eligible as promoters (synthetic dataset).
+  double pool_fraction = 0.1;
+
+  // ------------------------------------------------------ learning stage
+  /// If true, `plan`/`simulate`/`bench` optimize on TIC-learned
+  /// probabilities (generate log -> EM) instead of the ground truth.
+  bool learn = false;
+  /// Item cascades simulated into the action log.
+  int cascades = 1000;
+  /// TIC EM credit-attribution iterations.
+  int em_iterations = 5;
+
+  // ------------------------------------------------------ planning stage
+  /// Total assignment budget k.
+  int k = 10;
+  /// Campaign pieces L (the paper's l).
+  int ell = 3;
+  /// MRR samples.
+  int64_t theta = 20'000;
+  /// BAB-P threshold decay epsilon.
+  double epsilon = 0.5;
+  /// Relative termination gap.
+  double gap = 0.01;
+  /// Logistic adoption parameters.
+  double alpha = 2.0;
+  double beta = 1.0;
+  /// zero (kZeroAnchored) | paper (kPaperTangent).
+  std::string bound = "zero";
+  BoundVariant variant = BoundVariant::kZeroAnchored;
+  /// BAB-P (true) vs plain BAB (false).
+  bool progressive = true;
+  /// Node-expansion safety cap.
+  int64_t max_nodes = 100'000;
+
+  // ------------------------------------------------------ validation
+  /// Forward Monte-Carlo trials for `simulate`.
+  int trials = 2000;
+
+  // ------------------------------------------------------ bench sweep
+  /// Budgets swept by `bench` (--k=10,20,50); falls back to {k}.
+  std::vector<int64_t> k_sweep;
+
+  // ------------------------------------------------------ runtime
+  /// Worker threads; 0 keeps the library default.
+  int threads = 0;
+  uint64_t seed = 1;
+  /// Pretty-print indent for the JSON result (<0 = compact).
+  int indent = 2;
+  /// Also write the JSON result to this file (empty = stdout only).
+  std::string output;
+};
+
+/// Maps a bound name ("zero" | "paper") to its BoundVariant.
+Status ParseBoundVariant(const std::string& name, BoundVariant* out);
+
+/// Parses and validates flags into `config`. The subcommand itself comes
+/// from the first positional argument and is validated here too.
+Status ParseCliConfig(const FlagParser& flags, CliConfig* config);
+
+/// One-screen usage text.
+std::string UsageString();
+
+/// Dispatches a parsed config. JSON results go to `out`; progress and
+/// errors go to `err`. Returns a process exit code (0 = success).
+int RunCommand(const CliConfig& config, std::ostream& out,
+               std::ostream& err);
+
+/// Full entry point used by main(): parse argv, dispatch, report errors.
+int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+}  // namespace cli
+}  // namespace oipa
+
+#endif  // OIPA_CLI_CLI_H_

@@ -1,0 +1,18 @@
+// oipa_cli: the end-to-end OIPA scenario driver.
+//
+// Chains dataset generation -> (optional) TIC learning -> MRR sampling ->
+// branch-and-bound planning -> forward-simulation validation in one
+// invocation and emits a JSON result on stdout (progress on stderr).
+//
+//   oipa_cli plan --dataset=synthetic --k=10
+//   oipa_cli simulate --dataset=lastfm --k=20 --ell=5 --theta=50000
+//   oipa_cli bench --k=10,20,50 --output=BENCH_vary_k.json
+//   oipa_cli --help
+
+#include <iostream>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return oipa::cli::RunCli(argc, argv, std::cout, std::cerr);
+}

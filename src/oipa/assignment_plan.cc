@@ -68,7 +68,9 @@ std::string AssignmentPlan::DebugString() const {
   std::string out = "{";
   for (int j = 0; j < num_pieces(); ++j) {
     if (j > 0) out += ", ";
-    out += "S" + std::to_string(j) + "={";
+    out += "S";
+    out += std::to_string(j);
+    out += "={";
     std::vector<VertexId> sorted = seed_sets_[j];
     std::sort(sorted.begin(), sorted.end());
     for (size_t i = 0; i < sorted.size(); ++i) {

@@ -62,8 +62,9 @@ MaxCliqueReduction::MaxCliqueReduction(
 
   std::vector<ViralPiece> pieces;
   for (int i = 0; i < n; ++i) {
-    pieces.push_back(
-        {"t" + std::to_string(i), TopicVector::PureTopic(n, i)});
+    std::string name = "t";
+    name += std::to_string(i);
+    pieces.push_back({std::move(name), TopicVector::PureTopic(n, i)});
   }
   campaign_ = Campaign(std::move(pieces));
 }

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "cli/json_writer.h"
+#include "util/flags.h"
+
+namespace oipa {
+namespace cli {
+namespace {
+
+/// Runs RunCli on a fake argv and returns (exit code, stdout, stderr).
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun InvokeCli(std::vector<std::string> args) {
+  args.insert(args.begin(), "oipa_cli");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  std::ostringstream out, err;
+  const int code =
+      RunCli(static_cast<int>(argv.size()), argv.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+FlagParser MakeFlags(std::vector<std::string> args) {
+  args.insert(args.begin(), "oipa_cli");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+// Flags shared by the pipeline tests: small enough that the whole
+// generate -> learn -> plan -> simulate chain runs in well under a second.
+const std::vector<std::string> kTinyFlags = {
+    "--n=200",     "--theta=1000", "--k=3",
+    "--ell=2",     "--trials=50",  "--cascades=50",
+    "--indent=-1", "--threads=1",  "--max_nodes=2000"};
+
+std::vector<std::string> TinyArgs(const std::string& command,
+                                  std::vector<std::string> extra = {}) {
+  std::vector<std::string> args = {command};
+  args.insert(args.end(), kTinyFlags.begin(), kTinyFlags.end());
+  args.insert(args.end(), extra.begin(), extra.end());
+  return args;
+}
+
+// ------------------------------------------------------------ JsonValue
+
+TEST(JsonWriterTest, Scalars) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(JsonValue(2.5).Dump(), "2.5");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).Dump(),
+            "null");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonValue::Escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  EXPECT_EQ(JsonValue::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, ObjectPreservesInsertionOrderAndOverwrites) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", 1).Set("a", 2).Set("b", 3);
+  EXPECT_EQ(obj.Dump(), "{\"b\":3,\"a\":2}");
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(JsonWriterTest, NestedPrettyPrint) {
+  JsonValue row = JsonValue::Object();
+  row.Set("k", 10);
+  JsonValue arr = JsonValue::Array();
+  arr.Append(std::move(row)).Append(JsonValue());
+  EXPECT_EQ(arr.Dump(2), "[\n  {\n    \"k\": 10\n  },\n  null\n]");
+  EXPECT_EQ(arr.Dump(), "[{\"k\":10},null]");
+}
+
+// ------------------------------------------------------------- parsing
+
+TEST(CliParseTest, BoundVariantNames) {
+  BoundVariant v = BoundVariant::kPaperTangent;
+  EXPECT_TRUE(ParseBoundVariant("zero", &v).ok());
+  EXPECT_EQ(v, BoundVariant::kZeroAnchored);
+  EXPECT_TRUE(ParseBoundVariant("paper", &v).ok());
+  EXPECT_EQ(v, BoundVariant::kPaperTangent);
+  EXPECT_EQ(ParseBoundVariant("bogus", &v).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliParseTest, DefaultsMirrorQuickstart) {
+  const FlagParser flags = MakeFlags({"plan"});
+  CliConfig config;
+  ASSERT_TRUE(ParseCliConfig(flags, &config).ok());
+  EXPECT_EQ(config.command, "plan");
+  EXPECT_EQ(config.dataset, "synthetic");
+  EXPECT_EQ(config.n, 2000);
+  EXPECT_EQ(config.k, 10);
+  EXPECT_EQ(config.ell, 3);
+  EXPECT_EQ(config.theta, 20'000);
+  EXPECT_DOUBLE_EQ(config.epsilon, 0.5);
+  EXPECT_EQ(config.variant, BoundVariant::kZeroAnchored);
+  EXPECT_TRUE(config.progressive);
+  EXPECT_FALSE(config.learn);
+  EXPECT_EQ(config.k_sweep, std::vector<int64_t>({10}));
+}
+
+TEST(CliParseTest, FlagsOverrideEveryStage) {
+  const FlagParser flags = MakeFlags(
+      {"bench", "--dataset=dblp", "--scale=0.05", "--k=5,15",
+       "--ell=4", "--theta=500", "--epsilon=0.25", "--bound=paper",
+       "--progressive=false", "--learn", "--threads=2", "--seed=99"});
+  CliConfig config;
+  ASSERT_TRUE(ParseCliConfig(flags, &config).ok());
+  EXPECT_EQ(config.command, "bench");
+  EXPECT_EQ(config.dataset, "dblp");
+  EXPECT_DOUBLE_EQ(config.scale, 0.05);
+  EXPECT_EQ(config.k_sweep, std::vector<int64_t>({5, 15}));
+  EXPECT_EQ(config.ell, 4);
+  EXPECT_EQ(config.theta, 500);
+  EXPECT_DOUBLE_EQ(config.epsilon, 0.25);
+  EXPECT_EQ(config.variant, BoundVariant::kPaperTangent);
+  EXPECT_FALSE(config.progressive);
+  EXPECT_TRUE(config.learn);
+  EXPECT_EQ(config.threads, 2);
+  EXPECT_EQ(config.seed, 99u);
+}
+
+TEST(CliParseTest, RejectsMissingAndUnknownSubcommand) {
+  CliConfig config;
+  EXPECT_EQ(ParseCliConfig(MakeFlags({}), &config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCliConfig(MakeFlags({"frobnicate"}), &config).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliParseTest, RejectsInvalidValues) {
+  CliConfig config;
+  EXPECT_FALSE(ParseCliConfig(MakeFlags({"plan", "--k=0"}), &config).ok());
+  EXPECT_FALSE(
+      ParseCliConfig(MakeFlags({"plan", "--epsilon=1.5"}), &config).ok());
+  EXPECT_FALSE(
+      ParseCliConfig(MakeFlags({"plan", "--dataset=orkut"}), &config).ok());
+  EXPECT_FALSE(
+      ParseCliConfig(MakeFlags({"plan", "--bound=tight"}), &config).ok());
+  EXPECT_FALSE(
+      ParseCliConfig(MakeFlags({"bench", "--k=5,0"}), &config).ok());
+  // A budget list is a sweep; only bench runs sweeps.
+  EXPECT_FALSE(
+      ParseCliConfig(MakeFlags({"plan", "--k=10,20"}), &config).ok());
+  EXPECT_TRUE(
+      ParseCliConfig(MakeFlags({"bench", "--k=10,20"}), &config).ok());
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(CliDispatchTest, NoArgsFailsWithUsage) {
+  const CliRun run = InvokeCli({});
+  EXPECT_EQ(run.code, 2);
+  EXPECT_NE(run.err.find("usage: oipa_cli"), std::string::npos);
+}
+
+TEST(CliDispatchTest, UnknownCommandFails) {
+  const CliRun run = InvokeCli({"explode"});
+  EXPECT_EQ(run.code, 2);
+  EXPECT_NE(run.err.find("unknown subcommand"), std::string::npos);
+}
+
+TEST(CliDispatchTest, HelpSucceeds) {
+  const CliRun run = InvokeCli({"--help"});
+  EXPECT_EQ(run.code, 0);
+  EXPECT_NE(run.out.find("usage: oipa_cli"), std::string::npos);
+}
+
+// ------------------------------------------------------- JSON pipelines
+
+TEST(CliPipelineTest, GenerateEmitsDatasetShape) {
+  const CliRun run = InvokeCli(TinyArgs("generate"));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"command\":\"generate\""), std::string::npos);
+  EXPECT_NE(run.out.find("\"vertices\":200"), std::string::npos);
+  EXPECT_NE(run.out.find("\"pool_size\":20"), std::string::npos);
+  // generate stops before planning.
+  EXPECT_EQ(run.out.find("\"plan\""), std::string::npos);
+}
+
+TEST(CliPipelineTest, LearnReportsRecoveryQuality) {
+  const CliRun run = InvokeCli(TinyArgs("learn"));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"learn\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"spearman\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"events\":"), std::string::npos);
+}
+
+TEST(CliPipelineTest, PlanEmitsBudgetRespectingPlan) {
+  const CliRun run = InvokeCli(TinyArgs("plan"));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"plan\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"utility\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"seed_sets\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"budget_used\":3"), std::string::npos);
+}
+
+TEST(CliPipelineTest, SimulateValidatesThePlan) {
+  const CliRun run = InvokeCli(TinyArgs("simulate"));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"simulate\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"trials\":50"), std::string::npos);
+}
+
+TEST(CliPipelineTest, BenchSweepsBudgets) {
+  const CliRun run = InvokeCli(TinyArgs("bench", {"--k=2,3"}));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"sweep\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"k\":2"), std::string::npos);
+  EXPECT_NE(run.out.find("\"k\":3"), std::string::npos);
+}
+
+TEST(CliPipelineTest, DeterministicAcrossRuns) {
+  // Wall-clock fields differ between runs; everything else (plan, utility,
+  // dataset shape) must be bitwise identical for a fixed seed.
+  const auto strip_timings = [](const std::string& json) {
+    static const std::regex seconds_re("\"[a-z_]*seconds\":[0-9.e+-]+");
+    return std::regex_replace(json, seconds_re, "\"seconds\":X");
+  };
+  const CliRun a = InvokeCli(TinyArgs("plan"));
+  const CliRun b = InvokeCli(TinyArgs("plan"));
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(strip_timings(a.out), strip_timings(b.out));
+}
+
+TEST(CliPipelineTest, UnwritableOutputFileFailsTheRun) {
+  const CliRun run =
+      InvokeCli(TinyArgs("generate", {"--output=/nonexistent/dir/r.json"}));
+  EXPECT_EQ(run.code, 1);
+  EXPECT_NE(run.err.find("cannot write --output"), std::string::npos);
+  // The JSON still reaches stdout for interactive use.
+  EXPECT_NE(run.out.find("\"command\":\"generate\""), std::string::npos);
+}
+
+TEST(CliPipelineTest, LearnedPlanningPathRuns) {
+  const CliRun run = InvokeCli(TinyArgs("plan", {"--learn"}));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"learn\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"plan\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace oipa
