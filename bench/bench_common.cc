@@ -27,62 +27,85 @@ BenchEnv MakeEnv(const std::string& dataset_name, const BenchScales& scales,
   return env;
 }
 
+std::shared_ptr<const PlanningContext> BenchEnv::Context(
+    const LogisticAdoptionModel& model) const {
+  if (cached_context_ != nullptr && cached_alpha_ == model.alpha() &&
+      cached_beta_ == model.beta()) {
+    return cached_context_;
+  }
+  auto context = PlanningContext::BorrowWithSamples(
+      *dataset.graph, *dataset.probs, campaign, model, mrr.get());
+  OIPA_CHECK(context.ok()) << context.status().ToString();
+  cached_context_ = *std::move(context);
+  cached_alpha_ = model.alpha();
+  cached_beta_ = model.beta();
+  return cached_context_;
+}
+
+namespace {
+
+/// Dispatches one registry solve against the env's shared samples.
+MethodResult RunSolver(const BenchEnv& env,
+                       const LogisticAdoptionModel& model,
+                       const PlanRequest& request) {
+  const StatusOr<PlanResponse> r = Solve(*env.Context(model), request);
+  OIPA_CHECK(r.ok()) << request.solver << ": " << r.status().ToString();
+  MethodResult out;
+  out.utility = r->utility;
+  out.seconds = r->seconds;
+  out.plan = r->plan;
+  return out;
+}
+
+PlanRequest BaseRequest(const BenchEnv& env, const std::string& solver,
+                        int k) {
+  PlanRequest request;
+  request.solver = solver;
+  request.pool = env.dataset.promoter_pool;
+  request.budgets = {k};
+  return request;
+}
+
+}  // namespace
+
 MethodResult RunIm(const BenchEnv& env, const LogisticAdoptionModel& model,
                    int k, int64_t theta, uint64_t seed) {
-  const BaselineResult r =
-      ImBaseline(*env.dataset.graph, *env.dataset.probs, env.campaign,
-                 *env.mrr, model, env.dataset.promoter_pool, k, theta,
-                 seed);
-  MethodResult out;
-  out.utility = r.utility;
-  out.seconds = r.seconds;
-  out.plan = r.plan;
-  return out;
+  (void)theta;  // the registry IM solver samples at the env's theta
+  PlanRequest request = BaseRequest(env, "im", k);
+  request.seed = seed;
+  return RunSolver(env, model, request);
 }
 
 MethodResult RunTim(const BenchEnv& env, const LogisticAdoptionModel& model,
                     int k, int64_t theta, uint64_t seed) {
-  const BaselineResult r =
-      TimBaseline(*env.dataset.graph, *env.dataset.probs, env.campaign,
-                  *env.mrr, model, env.dataset.promoter_pool, k, theta,
-                  seed);
-  MethodResult out;
-  out.utility = r.utility;
-  out.seconds = r.seconds;
-  out.plan = r.plan;
-  return out;
+  (void)theta;
+  PlanRequest request = BaseRequest(env, "tim", k);
+  request.seed = seed;
+  return RunSolver(env, model, request);
 }
 
 MethodResult RunBab(const BenchEnv& env, const LogisticAdoptionModel& model,
                     int k, const BabOptions& base_options) {
-  BabOptions options = base_options;
-  options.budget = k;
-  options.progressive = false;
-  BabSolver solver(env.mrr.get(), model, env.dataset.promoter_pool,
-                   options);
-  const BabResult r = solver.Solve();
-  MethodResult out;
-  out.utility = r.utility;
-  out.seconds = r.seconds;
-  out.plan = r.plan;
-  return out;
+  PlanRequest request = BaseRequest(env, "bab", k);
+  request.options.gap = base_options.gap;
+  request.options.lazy_greedy = base_options.lazy_greedy;
+  request.options.variant = base_options.variant;
+  request.options.exact_pruning = base_options.exact_pruning;
+  request.options.max_nodes = base_options.max_nodes;
+  return RunSolver(env, model, request);
 }
 
 MethodResult RunBabP(const BenchEnv& env,
                      const LogisticAdoptionModel& model, int k,
                      double epsilon, const BabOptions& base_options) {
-  BabOptions options = base_options;
-  options.budget = k;
-  options.progressive = true;
-  options.epsilon = epsilon;
-  BabSolver solver(env.mrr.get(), model, env.dataset.promoter_pool,
-                   options);
-  const BabResult r = solver.Solve();
-  MethodResult out;
-  out.utility = r.utility;
-  out.seconds = r.seconds;
-  out.plan = r.plan;
-  return out;
+  PlanRequest request = BaseRequest(env, "bab-p", k);
+  request.options.gap = base_options.gap;
+  request.options.epsilon = epsilon;
+  request.options.progressive_fill = base_options.progressive_fill;
+  request.options.variant = base_options.variant;
+  request.options.exact_pruning = base_options.exact_pruning;
+  request.options.max_nodes = base_options.max_nodes;
+  return RunSolver(env, model, request);
 }
 
 void EvaluateOnHoldout(const MrrCollection& holdout,

@@ -18,14 +18,13 @@
 
 #include "data/datasets.h"
 #include "graph/generators.h"
-#include "oipa/adoption.h"
-#include "oipa/baselines.h"
-#include "oipa/branch_and_bound.h"
-#include "rrset/mrr_collection.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver_registry.h"
 #include "topic/campaign.h"
-#include "topic/influence_graph.h"
 #include "topic/prob_models.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 int main(int argc, char** argv) {
   using namespace oipa;
@@ -63,23 +62,35 @@ int main(int argc, char** argv) {
   }
   std::printf("\n\n");
 
-  const auto pieces = BuildPieceGraphs(graph, probs, campaign);
-  const MrrCollection mrr = MrrCollection::Generate(pieces, theta, 17);
+  // One shared planning context; the three staffing strategies are just
+  // three solver names dispatched against it.
+  ContextOptions context_options;
+  context_options.theta = theta;
+  context_options.holdout_theta = 0;  // validated by simulation below
+  context_options.seed = 17;
+  const auto context =
+      PlanningContext::Borrow(graph, probs, campaign, model,
+                              context_options);
+  OIPA_CHECK(context.ok()) << context.status().ToString();
   const std::vector<VertexId> endorsers =
       SamplePromoterPool(graph.num_vertices(), 0.10, 19);
 
+  PlanRequest request;
+  request.pool = endorsers;
+  request.budgets = {k};
+  request.seed = 23;
+  auto solve = [&](const char* solver) {
+    request.solver = solver;
+    StatusOr<PlanResponse> response = Solve(**context, request);
+    OIPA_CHECK(response.ok()) << response.status().ToString();
+    return *std::move(response);
+  };
   // Strategy 1: topic-blind endorser pick + best single issue (IM).
-  const BaselineResult blind = ImBaseline(
-      graph, probs, campaign, mrr, model, endorsers, k, theta, 23);
+  const PlanResponse blind = solve("im");
   // Strategy 2: per-issue optimization, all budget on the best one (TIM).
-  const BaselineResult blitz = TimBaseline(
-      graph, probs, campaign, mrr, model, endorsers, k, theta, 29);
+  const PlanResponse blitz = solve("tim");
   // Strategy 3: OIPA portfolio via BAB-P.
-  BabOptions options;
-  options.budget = k;
-  options.progressive = true;
-  const BabResult portfolio =
-      BabSolver(&mrr, model, endorsers, options).Solve();
+  const PlanResponse portfolio = solve("bab-p");
 
   std::printf("strategy comparison (budget: %d endorsements)\n", k);
   std::printf("  topic-blind (IM):      %8.2f expected voters\n",
@@ -105,8 +116,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  const double simulated = SimulateAdoptionUtility(
-      pieces, model, portfolio.plan, 2000, 31);
+  const double simulated =
+      (*context)->SimulateUtility(portfolio.plan, 2000, 31);
   std::printf("\nforward-simulated expected voters: %.2f\n", simulated);
   return 0;
 }

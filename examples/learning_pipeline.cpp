@@ -18,13 +18,15 @@
 #include "learn/action_log.h"
 #include "learn/tic_learner.h"
 #include "oipa/adoption.h"
-#include "oipa/branch_and_bound.h"
-#include "rrset/mrr_collection.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver_registry.h"
 #include "topic/campaign.h"
 #include "topic/influence_graph.h"
 #include "topic/lda.h"
 #include "topic/prob_models.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -41,16 +43,22 @@ double PlanAndEvaluate(const Graph& graph,
                        const LogisticAdoptionModel& model,
                        const std::vector<VertexId>& pool, int k,
                        int64_t theta, uint64_t seed) {
-  const auto planning_pieces =
-      BuildPieceGraphs(graph, planning_probs, campaign);
-  const MrrCollection mrr =
-      MrrCollection::Generate(planning_pieces, theta, seed);
-  BabOptions options;
-  options.budget = k;
-  options.progressive = true;
-  const BabResult res = BabSolver(&mrr, model, pool, options).Solve();
+  ContextOptions context_options;
+  context_options.theta = theta;
+  context_options.holdout_theta = 0;  // evaluated under the truth below
+  context_options.seed = seed;
+  const auto context = PlanningContext::Borrow(graph, planning_probs,
+                                               campaign, model,
+                                               context_options);
+  OIPA_CHECK(context.ok()) << context.status().ToString();
+  PlanRequest request;
+  request.solver = "bab-p";
+  request.pool = pool;
+  request.budgets = {k};
+  const StatusOr<PlanResponse> res = Solve(**context, request);
+  OIPA_CHECK(res.ok()) << res.status().ToString();
   const auto true_pieces = BuildPieceGraphs(graph, true_probs, campaign);
-  return SimulateAdoptionUtility(true_pieces, model, res.plan, 1500,
+  return SimulateAdoptionUtility(true_pieces, model, res->plan, 1500,
                                  seed + 1);
 }
 

@@ -1,23 +1,24 @@
-// Quickstart: the minimal end-to-end OIPA workflow.
+// Quickstart: the minimal end-to-end OIPA workflow on the
+// request/response API.
 //
 //   1. Build (or load) a social graph with topic-aware edge probabilities.
 //   2. Define a multifaceted campaign T = {t_1..t_l}.
-//   3. Collapse per-piece influence graphs and draw MRR samples.
-//   4. Solve OIPA with the progressive branch-and-bound (BAB-P).
+//   3. Build a PlanningContext (piece influence graphs + MRR samples).
+//   4. Solve OIPA by solver name ("bab-p") through the SolverRegistry.
 //   5. Validate the chosen plan with forward Monte-Carlo simulation.
 //
 // Run:  ./quickstart [--n=2000] [--k=10] [--ell=3] [--theta=20000]
+//                    [--method=bab-p]
 
 #include <cstdio>
 
 #include "graph/generators.h"
-#include "oipa/adoption.h"
-#include "oipa/branch_and_bound.h"
-#include "rrset/mrr_collection.h"
-#include "topic/campaign.h"
-#include "topic/influence_graph.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver_registry.h"
 #include "topic/prob_models.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 int main(int argc, char** argv) {
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   const int k = static_cast<int>(flags.GetInt("k", 10));
   const int ell = static_cast<int>(flags.GetInt("ell", 3));
   const int64_t theta = flags.GetInt("theta", 20'000);
+  const std::string method = flags.GetString("method", "bab-p");
   const int num_topics = 10;
 
   // 1. A clustered power-law social graph with synthetic TIC-style
@@ -49,36 +51,46 @@ int main(int argc, char** argv) {
                 campaign.piece(j).topics.DebugString().c_str());
   }
 
-  // 3. Per-piece influence graphs + theta MRR samples.
+  // 3. The shared planning state: per-piece influence graphs + theta MRR
+  //    samples, behind one reusable context. Logistic adoption with
+  //    alpha=2, beta=1 (a user needs ~2 pieces for a coin-flip chance).
   std::printf("[2/5] collapsing %d piece influence graphs...\n", ell);
-  const std::vector<InfluenceGraph> pieces =
-      BuildPieceGraphs(graph, probs, campaign);
   std::printf("[3/5] sampling %lld MRR sets...\n",
               static_cast<long long>(theta));
-  const MrrCollection mrr = MrrCollection::Generate(pieces, theta, 4);
+  ContextOptions context_options;
+  context_options.theta = theta;
+  context_options.holdout_theta = 0;  // step 5 validates by simulation
+  context_options.seed = 4;
+  const auto context = PlanningContext::Borrow(
+      graph, probs, campaign, LogisticAdoptionModel(2.0, 1.0),
+      context_options);
+  OIPA_CHECK(context.ok()) << context.status().ToString();
 
-  // 4. Solve: logistic adoption with alpha=2, beta=1 (a user needs ~2
-  //    pieces for a coin-flip adoption chance); 10% of users can promote.
-  const LogisticAdoptionModel model(2.0, 1.0);
-  std::vector<VertexId> pool;
-  for (VertexId v = 0; v < n; v += 10) pool.push_back(v);
-  BabOptions options;
-  options.budget = k;
-  options.progressive = true;  // BAB-P
-  std::printf("[4/5] solving OIPA (k=%d, BAB-P)...\n", k);
-  BabSolver solver(&mrr, model, pool, options);
-  const BabResult result = solver.Solve();
-  std::printf("      plan: %s\n", result.plan.DebugString().c_str());
+  // 4. Solve by registry name; 10% of users can promote. Errors come
+  //    back as Status values, never aborts.
+  PlanRequest request;
+  request.solver = method;
+  for (VertexId v = 0; v < n; v += 10) request.pool.push_back(v);
+  request.budgets = {k};
+  std::printf("[4/5] solving OIPA (k=%d, method=%s)...\n", k,
+              method.c_str());
+  const StatusOr<PlanResponse> result = Solve(**context, request);
+  if (!result.ok()) {
+    std::printf("solve failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("      plan: %s\n", result->plan.DebugString().c_str());
   std::printf(
       "      estimated adoption utility: %.2f users "
-      "(upper bound %.2f, %lld nodes, %.3fs)\n",
-      result.utility, result.upper_bound,
-      static_cast<long long>(result.nodes_expanded), result.seconds);
+      "(upper bound %.2f, %lld nodes, converged=%s, %.3fs)\n",
+      result->utility, result->upper_bound,
+      static_cast<long long>(result->nodes_expanded),
+      result->converged ? "yes" : "no", result->seconds);
 
   // 5. Sanity-check with forward simulation (independent randomness).
   std::printf("[5/5] validating with 2000 forward simulations...\n");
   const double simulated =
-      SimulateAdoptionUtility(pieces, model, result.plan, 2000, 5);
+      (*context)->SimulateUtility(result->plan, 2000, 5);
   std::printf("      simulated adoption utility: %.2f users\n", simulated);
   return 0;
 }

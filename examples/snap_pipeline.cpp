@@ -5,8 +5,8 @@
 //      example is self-contained; point --edges at your own file).
 //   2. Learn topic-aware probabilities from a propagation log.
 //   3. Cache the dataset and the MRR samples as binary snapshots.
-//   4. Plan with OipaPlanner and report in-sample/holdout/simulated
-//      utilities.
+//   4. Plan through PlanningContext + SolverRegistry and report
+//      in-sample/holdout/simulated utilities.
 //
 // Run:  ./snap_pipeline [--edges=path] [--workdir=/tmp] [--k=10]
 
@@ -20,7 +20,9 @@
 #include "graph/metrics.h"
 #include "learn/action_log.h"
 #include "learn/tic_learner.h"
-#include "oipa/planner.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver_registry.h"
 #include "rrset/mrr_io.h"
 #include "topic/prob_models.h"
 #include "util/flags.h"
@@ -90,21 +92,32 @@ int main(int argc, char** argv) {
               mrr_path.c_str(), static_cast<long long>(reloaded->theta()),
               static_cast<long long>(reloaded->TotalSize()));
 
-  // 4. Plan.
-  PlannerOptions popts;
+  // 4. Plan: one context (with a holdout for unbiased scoring), two
+  //    solvers dispatched by name.
+  ContextOptions popts;
   popts.theta = 30'000;
   popts.seed = 19;
-  const OipaPlanner planner(graph, learned, campaign,
-                            LogisticAdoptionModel(2.0, 1.0), popts);
-  const PlanReport bab_p = planner.SolveBabP(ds.promoter_pool, k);
-  const PlanReport tim = planner.SolveTimBaseline(ds.promoter_pool, k);
+  const auto context = PlanningContext::Borrow(
+      graph, learned, campaign, LogisticAdoptionModel(2.0, 1.0), popts);
+  OIPA_CHECK(context.ok()) << context.status().ToString();
+  PlanRequest request;
+  request.pool = ds.promoter_pool;
+  request.budgets = {k};
+  auto solve = [&](const char* solver) {
+    request.solver = solver;
+    StatusOr<PlanResponse> r = Solve(**context, request);
+    OIPA_CHECK(r.ok()) << r.status().ToString();
+    return *std::move(r);
+  };
+  const PlanResponse bab_p = solve("bab-p");
+  const PlanResponse tim = solve("tim");
   std::printf("\n%-6s in-sample %.2f | holdout %.2f | %.3fs\n",
-              bab_p.method.c_str(), bab_p.utility, bab_p.holdout_utility,
+              bab_p.solver.c_str(), bab_p.utility, bab_p.holdout_utility,
               bab_p.seconds);
   std::printf("%-6s in-sample %.2f | holdout %.2f | %.3fs\n",
-              tim.method.c_str(), tim.utility, tim.holdout_utility,
+              tim.solver.c_str(), tim.utility, tim.holdout_utility,
               tim.seconds);
   std::printf("BAB-P plan simulated utility: %.2f\n",
-              planner.SimulateUtility(bab_p.plan, 2000, 23));
+              (*context)->SimulateUtility(bab_p.plan, 2000, 23));
   return 0;
 }

@@ -14,13 +14,13 @@
 
 #include "data/datasets.h"
 #include "graph/generators.h"
-#include "oipa/adoption.h"
-#include "oipa/branch_and_bound.h"
-#include "rrset/mrr_collection.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver_registry.h"
 #include "topic/campaign.h"
-#include "topic/influence_graph.h"
 #include "topic/prob_models.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 int main(int argc, char** argv) {
   using namespace oipa;
@@ -60,35 +60,41 @@ int main(int argc, char** argv) {
   // Subscription behavior: one video ~9% conversion, two ~33%, all four
   // near certain.
   const LogisticAdoptionModel model(2.3, 1.6);
-  const auto pieces = BuildPieceGraphs(graph, probs, campaign);
-  const MrrCollection mrr = MrrCollection::Generate(pieces, theta, 47);
+  ContextOptions context_options;
+  context_options.theta = theta;
+  context_options.holdout_theta = 0;  // validated by simulation below
+  context_options.seed = 47;
+  const auto context =
+      PlanningContext::Borrow(graph, probs, campaign, model,
+                              context_options);
+  OIPA_CHECK(context.ok()) << context.status().ToString();
   const std::vector<VertexId> influencers =
       SamplePromoterPool(graph.num_vertices(), 0.05, 53);
+
+  // One SolveBatch sweeps every budget against the same MRR samples —
+  // the sampling pass is paid once, not once per budget.
+  PlanRequest request;
+  request.solver = "bab-p";
+  request.pool = influencers;
+  request.budgets = {4, 8, 16, 32};
+  const auto sweep = SolveBatch(**context, request);
+  OIPA_CHECK(sweep.ok()) << sweep.status().ToString();
 
   std::printf(
       "expected new subscribers by shout-out budget (BAB-P):\n\n");
   std::printf("  %6s  %12s  %s\n", "budget", "subscribers",
               "shout-outs per video (speedrun/cooking/travel/teardown)");
-  for (int k : {4, 8, 16, 32}) {
-    BabOptions options;
-    options.budget = k;
-    options.progressive = true;
-    const BabResult res =
-        BabSolver(&mrr, model, influencers, options).Solve();
-    std::printf("  %6d  %12.2f  %zu / %zu / %zu / %zu\n", k, res.utility,
-                res.plan.SeedSet(0).size(), res.plan.SeedSet(1).size(),
-                res.plan.SeedSet(2).size(), res.plan.SeedSet(3).size());
+  for (const PlanResponse& res : *sweep) {
+    std::printf("  %6d  %12.2f  %zu / %zu / %zu / %zu\n", res.budget,
+                res.utility, res.plan.SeedSet(0).size(),
+                res.plan.SeedSet(1).size(), res.plan.SeedSet(2).size(),
+                res.plan.SeedSet(3).size());
   }
 
   // Detail at budget 16: validate with simulation and show the overlap
   // effect — how many users receive 2+ videos under the chosen plan.
-  BabOptions options;
-  options.budget = 16;
-  options.progressive = true;
-  const BabResult res =
-      BabSolver(&mrr, model, influencers, options).Solve();
-  const double sim =
-      SimulateAdoptionUtility(pieces, model, res.plan, 1000, 59);
+  const PlanResponse& res = (*sweep)[2];
+  const double sim = (*context)->SimulateUtility(res.plan, 1000, 59);
   std::printf(
       "\nbudget 16 plan, forward-simulated subscribers: %.2f "
       "(MRR estimate %.2f)\n",

@@ -12,7 +12,9 @@
 #include "learn/action_log.h"
 #include "learn/tic_learner.h"
 #include "oipa/adoption.h"
-#include "oipa/branch_and_bound.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver_registry.h"
 #include "rrset/mrr_collection.h"
 #include "topic/campaign.h"
 #include "topic/influence_graph.h"
@@ -53,9 +55,9 @@ struct Pipeline {
   JsonValue learn_json;
 
   Campaign campaign;
-  /// Per-piece influence graphs under the planning probabilities.
-  std::vector<InfluenceGraph> pieces;
-  std::unique_ptr<MrrCollection> mrr;
+  /// Shared planning state (piece graphs + MRR samples) under the
+  /// planning probabilities; every solve request dispatches against it.
+  std::shared_ptr<const PlanningContext> context;
   double sample_seconds = 0.0;
 
   const EdgeTopicProbs& planning_probs() const {
@@ -139,45 +141,57 @@ void RunLearning(Pipeline* p, std::ostream& err) {
       .Set("em_seconds", em_seconds);
 }
 
-/// Campaign + per-piece influence graphs + theta MRR samples, all under
-/// the planning probabilities.
-void BuildSamples(Pipeline* p, std::ostream& err) {
+/// Campaign + planning context (piece influence graphs + theta MRR
+/// samples), all under the planning probabilities. Returns non-OK when
+/// the context inputs are inconsistent (cannot normally happen for
+/// driver-built datasets).
+Status BuildContext(Pipeline* p, std::ostream& err) {
   const CliConfig& c = *p->config;
   Rng rng(c.seed + 4);
   p->campaign =
       Campaign::SampleUniformPieces(c.ell, p->dataset.num_topics, &rng);
-  p->pieces =
-      BuildPieceGraphs(*p->dataset.graph, p->planning_probs(), p->campaign);
   err << "[oipa_cli] sampling " << c.theta << " MRR sets over " << c.ell
       << " pieces...\n";
+  ContextOptions options;
+  options.theta = c.theta;
+  options.holdout_theta = 0;  // the CLI validates by forward simulation
+  options.seed = c.seed + 5;
   WallTimer timer;
-  p->mrr = std::make_unique<MrrCollection>(
-      MrrCollection::Generate(p->pieces, c.theta, c.seed + 5));
+  auto context = PlanningContext::Borrow(
+      *p->dataset.graph, p->planning_probs(), p->campaign,
+      LogisticAdoptionModel(c.alpha, c.beta), options);
+  if (!context.ok()) return context.status();
+  p->context = *std::move(context);
   p->sample_seconds = timer.Seconds();
+  return Status::Ok();
 }
 
-BabOptions MakeBabOptions(const CliConfig& c, int budget) {
-  BabOptions options;
-  options.budget = budget;
-  options.gap = c.gap;
-  options.progressive = c.progressive;
-  options.epsilon = c.epsilon;
-  options.variant = c.variant;
-  options.max_nodes = c.max_nodes;
-  return options;
+/// The request every plan|simulate|bench solve dispatches with; only the
+/// budget list differs between the single solve and the bench sweep.
+PlanRequest MakeRequest(const CliConfig& c, std::vector<int> budgets) {
+  PlanRequest request;
+  request.solver = c.method;
+  request.pool = {};  // filled by the caller from the dataset pool
+  request.budgets = std::move(budgets);
+  request.options.gap = c.gap;
+  request.options.epsilon = c.epsilon;
+  request.options.variant = c.variant;
+  request.options.max_nodes = c.max_nodes;
+  request.seed = c.seed;
+  return request;
 }
 
-BabResult SolvePlan(const Pipeline& p, int budget, std::ostream& err) {
+StatusOr<PlanResponse> SolvePlan(const Pipeline& p, int budget,
+                                 std::ostream& err) {
   const CliConfig& c = *p.config;
-  err << "[oipa_cli] solving OIPA (k=" << budget << ", "
-      << (c.progressive ? "BAB-P" : "BAB") << ")...\n";
-  const LogisticAdoptionModel model(c.alpha, c.beta);
-  BabSolver solver(p.mrr.get(), model, p.dataset.promoter_pool,
-                   MakeBabOptions(c, budget));
-  return solver.Solve();
+  err << "[oipa_cli] solving OIPA (k=" << budget << ", method="
+      << c.method << ")...\n";
+  PlanRequest request = MakeRequest(c, {budget});
+  request.pool = p.dataset.promoter_pool;
+  return Solve(*p.context, request);
 }
 
-JsonValue PlanJson(const Pipeline& p, const BabResult& result) {
+JsonValue PlanJson(const Pipeline& p, const PlanResponse& result) {
   JsonValue seed_sets = JsonValue::Array();
   for (int j = 0; j < result.plan.num_pieces(); ++j) {
     JsonValue piece = JsonValue::Array();
@@ -187,7 +201,8 @@ JsonValue PlanJson(const Pipeline& p, const BabResult& result) {
     seed_sets.Append(std::move(piece));
   }
   JsonValue j = JsonValue::Object();
-  j.Set("seed_sets", std::move(seed_sets))
+  j.Set("method", result.solver)
+      .Set("seed_sets", std::move(seed_sets))
       .Set("budget_used", result.plan.size())
       .Set("utility", result.utility)
       .Set("upper_bound", result.upper_bound)
@@ -217,8 +232,7 @@ JsonValue SimulateJson(const Pipeline& p, const AssignmentPlan& plan,
     utility = SimulateAdoptionUtility(truth_pieces, model, plan, c.trials,
                                       c.seed + 6);
   } else {
-    utility = SimulateAdoptionUtility(p.pieces, model, plan, c.trials,
-                                      c.seed + 6);
+    utility = p.context->SimulateUtility(plan, c.trials, c.seed + 6);
   }
   JsonValue j = JsonValue::Object();
   j.Set("trials", c.trials)
@@ -230,6 +244,7 @@ JsonValue SimulateJson(const Pipeline& p, const AssignmentPlan& plan,
 JsonValue ConfigJson(const CliConfig& c) {
   JsonValue j = JsonValue::Object();
   j.Set("dataset", c.dataset)
+      .Set("method", c.method)
       .Set("k", c.k)
       .Set("ell", c.ell)
       .Set("theta", c.theta)
@@ -286,24 +301,41 @@ int RunPipeline(const CliConfig& c, std::ostream& out, std::ostream& err) {
     }
   }
 
-  BuildSamples(&p, err);
+  if (const Status status = BuildContext(&p, err); !status.ok()) {
+    err << "oipa_cli: " << status.ToString() << "\n";
+    return 1;
+  }
 
   if (c.command == "bench") {
+    err << "[oipa_cli] benching method=" << c.method << " over "
+        << c.k_sweep.size() << " budgets...\n";
+    PlanRequest request = MakeRequest(
+        c, std::vector<int>(c.k_sweep.begin(), c.k_sweep.end()));
+    request.pool = p.dataset.promoter_pool;
+    const StatusOr<std::vector<PlanResponse>> sweep_responses =
+        SolveBatch(*p.context, request);
+    if (!sweep_responses.ok()) {
+      err << "oipa_cli: " << sweep_responses.status().ToString() << "\n";
+      return 1;
+    }
     JsonValue sweep = JsonValue::Array();
-    for (const int64_t budget : c.k_sweep) {
-      const BabResult r = SolvePlan(p, static_cast<int>(budget), err);
+    for (const PlanResponse& r : *sweep_responses) {
       JsonValue row = PlanJson(p, r);
-      row.Set("k", budget);
+      row.Set("k", r.budget);
       sweep.Append(std::move(row));
     }
     result.Set("sweep", std::move(sweep));
     return EmitResult(c, result, out, err);
   }
 
-  const BabResult r = SolvePlan(p, c.k, err);
-  result.Set("plan", PlanJson(p, r));
+  const StatusOr<PlanResponse> r = SolvePlan(p, c.k, err);
+  if (!r.ok()) {
+    err << "oipa_cli: " << r.status().ToString() << "\n";
+    return 1;
+  }
+  result.Set("plan", PlanJson(p, *r));
   if (c.command == "simulate") {
-    result.Set("simulate", SimulateJson(p, r.plan, err));
+    result.Set("simulate", SimulateJson(p, r->plan, err));
   }
   return EmitResult(c, result, out, err);
 }
@@ -354,6 +386,18 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   c.em_iterations =
       static_cast<int>(flags.GetInt("em_iterations", c.em_iterations));
 
+  c.progressive = flags.GetBool("progressive", c.progressive);
+  c.method = flags.GetString("method", c.method);
+  if (c.method.empty()) {
+    // Back-compat: --progressive picked between the two paper solvers
+    // before --method existed.
+    c.method = c.progressive ? "bab-p" : "bab";
+  }
+  if (c.method != "list" && !SolverRegistry::Global().Contains(c.method)) {
+    // Find() composes the "unknown solver ... (registered: ...)" message.
+    return SolverRegistry::Global().Find(c.method).status();
+  }
+
   c.k = static_cast<int>(flags.GetInt("k", c.k));
   c.ell = static_cast<int>(flags.GetInt("ell", c.ell));
   c.theta = flags.GetInt("theta", c.theta);
@@ -362,7 +406,6 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   c.alpha = flags.GetDouble("alpha", c.alpha);
   c.beta = flags.GetDouble("beta", c.beta);
   c.bound = flags.GetString("bound", c.bound);
-  c.progressive = flags.GetBool("progressive", c.progressive);
   c.max_nodes = flags.GetInt("max_nodes", c.max_nodes);
   c.trials = static_cast<int>(flags.GetInt("trials", c.trials));
   c.k_sweep = flags.GetIntList("k", {c.k});
@@ -415,6 +458,9 @@ std::string UsageString() {
      << "  --n=<vertices>           synthetic graph size (2000)\n"
      << "  --topics=<count>         synthetic topic count (10)\n"
      << "  --scale=<frac>           dblp/tweet scale (0.01)\n"
+     << "  --method=<solver|list>   registered solver name; 'list' prints\n"
+     << "                           the registry (bab-p; bab when\n"
+     << "                           --progressive=false)\n"
      << "  --k=<budget[,budget..]>  assignment budget; list for bench (10)\n"
      << "  --ell=<pieces>           campaign pieces L (3)\n"
      << "  --theta=<samples>        MRR samples (20000)\n"
@@ -443,6 +489,10 @@ int RunCli(int argc, char** argv, std::ostream& out, std::ostream& err) {
   const FlagParser flags(argc, argv);
   if (flags.Has("help")) {
     out << UsageString();
+    return 0;
+  }
+  if (flags.GetString("method", "") == "list") {
+    out << SolverRegistry::Global().DescribeAll();
     return 0;
   }
   CliConfig config;

@@ -43,6 +43,10 @@ struct CliConfig {
   int em_iterations = 5;
 
   // ------------------------------------------------------ planning stage
+  /// Registered solver name (see SolverRegistry::Global().Names());
+  /// resolved from --progressive when --method is not given. The special
+  /// value "list" makes oipa_cli print the registry and exit.
+  std::string method;
   /// Total assignment budget k.
   int k = 10;
   /// Campaign pieces L (the paper's l).

@@ -4,9 +4,13 @@
 // branch-and-bound planning -> forward-simulation validation in one
 // invocation and emits a JSON result on stdout (progress on stderr).
 //
+// Solvers are dispatched by name through SolverRegistry (oipa/api/).
+//
 //   oipa_cli plan --dataset=synthetic --k=10
+//   oipa_cli plan --method=tim --k=10
 //   oipa_cli simulate --dataset=lastfm --k=20 --ell=5 --theta=50000
-//   oipa_cli bench --k=10,20,50 --output=BENCH_vary_k.json
+//   oipa_cli bench --method=bab-p --k=10,20,50 --output=BENCH_cli.json
+//   oipa_cli --method=list
 //   oipa_cli --help
 
 #include <iostream>

@@ -1,0 +1,181 @@
+#include "oipa/api/planning_context.h"
+
+#include <utility>
+
+#include "oipa/adoption.h"
+
+namespace oipa {
+
+namespace {
+
+/// Wraps a caller-owned reference in a non-owning shared_ptr (empty
+/// control block). Used by the Borrow* factories; the caller guarantees
+/// the referent outlives the context.
+template <typename T>
+std::shared_ptr<const T> Unowned(const T& ref) {
+  return std::shared_ptr<const T>(std::shared_ptr<const T>(), &ref);
+}
+
+Status ValidateInputs(const Graph* graph, const EdgeTopicProbs* probs,
+                      const Campaign* campaign) {
+  if (graph == nullptr || probs == nullptr || campaign == nullptr) {
+    return Status::InvalidArgument(
+        "PlanningContext requires non-null graph, probs, and campaign");
+  }
+  if (graph->num_vertices() < 1) {
+    return Status::InvalidArgument("graph has no vertices");
+  }
+  if (probs->num_edges() != graph->num_edges()) {
+    return Status::InvalidArgument(
+        "probs cover " + std::to_string(probs->num_edges()) +
+        " edges but the graph has " + std::to_string(graph->num_edges()));
+  }
+  if (campaign->num_pieces() < 1) {
+    return Status::InvalidArgument("campaign has no pieces");
+  }
+  for (int j = 0; j < campaign->num_pieces(); ++j) {
+    if (campaign->piece(j).topics.num_topics() != probs->num_topics()) {
+      return Status::InvalidArgument(
+          "campaign piece " + std::to_string(j) + " has " +
+          std::to_string(campaign->piece(j).topics.num_topics()) +
+          " topic dimensions but probs have " +
+          std::to_string(probs->num_topics()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const PlanningContext>> PlanningContext::Build(
+    std::shared_ptr<const Graph> graph,
+    std::shared_ptr<const EdgeTopicProbs> probs,
+    std::shared_ptr<const Campaign> campaign, LogisticAdoptionModel model,
+    ContextOptions options, std::shared_ptr<const MrrCollection> mrr,
+    std::shared_ptr<const MrrCollection> holdout) {
+  // Private constructor: build in place, then fill.
+  std::shared_ptr<PlanningContext> ctx(new PlanningContext());
+  ctx->graph_ = std::move(graph);
+  ctx->probs_ = std::move(probs);
+  ctx->campaign_ = std::move(campaign);
+  ctx->model_ = model;
+  ctx->options_ = options;
+  ctx->pieces_ =
+      BuildPieceGraphs(*ctx->graph_, *ctx->probs_, *ctx->campaign_);
+  if (mrr != nullptr) {
+    ctx->mrr_ = std::move(mrr);
+    ctx->holdout_ = std::move(holdout);
+  } else {
+    ctx->mrr_ = std::make_shared<const MrrCollection>(
+        MrrCollection::Generate(ctx->pieces_, options.theta, options.seed,
+                                options.diffusion));
+    const int64_t holdout_theta =
+        options.holdout_theta < 0 ? options.theta : options.holdout_theta;
+    if (holdout_theta > 0) {
+      ctx->holdout_ = std::make_shared<const MrrCollection>(
+          MrrCollection::Generate(ctx->pieces_, holdout_theta,
+                                  options.seed ^ 0xABCDEF12345ULL,
+                                  options.diffusion));
+    }
+  }
+  return std::shared_ptr<const PlanningContext>(std::move(ctx));
+}
+
+StatusOr<std::shared_ptr<const PlanningContext>> PlanningContext::Create(
+    std::shared_ptr<const Graph> graph,
+    std::shared_ptr<const EdgeTopicProbs> probs,
+    std::shared_ptr<const Campaign> campaign, LogisticAdoptionModel model,
+    ContextOptions options) {
+  OIPA_RETURN_IF_ERROR(
+      ValidateInputs(graph.get(), probs.get(), campaign.get()));
+  if (options.theta < 1) {
+    return Status::InvalidArgument("ContextOptions::theta must be >= 1");
+  }
+  if (options.holdout_theta < -1) {
+    return Status::InvalidArgument(
+        "ContextOptions::holdout_theta must be >= -1");
+  }
+  return Build(std::move(graph), std::move(probs), std::move(campaign),
+               model, options, nullptr, nullptr);
+}
+
+StatusOr<std::shared_ptr<const PlanningContext>> PlanningContext::Borrow(
+    const Graph& graph, const EdgeTopicProbs& probs,
+    const Campaign& campaign, LogisticAdoptionModel model,
+    ContextOptions options) {
+  return Create(Unowned(graph), Unowned(probs), Unowned(campaign), model,
+                options);
+}
+
+StatusOr<std::shared_ptr<const PlanningContext>>
+PlanningContext::BorrowWithSamples(const Graph& graph,
+                                   const EdgeTopicProbs& probs,
+                                   const Campaign& campaign,
+                                   LogisticAdoptionModel model,
+                                   const MrrCollection* mrr,
+                                   const MrrCollection* holdout) {
+  OIPA_RETURN_IF_ERROR(ValidateInputs(&graph, &probs, &campaign));
+  if (mrr == nullptr) {
+    return Status::InvalidArgument(
+        "BorrowWithSamples requires a non-null MRR collection");
+  }
+  for (const MrrCollection* samples : {mrr, holdout}) {
+    if (samples == nullptr) continue;
+    if (samples->num_pieces() != campaign.num_pieces()) {
+      return Status::InvalidArgument(
+          "MRR collection has " + std::to_string(samples->num_pieces()) +
+          " pieces but the campaign has " +
+          std::to_string(campaign.num_pieces()));
+    }
+    if (samples->num_vertices() != graph.num_vertices()) {
+      return Status::InvalidArgument(
+          "MRR collection covers " +
+          std::to_string(samples->num_vertices()) +
+          " vertices but the graph has " +
+          std::to_string(graph.num_vertices()));
+    }
+  }
+  ContextOptions options;
+  options.theta = mrr->theta();
+  options.holdout_theta = holdout == nullptr ? 0 : holdout->theta();
+  return Build(Unowned(graph), Unowned(probs), Unowned(campaign), model,
+               options, Unowned(*mrr),
+               holdout == nullptr
+                   ? std::shared_ptr<const MrrCollection>()
+                   : Unowned(*holdout));
+}
+
+double PlanningContext::EstimateUtility(const AssignmentPlan& plan) const {
+  return EstimateAdoptionUtility(*mrr_, model_, plan);
+}
+
+double PlanningContext::EstimateHoldoutUtility(
+    const AssignmentPlan& plan) const {
+  if (holdout_ == nullptr) return 0.0;
+  return EstimateAdoptionUtility(*holdout_, model_, plan);
+}
+
+StatusOr<PlanResponse> PlanningContext::Evaluate(
+    const AssignmentPlan& plan, const std::string& label) const {
+  if (plan.num_pieces() != campaign_->num_pieces()) {
+    return Status::InvalidArgument(
+        "plan has " + std::to_string(plan.num_pieces()) +
+        " pieces but the campaign has " +
+        std::to_string(campaign_->num_pieces()));
+  }
+  PlanResponse response;
+  response.solver = label;
+  response.budget = plan.size();
+  response.plan = plan;
+  response.utility = EstimateUtility(plan);
+  response.holdout_utility = EstimateHoldoutUtility(plan);
+  response.upper_bound = response.utility;
+  return response;
+}
+
+double PlanningContext::SimulateUtility(const AssignmentPlan& plan,
+                                        int trials, uint64_t seed) const {
+  return SimulateAdoptionUtility(pieces_, model_, plan, trials, seed);
+}
+
+}  // namespace oipa

@@ -1,0 +1,132 @@
+#ifndef OIPA_OIPA_API_PLANNING_CONTEXT_H_
+#define OIPA_OIPA_API_PLANNING_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/logistic_model.h"
+#include "rrset/mrr_collection.h"
+#include "topic/campaign.h"
+#include "topic/edge_topic_probs.h"
+#include "topic/influence_graph.h"
+#include "util/status.h"
+
+namespace oipa {
+
+/// Sampling configuration of a PlanningContext.
+struct ContextOptions {
+  /// In-sample MRR samples the solvers optimize on.
+  int64_t theta = 100'000;
+  /// Holdout MRR samples for unbiased plan evaluation: -1 draws `theta`
+  /// samples (default), 0 skips the holdout entirely (halves sampling
+  /// cost; PlanResponse::holdout_utility is then 0).
+  int64_t holdout_theta = -1;
+  uint64_t seed = 1;
+  DiffusionModel diffusion = DiffusionModel::kIndependentCascade;
+};
+
+/// The immutable shared state of one (graph, probabilities, campaign,
+/// adoption model) planning configuration: the per-piece influence
+/// graphs plus the in-sample and holdout MRR collections. Built once,
+/// then shared — every member is read-only after construction, so any
+/// number of threads may Solve() against one context concurrently, and a
+/// SolveBatch() budget sweep reuses the same samples for every k.
+///
+///   auto ctx = PlanningContext::Create(graph, probs, campaign,
+///                                      LogisticAdoptionModel(2.0, 1.0),
+///                                      {.theta = 100'000});
+///   if (!ctx.ok()) { /* report ctx.status() */ }
+///   PlanRequest req;
+///   req.solver = "bab-p";
+///   req.pool = pool;
+///   req.budgets = {20};
+///   StatusOr<PlanResponse> best = Solve(**ctx, req);
+///
+/// Contexts are handed out as shared_ptr<const PlanningContext>; copies
+/// of the handle are cheap and keep the samples alive for as long as any
+/// request might still read them.
+class PlanningContext {
+ public:
+  /// Builds a context that shares ownership of its inputs — the safe
+  /// default for servers and concurrent callers.
+  static StatusOr<std::shared_ptr<const PlanningContext>> Create(
+      std::shared_ptr<const Graph> graph,
+      std::shared_ptr<const EdgeTopicProbs> probs,
+      std::shared_ptr<const Campaign> campaign,
+      LogisticAdoptionModel model, ContextOptions options = {});
+
+  /// Borrows stack- or caller-owned inputs without copying them. The
+  /// referenced graph/probs/campaign must outlive every handle to the
+  /// returned context (the old OipaPlanner contract).
+  static StatusOr<std::shared_ptr<const PlanningContext>> Borrow(
+      const Graph& graph, const EdgeTopicProbs& probs,
+      const Campaign& campaign, LogisticAdoptionModel model,
+      ContextOptions options = {});
+
+  /// Borrows inputs AND pre-generated MRR collections instead of
+  /// sampling fresh ones — for benches and tests that must share one
+  /// sample set across configurations or exclude sampling from timings.
+  /// `holdout` may be null. All referenced objects must outlive the
+  /// context.
+  static StatusOr<std::shared_ptr<const PlanningContext>> BorrowWithSamples(
+      const Graph& graph, const EdgeTopicProbs& probs,
+      const Campaign& campaign, LogisticAdoptionModel model,
+      const MrrCollection* mrr, const MrrCollection* holdout = nullptr);
+
+  const Graph& graph() const { return *graph_; }
+  const EdgeTopicProbs& probs() const { return *probs_; }
+  const Campaign& campaign() const { return *campaign_; }
+  const LogisticAdoptionModel& model() const { return model_; }
+  const ContextOptions& options() const { return options_; }
+
+  /// Per-piece influence graphs (alias the context's graph).
+  const std::vector<InfluenceGraph>& pieces() const { return pieces_; }
+  const MrrCollection& mrr() const { return *mrr_; }
+  /// Null when the context was built with holdout_theta = 0 (or
+  /// BorrowWithSamples without a holdout).
+  const MrrCollection* holdout() const { return holdout_.get(); }
+
+  /// In-sample MRR estimate of `plan` (what solvers maximize).
+  double EstimateUtility(const AssignmentPlan& plan) const;
+
+  /// Holdout MRR estimate of `plan`; 0 when there is no holdout.
+  double EstimateHoldoutUtility(const AssignmentPlan& plan) const;
+
+  /// Scores an externally supplied plan with the same reporting shape as
+  /// a solver run. InvalidArgument if the plan's piece count does not
+  /// match the campaign. `label` becomes PlanResponse::solver.
+  StatusOr<PlanResponse> Evaluate(const AssignmentPlan& plan,
+                                  const std::string& label = "external") const;
+
+  /// Ground-truth check by forward Monte-Carlo simulation.
+  double SimulateUtility(const AssignmentPlan& plan, int trials,
+                         uint64_t seed) const;
+
+ private:
+  PlanningContext() = default;
+
+  static StatusOr<std::shared_ptr<const PlanningContext>> Build(
+      std::shared_ptr<const Graph> graph,
+      std::shared_ptr<const EdgeTopicProbs> probs,
+      std::shared_ptr<const Campaign> campaign,
+      LogisticAdoptionModel model, ContextOptions options,
+      std::shared_ptr<const MrrCollection> mrr,
+      std::shared_ptr<const MrrCollection> holdout);
+
+  std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const EdgeTopicProbs> probs_;
+  std::shared_ptr<const Campaign> campaign_;
+  LogisticAdoptionModel model_{2.0, 1.0};
+  ContextOptions options_;
+  std::vector<InfluenceGraph> pieces_;
+  std::shared_ptr<const MrrCollection> mrr_;
+  std::shared_ptr<const MrrCollection> holdout_;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_API_PLANNING_CONTEXT_H_

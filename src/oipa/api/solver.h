@@ -1,0 +1,41 @@
+#ifndef OIPA_OIPA_API_SOLVER_H_
+#define OIPA_OIPA_API_SOLVER_H_
+
+#include <string_view>
+
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "util/status.h"
+
+namespace oipa {
+
+/// A pluggable OIPA solver: turns (shared context, request, one budget)
+/// into a plan. Implementations must be stateless between calls — Solve
+/// is const and may be invoked concurrently from many threads against
+/// the same context, so all working state lives on the stack.
+///
+/// Implementations normally don't fill PlanResponse::solver, ::budget,
+/// ::holdout_utility, or ::seconds — the dispatch layer
+/// (solver_registry.h) stamps them uniformly. Report errors as Status
+/// values (e.g. an infeasibly large instance is InvalidArgument), never
+/// by aborting.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry key, e.g. "bab-p". Lower-case, stable across releases.
+  virtual std::string_view name() const = 0;
+
+  /// One-line human description shown by `oipa_cli --method=list`.
+  virtual std::string_view description() const = 0;
+
+  /// Solves for one budget. `request.budgets` should be ignored in favor
+  /// of `budget` (SolveBatch calls this once per entry).
+  virtual StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                                       const PlanRequest& request,
+                                       int budget) const = 0;
+};
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_API_SOLVER_H_

@@ -1,0 +1,436 @@
+#include "oipa/api/solver_registry.h"
+
+#include <sstream>
+#include <utility>
+
+#include "im/heuristics.h"
+#include "oipa/baselines.h"
+#include "oipa/branch_and_bound.h"
+#include "oipa/brute_force.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace oipa {
+
+namespace {
+
+PlanResponse FromBabResult(const BabResult& r) {
+  PlanResponse response;
+  response.plan = r.plan;
+  response.utility = r.utility;
+  response.upper_bound = r.upper_bound;
+  response.nodes_expanded = r.nodes_expanded;
+  response.bound_calls = r.bound_calls;
+  response.tau_evals = r.tau_evals;
+  response.seconds = r.seconds;
+  response.converged = r.converged;
+  response.cancelled = r.cancelled;
+  return response;
+}
+
+PlanResponse FromBaselineResult(const BaselineResult& r) {
+  PlanResponse response;
+  response.plan = r.plan;
+  response.utility = r.utility;
+  response.upper_bound = r.utility;
+  response.seconds = r.seconds;
+  return response;
+}
+
+// --------------------------------------------------- branch and bound
+
+/// "bab" and "bab-p": the paper's branch-and-bound framework.
+class BabFamilySolver : public Solver {
+ public:
+  BabFamilySolver(std::string_view name, std::string_view description,
+                  bool progressive)
+      : name_(name), description_(description), progressive_(progressive) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+
+  StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const PlanRequest& request,
+                               int budget) const override {
+    BabOptions options;
+    options.budget = budget;
+    options.gap = request.options.gap;
+    options.progressive = progressive_;
+    options.lazy_greedy = request.options.lazy_greedy;
+    options.epsilon = request.options.epsilon;
+    options.progressive_fill = request.options.progressive_fill;
+    options.variant = request.options.variant;
+    options.exact_pruning = request.options.exact_pruning;
+    options.max_nodes = request.options.max_nodes;
+    if (request.progress) {
+      options.on_progress = [this, &request,
+                             budget](const BabProgress& p) {
+        PlanProgress progress;
+        progress.solver = name_;
+        progress.budget = budget;
+        progress.nodes_expanded = p.nodes_expanded;
+        progress.incumbent = p.incumbent;
+        progress.upper_bound = p.upper_bound;
+        return request.progress(progress);
+      };
+    }
+    return FromBabResult(
+        BabSolver(&context.mrr(), context.model(), request.pool, options)
+            .Solve());
+  }
+
+ private:
+  std::string_view name_;
+  std::string_view description_;
+  bool progressive_;
+};
+
+// ----------------------------------------------------- paper baselines
+
+class ImSolver : public Solver {
+ public:
+  std::string_view name() const override { return "im"; }
+  std::string_view description() const override {
+    return "paper IM baseline: topic-blind influence maximization, best "
+           "single piece";
+  }
+
+  StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const PlanRequest& request,
+                               int budget) const override {
+    return FromBaselineResult(ImBaseline(
+        context.graph(), context.probs(), context.campaign(),
+        context.mrr(), context.model(), request.pool, budget,
+        context.mrr().theta(), request.seed + 17));
+  }
+};
+
+class TimSolver : public Solver {
+ public:
+  std::string_view name() const override { return "tim"; }
+  std::string_view description() const override {
+    return "paper TIM baseline: per-piece influence maximization, best "
+           "single piece";
+  }
+
+  StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const PlanRequest& request,
+                               int budget) const override {
+    return FromBaselineResult(TimBaseline(
+        context.graph(), context.probs(), context.campaign(),
+        context.mrr(), context.model(), request.pool, budget,
+        context.mrr().theta(), request.seed + 19));
+  }
+};
+
+// --------------------------------------------------------- exhaustive
+
+class BruteForceSolver : public Solver {
+ public:
+  std::string_view name() const override { return "brute-force"; }
+  std::string_view description() const override {
+    return "exhaustive enumeration over the MRR objective (tiny "
+           "instances only)";
+  }
+
+  StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const PlanRequest& request,
+                               int budget) const override {
+    // BruteForceSolve CHECK-fails on infeasible instances; turn that
+    // into a Status here so an oversized request is an error value.
+    const int64_t candidates =
+        static_cast<int64_t>(request.pool.size()) *
+        context.campaign().num_pieces();
+    if (!BruteForceFeasible(candidates, budget)) {
+      return Status::InvalidArgument(
+          "brute-force instance too large: " +
+          std::to_string(candidates) + " candidates at budget " +
+          std::to_string(budget) + " exceed 5e7 plans");
+    }
+    WallTimer timer;
+    const BruteForceResult r = BruteForceSolve(
+        context.mrr(), context.model(), request.pool, budget);
+    PlanResponse response;
+    response.plan = r.plan;
+    response.utility = r.utility;
+    response.upper_bound = r.utility;  // exhaustive => exact optimum
+    response.nodes_expanded = r.plans_evaluated;
+    response.seconds = timer.Seconds();
+    return response;
+  }
+};
+
+// --------------------------------------------------------- heuristics
+
+class GreedySigmaSolver : public Solver {
+ public:
+  std::string_view name() const override { return "greedy-sigma"; }
+  std::string_view description() const override {
+    return "greedy directly on the MRR-estimated adoption utility (no "
+           "guarantee)";
+  }
+
+  StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const PlanRequest& request,
+                               int budget) const override {
+    return FromBabResult(GreedySigmaSolve(context.mrr(), context.model(),
+                                          request.pool, budget));
+  }
+};
+
+/// Shared tail of the classic-IM heuristic solvers: seeds per piece ->
+/// best single-piece assignment (the same reporting path as IM/TIM).
+PlanResponse HeuristicResponse(
+    const PlanningContext& context,
+    const std::vector<std::vector<VertexId>>& per_piece_seeds,
+    const WallTimer& timer) {
+  PlanResponse response = FromBaselineResult(BestSinglePieceAssignment(
+      context.mrr(), context.model(), per_piece_seeds));
+  response.seconds = timer.Seconds();
+  return response;
+}
+
+class HighDegreeSolver : public Solver {
+ public:
+  std::string_view name() const override { return "high-degree"; }
+  std::string_view description() const override {
+    return "top-k out-degree seeds, best single piece (Chen et al. "
+           "heuristic)";
+  }
+
+  StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const PlanRequest& request,
+                               int budget) const override {
+    WallTimer timer;
+    const std::vector<VertexId> seeds =
+        HighDegreeSeeds(context.graph(), budget, request.pool);
+    return HeuristicResponse(
+        context,
+        std::vector<std::vector<VertexId>>(
+            context.campaign().num_pieces(), seeds),
+        timer);
+  }
+};
+
+class DegreeDiscountSolver : public Solver {
+ public:
+  std::string_view name() const override { return "degree-discount"; }
+  std::string_view description() const override {
+    return "per-piece DegreeDiscount seeds, best single piece (Chen et "
+           "al. heuristic)";
+  }
+
+  StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const PlanRequest& request,
+                               int budget) const override {
+    WallTimer timer;
+    std::vector<std::vector<VertexId>> per_piece;
+    per_piece.reserve(context.pieces().size());
+    for (const InfluenceGraph& piece : context.pieces()) {
+      per_piece.push_back(
+          DegreeDiscountSeeds(piece, budget, request.pool));
+    }
+    return HeuristicResponse(context, per_piece, timer);
+  }
+};
+
+class RandomSolver : public Solver {
+ public:
+  std::string_view name() const override { return "random"; }
+  std::string_view description() const override {
+    return "k uniform random pool seeds, best single piece (baseline "
+           "floor)";
+  }
+
+  StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const PlanRequest& request,
+                               int budget) const override {
+    WallTimer timer;
+    const std::vector<VertexId> seeds = RandomSeeds(
+        context.graph(), budget, request.seed + 23, request.pool);
+    return HeuristicResponse(
+        context,
+        std::vector<std::vector<VertexId>>(
+            context.campaign().num_pieces(), seeds),
+        timer);
+  }
+};
+
+// ----------------------------------------------------------- dispatch
+
+Status ValidateRequest(const PlanningContext& context,
+                       const PlanRequest& request) {
+  if (request.pool.empty()) {
+    return Status::InvalidArgument("request pool is empty");
+  }
+  const VertexId n = context.graph().num_vertices();
+  for (const VertexId v : request.pool) {
+    if (v < 0 || v >= n) {
+      return Status::InvalidArgument(
+          "pool vertex " + std::to_string(v) +
+          " is outside the context graph [0, " + std::to_string(n) + ")");
+    }
+  }
+  if (request.budgets.empty()) {
+    return Status::InvalidArgument("request has no budgets");
+  }
+  for (const int budget : request.budgets) {
+    if (budget < 1) {
+      return Status::InvalidArgument("budgets must be >= 1, got " +
+                                     std::to_string(budget));
+    }
+  }
+  return Status::Ok();
+}
+
+/// Runs one budget through `solver` and stamps the uniform response
+/// fields the solvers themselves leave blank. Every solver gets one
+/// initial progress snapshot (with zeroed counters) before any work, so
+/// cancellation is possible even for solvers that never poll the hook;
+/// the BAB family additionally polls during the search.
+StatusOr<PlanResponse> SolveOne(const PlanningContext& context,
+                                const PlanRequest& request,
+                                const Solver& solver, int budget) {
+  WallTimer timer;
+  if (request.progress) {
+    PlanProgress initial;
+    initial.solver = solver.name();
+    initial.budget = budget;
+    if (!request.progress(initial)) {
+      PlanResponse cancelled;
+      cancelled.solver = std::string(solver.name());
+      cancelled.budget = budget;
+      cancelled.plan = AssignmentPlan(context.campaign().num_pieces());
+      cancelled.converged = false;
+      cancelled.cancelled = true;
+      cancelled.seconds = timer.Seconds();
+      return cancelled;
+    }
+  }
+  StatusOr<PlanResponse> response = solver.Solve(context, request, budget);
+  if (!response.ok()) return response.status();
+  response->solver = std::string(solver.name());
+  response->budget = budget;
+  if (response->seconds == 0.0) response->seconds = timer.Seconds();
+  response->holdout_utility = context.EstimateHoldoutUtility(response->plan);
+  return response;
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    auto add = [r](std::unique_ptr<Solver> solver) {
+      const Status status = r->Register(std::move(solver));
+      OIPA_CHECK(status.ok()) << status.ToString();
+    };
+    add(std::make_unique<BabFamilySolver>(
+        "bab", "paper branch-and-bound (Algorithm 1 + Algorithm 2 bound)",
+        /*progressive=*/false));
+    add(std::make_unique<BabFamilySolver>(
+        "bab-p",
+        "paper progressive branch-and-bound (Algorithm 3 bound)",
+        /*progressive=*/true));
+    add(std::make_unique<ImSolver>());
+    add(std::make_unique<TimSolver>());
+    add(std::make_unique<BruteForceSolver>());
+    add(std::make_unique<GreedySigmaSolver>());
+    add(std::make_unique<HighDegreeSolver>());
+    add(std::make_unique<DegreeDiscountSolver>());
+    add(std::make_unique<RandomSolver>());
+    return r;
+  }();
+  return *registry;
+}
+
+Status SolverRegistry::Register(std::unique_ptr<Solver> solver) {
+  if (solver == nullptr) {
+    return Status::InvalidArgument("cannot register a null solver");
+  }
+  const std::string name(solver->name());
+  if (name.empty()) {
+    return Status::InvalidArgument("solver name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = solvers_.emplace(name, std::move(solver));
+  (void)it;
+  if (!inserted) {
+    return Status::FailedPrecondition("solver '" + name +
+                                      "' is already registered");
+  }
+  return Status::Ok();
+}
+
+StatusOr<const Solver*> SolverRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = solvers_.find(name);
+  if (it == solvers_.end()) {
+    std::ostringstream names;
+    for (const auto& [key, unused] : solvers_) {
+      if (names.tellp() > 0) names << ", ";
+      names << key;
+    }
+    return Status::NotFound("unknown solver '" + name +
+                            "' (registered: " + names.str() + ")");
+  }
+  return it->second.get();
+}
+
+bool SolverRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return solvers_.count(name) > 0;
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(solvers_.size());
+  for (const auto& [key, unused] : solvers_) names.push_back(key);
+  return names;  // std::map iteration is already sorted
+}
+
+std::string SolverRegistry::DescribeAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [key, solver] : solvers_) {
+    os << key << "  (" << solver->description() << ")\n";
+  }
+  return os.str();
+}
+
+StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                             const PlanRequest& request,
+                             const SolverRegistry& registry) {
+  if (request.budgets.size() != 1) {
+    return Status::InvalidArgument(
+        "Solve() takes exactly one budget (got " +
+        std::to_string(request.budgets.size()) +
+        "); use SolveBatch() for sweeps");
+  }
+  const StatusOr<const Solver*> solver = registry.Find(request.solver);
+  if (!solver.ok()) return solver.status();
+  OIPA_RETURN_IF_ERROR(ValidateRequest(context, request));
+  return SolveOne(context, request, **solver, request.budgets[0]);
+}
+
+StatusOr<std::vector<PlanResponse>> SolveBatch(
+    const PlanningContext& context, const PlanRequest& request,
+    const SolverRegistry& registry) {
+  const StatusOr<const Solver*> solver = registry.Find(request.solver);
+  if (!solver.ok()) return solver.status();
+  OIPA_RETURN_IF_ERROR(ValidateRequest(context, request));
+  std::vector<PlanResponse> responses;
+  responses.reserve(request.budgets.size());
+  for (const int budget : request.budgets) {
+    StatusOr<PlanResponse> response =
+        SolveOne(context, request, **solver, budget);
+    if (!response.ok()) return response.status();
+    const bool cancelled = response->cancelled;
+    responses.push_back(*std::move(response));
+    if (cancelled) break;
+  }
+  return responses;
+}
+
+}  // namespace oipa

@@ -1,0 +1,83 @@
+#ifndef OIPA_OIPA_API_SOLVER_REGISTRY_H_
+#define OIPA_OIPA_API_SOLVER_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver.h"
+#include "util/status.h"
+
+namespace oipa {
+
+/// String-keyed solver catalog. The process-wide instance
+/// (SolverRegistry::Global()) comes pre-populated with every built-in
+/// method — the paper's "bab", "bab-p", "im", "tim" plus "brute-force",
+/// "greedy-sigma" and the classic IM heuristics "high-degree",
+/// "degree-discount", "random" — and applications extend it at startup:
+///
+///   class MySolver : public Solver { ... };
+///   OIPA_CHECK_OK(SolverRegistry::Global().Register(
+///       std::make_unique<MySolver>()));
+///   ...
+///   StatusOr<PlanResponse> r = Solve(*ctx, {.solver = "my-solver", ...});
+///
+/// All methods are thread-safe; lookups return stable pointers (solvers
+/// are never unregistered).
+class SolverRegistry {
+ public:
+  SolverRegistry() = default;
+  SolverRegistry(const SolverRegistry&) = delete;
+  SolverRegistry& operator=(const SolverRegistry&) = delete;
+
+  /// The process-wide registry, built-ins already registered.
+  static SolverRegistry& Global();
+
+  /// Registers `solver` under solver->name(). FailedPrecondition if the
+  /// name is already taken; InvalidArgument for a null solver or an
+  /// empty name.
+  Status Register(std::unique_ptr<Solver> solver);
+
+  /// Looks a solver up by name. NotFound (message lists the registered
+  /// names) when absent.
+  StatusOr<const Solver*> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// "name1 (description1)\nname2 (description2)..." — one line per
+  /// solver, sorted by name. Used by `oipa_cli --method=list`.
+  std::string DescribeAll() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Solver>> solvers_;
+};
+
+/// Solves one request (exactly one budget) against a shared context:
+/// validates the request, dispatches to the named solver, and stamps the
+/// response with the solver name, budget, wall time, and holdout
+/// utility. InvalidArgument on a malformed request, NotFound on an
+/// unknown solver name.
+StatusOr<PlanResponse> Solve(
+    const PlanningContext& context, const PlanRequest& request,
+    const SolverRegistry& registry = SolverRegistry::Global());
+
+/// Sweeps every budget in `request.budgets` against the same context —
+/// the MRR samples are generated once and reused, so a k-sweep costs one
+/// sampling pass plus the solves. Responses come back in budget order.
+/// If a solve is cancelled via the progress hook, the sweep stops after
+/// the cancelled response.
+StatusOr<std::vector<PlanResponse>> SolveBatch(
+    const PlanningContext& context, const PlanRequest& request,
+    const SolverRegistry& registry = SolverRegistry::Global());
+
+}  // namespace oipa
+
+#endif  // OIPA_OIPA_API_SOLVER_REGISTRY_H_

@@ -8,13 +8,11 @@
 
 namespace oipa {
 
-namespace {
-
-/// Evaluates assigning `seeds` to each piece alone and returns the best
-/// single-piece plan under the MRR-estimated adoption utility.
 BaselineResult BestSinglePieceAssignment(
     const MrrCollection& mrr, const LogisticAdoptionModel& model,
     const std::vector<std::vector<VertexId>>& per_piece_seeds) {
+  OIPA_CHECK_EQ(static_cast<int>(per_piece_seeds.size()),
+                mrr.num_pieces());
   BaselineResult best;
   best.plan = AssignmentPlan(mrr.num_pieces());
   best.utility = -1.0;
@@ -30,8 +28,6 @@ BaselineResult BestSinglePieceAssignment(
   }
   return best;
 }
-
-}  // namespace
 
 BaselineResult ImBaseline(const Graph& graph, const EdgeTopicProbs& probs,
                           const Campaign& campaign,

@@ -23,6 +23,14 @@ struct BaselineResult {
   double seconds = 0.0;
 };
 
+/// Evaluates assigning `per_piece_seeds[j]` to piece j alone (for every
+/// j) and returns the best single-piece plan under the MRR-estimated
+/// adoption utility. Shared tail of the IM/TIM baselines and the
+/// heuristic solvers. `per_piece_seeds` must have one entry per piece.
+BaselineResult BestSinglePieceAssignment(
+    const MrrCollection& mrr, const LogisticAdoptionModel& model,
+    const std::vector<std::vector<VertexId>>& per_piece_seeds);
+
 /// The paper's IM baseline (Section VI-A): run the state-of-the-art IM
 /// algorithm once on the topic-blind graph G (mean edge probability over
 /// topics) to get k seeds S, then evaluate assigning S to each piece t_j

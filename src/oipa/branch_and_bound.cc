@@ -132,6 +132,13 @@ BabResult BabSolver::Solve() {
       result.converged = false;
       break;
     }
+    if (options_.on_progress &&
+        !options_.on_progress(
+            {result.nodes_expanded, lower, result.upper_bound})) {
+      result.converged = false;
+      result.cancelled = true;
+      break;
+    }
     heap.pop();
     ++result.nodes_expanded;
 

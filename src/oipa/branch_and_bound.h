@@ -2,6 +2,7 @@
 #define OIPA_OIPA_BRANCH_AND_BOUND_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "oipa/assignment_plan.h"
@@ -10,6 +11,15 @@
 #include "rrset/mrr_collection.h"
 
 namespace oipa {
+
+/// Search-progress snapshot passed to BabOptions::on_progress.
+struct BabProgress {
+  int64_t nodes_expanded = 0;
+  /// Best utility found so far (the incumbent L).
+  double incumbent = 0.0;
+  /// Current global upper bound U over all open subspaces.
+  double upper_bound = 0.0;
+};
 
 /// Configuration for the OIPA branch-and-bound solvers (BAB / BAB-P).
 struct BabOptions {
@@ -40,6 +50,10 @@ struct BabOptions {
   /// Safety cap on expanded nodes; the search reports converged=false if
   /// it trips.
   int64_t max_nodes = 100'000;
+  /// Optional hook invoked before every node expansion. Return false to
+  /// cancel: the search stops and returns its incumbent with
+  /// cancelled=true (converged=false).
+  std::function<bool(const BabProgress&)> on_progress;
 };
 
 /// Outcome of a branch-and-bound run.
@@ -55,6 +69,8 @@ struct BabResult {
   int64_t tau_evals = 0;
   double seconds = 0.0;
   bool converged = false;
+  /// True when BabOptions::on_progress asked to stop the search.
+  bool cancelled = false;
 };
 
 /// The paper's branch-and-bound framework (Algorithm 1): a max-heap of

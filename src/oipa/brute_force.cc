@@ -1,5 +1,6 @@
 #include "oipa/brute_force.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "rrset/coverage_state.h"
@@ -65,6 +66,11 @@ double LogChoose(double n, double k) {
 
 }  // namespace
 
+bool BruteForceFeasible(int64_t num_candidates, int budget) {
+  const double n = static_cast<double>(num_candidates);
+  return LogChoose(n, std::min<double>(budget, n)) <= std::log(5e7);
+}
+
 BruteForceResult BruteForceSolve(
     const MrrCollection& mrr, const LogisticAdoptionModel& model,
     const std::vector<std::vector<VertexId>>& pools, int budget) {
@@ -74,9 +80,8 @@ BruteForceResult BruteForceSolve(
   for (int j = 0; j < mrr.num_pieces(); ++j) {
     for (VertexId v : pools[j]) candidates.emplace_back(j, v);
   }
-  OIPA_CHECK_LE(LogChoose(static_cast<double>(candidates.size()),
-                          std::min<double>(budget, candidates.size())),
-                std::log(5e7))
+  OIPA_CHECK(BruteForceFeasible(static_cast<int64_t>(candidates.size()),
+                                budget))
       << "brute force instance too large";
   Enumerator enumerator(mrr, model, std::move(candidates), budget);
   return enumerator.Run();

@@ -15,6 +15,12 @@ struct BruteForceResult {
   int64_t plans_evaluated = 0;
 };
 
+/// True when enumerating `num_candidates` choose <= `budget` plans stays
+/// under the solver's hard cap (~5e7 plans). BruteForceSolve CHECK-fails
+/// on infeasible instances; callers that must fail softly (the registry
+/// solver) test this first.
+bool BruteForceFeasible(int64_t num_candidates, int budget);
+
 /// Exhaustive OIPA over the MRR-estimated objective: enumerates every
 /// assignment plan with |S̄| <= budget drawn from `pools` and returns the
 /// maximum. Exponential — test-sized instances only (it checks that the

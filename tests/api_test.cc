@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver_registry.h"
+#include "topic/prob_models.h"
+#include "util/random.h"
+
+namespace oipa {
+namespace {
+
+/// One small shared context for every API test: 300 vertices, 2 pieces,
+/// holdout enabled. Built once per fixture instance.
+class ApiFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_shared<Graph>(GenerateHolmeKim(300, 4, 0.4, 7));
+    probs_ = std::make_shared<EdgeTopicProbs>(
+        AssignWeightedCascadeTopics(*graph_, 5, 2.0, 11));
+    Rng rng(13);
+    campaign_ = std::make_shared<Campaign>(
+        Campaign::SampleUniformPieces(2, 5, &rng));
+    for (VertexId v = 0; v < graph_->num_vertices(); v += 5) {
+      pool_.push_back(v);
+    }
+    ContextOptions options;
+    options.theta = 4'000;
+    options.seed = 17;
+    auto ctx = PlanningContext::Create(
+        graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0),
+        options);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    context_ = *ctx;
+  }
+
+  PlanRequest Request(const std::string& solver, int budget) const {
+    PlanRequest request;
+    request.solver = solver;
+    request.pool = pool_;
+    request.budgets = {budget};
+    request.options.max_nodes = 2'000;
+    return request;
+  }
+
+  std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const EdgeTopicProbs> probs_;
+  std::shared_ptr<const Campaign> campaign_;
+  std::vector<VertexId> pool_;
+  std::shared_ptr<const PlanningContext> context_;
+};
+
+// ------------------------------------------------------------ registry
+
+TEST(SolverRegistryTest, GlobalListsAllPaperMethods) {
+  const std::vector<std::string> names = SolverRegistry::Global().Names();
+  for (const char* required :
+       {"bab", "bab-p", "im", "tim", "brute-force", "greedy-sigma",
+        "high-degree", "degree-discount", "random"}) {
+    EXPECT_TRUE(SolverRegistry::Global().Contains(required)) << required;
+    EXPECT_NE(std::find(names.begin(), names.end(), required),
+              names.end())
+        << required;
+  }
+}
+
+TEST(SolverRegistryTest, UnknownNameIsNotFoundAndListsRegistered) {
+  const StatusOr<const Solver*> found =
+      SolverRegistry::Global().Find("simulated-annealing");
+  ASSERT_FALSE(found.ok());
+  EXPECT_EQ(found.status().code(), StatusCode::kNotFound);
+  // The error message names the available solvers.
+  EXPECT_NE(found.status().message().find("bab-p"), std::string::npos);
+}
+
+TEST(SolverRegistryTest, RejectsNullAndDuplicateRegistration) {
+  SolverRegistry registry;
+  EXPECT_EQ(registry.Register(nullptr).code(),
+            StatusCode::kInvalidArgument);
+
+  class Dummy : public Solver {
+   public:
+    std::string_view name() const override { return "dummy"; }
+    std::string_view description() const override { return "noop"; }
+    StatusOr<PlanResponse> Solve(const PlanningContext&,
+                                 const PlanRequest&, int) const override {
+      return PlanResponse{};
+    }
+  };
+  EXPECT_TRUE(registry.Register(std::make_unique<Dummy>()).ok());
+  EXPECT_EQ(registry.Register(std::make_unique<Dummy>()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(registry.Contains("dummy"));
+  EXPECT_EQ(registry.Names(), std::vector<std::string>({"dummy"}));
+}
+
+TEST(SolverRegistryTest, DescribeAllMentionsEveryName) {
+  const std::string text = SolverRegistry::Global().DescribeAll();
+  for (const std::string& name : SolverRegistry::Global().Names()) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+// ------------------------------------------------- context validation
+
+TEST_F(ApiFixture, CreateRejectsBadInputs) {
+  // Empty campaign.
+  auto empty_campaign = std::make_shared<Campaign>();
+  auto r1 = PlanningContext::Create(graph_, probs_, empty_campaign,
+                                    LogisticAdoptionModel(2.0, 1.0));
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  // Null graph.
+  auto r2 = PlanningContext::Create(nullptr, probs_, campaign_,
+                                    LogisticAdoptionModel(2.0, 1.0));
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  // Non-positive theta.
+  ContextOptions bad;
+  bad.theta = 0;
+  auto r3 = PlanningContext::Create(graph_, probs_, campaign_,
+                                    LogisticAdoptionModel(2.0, 1.0), bad);
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+
+  // Campaign topic dimensionality mismatching the probabilities.
+  Rng rng(29);
+  auto wrong_dims = std::make_shared<Campaign>(
+      Campaign::SampleUniformPieces(2, 9, &rng));
+  auto r4 = PlanningContext::Create(graph_, probs_, wrong_dims,
+                                    LogisticAdoptionModel(2.0, 1.0));
+  EXPECT_EQ(r4.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ApiFixture, BorrowWithSamplesValidatesShape) {
+  Rng rng(31);
+  const Campaign other = Campaign::SampleUniformPieces(3, 5, &rng);
+  // context_'s MRR has 2 pieces; a 3-piece campaign cannot adopt it.
+  auto r = PlanningContext::BorrowWithSamples(
+      *graph_, *probs_, other, LogisticAdoptionModel(2.0, 1.0),
+      &context_->mrr());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  auto ok = PlanningContext::BorrowWithSamples(
+      *graph_, *probs_, *campaign_, LogisticAdoptionModel(2.0, 1.0),
+      &context_->mrr(), context_->holdout());
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  const auto solved = Solve(**ok, Request("bab-p", 3));
+  ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+  EXPECT_GT(solved->utility, 0.0);
+}
+
+// ---------------------------------------------------- request errors
+
+TEST_F(ApiFixture, SolveRejectsMalformedRequests) {
+  // Unknown solver.
+  auto unknown = Solve(*context_, Request("frobnicate", 3));
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  // Empty pool.
+  PlanRequest no_pool = Request("bab", 3);
+  no_pool.pool.clear();
+  EXPECT_EQ(Solve(*context_, no_pool).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Pool vertex outside the graph.
+  PlanRequest bad_vertex = Request("bab", 3);
+  bad_vertex.pool.push_back(graph_->num_vertices());
+  EXPECT_EQ(Solve(*context_, bad_vertex).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Non-positive budget.
+  PlanRequest zero_budget = Request("bab", 3);
+  zero_budget.budgets = {0};
+  EXPECT_EQ(Solve(*context_, zero_budget).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // No budget at all.
+  PlanRequest empty_budgets = Request("bab", 3);
+  empty_budgets.budgets.clear();
+  EXPECT_EQ(Solve(*context_, empty_budgets).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Multi-budget requests belong to SolveBatch.
+  PlanRequest sweep = Request("bab", 3);
+  sweep.budgets = {2, 4};
+  EXPECT_EQ(Solve(*context_, sweep).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ApiFixture, BruteForceRejectsOversizedInstances) {
+  const auto r = Solve(*context_, Request("brute-force", 40));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("too large"), std::string::npos);
+}
+
+TEST_F(ApiFixture, EvaluateRejectsMismatchedPlan) {
+  const AssignmentPlan wrong(5);  // campaign has 2 pieces
+  EXPECT_EQ(context_->Evaluate(wrong).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------- solving paths
+
+TEST_F(ApiFixture, AllRegisteredSolversProduceFeasiblePlans) {
+  for (const std::string& name : SolverRegistry::Global().Names()) {
+    const int budget = 3;
+    const auto r = Solve(*context_, Request(name, budget));
+    ASSERT_TRUE(r.ok()) << name << ": " << r.status().ToString();
+    EXPECT_EQ(r->solver, name);
+    EXPECT_EQ(r->budget, budget);
+    EXPECT_LE(r->plan.size(), budget) << name;
+    EXPECT_GT(r->utility, 0.0) << name;
+    EXPECT_GT(r->holdout_utility, 0.0) << name;
+    EXPECT_GE(r->seconds, 0.0) << name;
+    for (int j = 0; j < r->plan.num_pieces(); ++j) {
+      for (const VertexId v : r->plan.SeedSet(j)) {
+        EXPECT_EQ(v % 5, 0) << name;  // pool membership
+      }
+    }
+  }
+}
+
+TEST_F(ApiFixture, EvaluateMatchesSolverUtilities) {
+  const auto solved = Solve(*context_, Request("bab", 4));
+  ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+  const auto evaluated = context_->Evaluate(solved->plan, "re-eval");
+  ASSERT_TRUE(evaluated.ok()) << evaluated.status().ToString();
+  EXPECT_NEAR(evaluated->utility, solved->utility, 1e-9);
+  EXPECT_NEAR(evaluated->holdout_utility, solved->holdout_utility, 1e-9);
+  EXPECT_EQ(evaluated->solver, "re-eval");
+}
+
+TEST_F(ApiFixture, NonConvergenceIsSurfacedNotDropped) {
+  PlanRequest request = Request("bab", 6);
+  request.options.max_nodes = 1;
+  request.options.gap = 0.0;
+  const auto r = Solve(*context_, request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->converged);
+  EXPECT_GE(r->nodes_expanded, 1);
+  EXPECT_GT(r->bound_calls, 0);
+  EXPECT_GT(r->utility, 0.0);  // the incumbent is still a valid plan
+}
+
+TEST_F(ApiFixture, ProgressHookCancelsTheSearch) {
+  PlanRequest request = Request("bab-p", 6);
+  request.options.gap = 0.0;
+  std::atomic<int> calls{0};
+  request.progress = [&](const PlanProgress& progress) {
+    EXPECT_EQ(progress.solver, "bab-p");
+    EXPECT_EQ(progress.budget, 6);
+    return ++calls < 2;  // cancel on the second callback
+  };
+  const auto r = Solve(*context_, request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(calls.load(), 2);
+  EXPECT_TRUE(r->cancelled);
+  EXPECT_FALSE(r->converged);
+  EXPECT_GT(r->utility, 0.0);
+}
+
+TEST_F(ApiFixture, InitialSnapshotCanCancelAnySolver) {
+  // Non-search solvers never poll mid-solve, but the dispatch layer's
+  // initial snapshot still lets callers cancel before work starts.
+  PlanRequest request = Request("tim", 3);
+  request.progress = [](const PlanProgress& progress) {
+    EXPECT_EQ(progress.solver, "tim");
+    EXPECT_EQ(progress.nodes_expanded, 0);
+    return false;
+  };
+  const auto r = Solve(*context_, request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->cancelled);
+  EXPECT_FALSE(r->converged);
+  EXPECT_TRUE(r->plan.empty());
+  EXPECT_EQ(r->solver, "tim");
+}
+
+// ------------------------------------------------------------- batch
+
+TEST_F(ApiFixture, SolveBatchSweepsBudgetsOverSharedSamples) {
+  PlanRequest request = Request("bab-p", 2);
+  request.budgets = {2, 4, 6};
+  const auto batch = SolveBatch(*context_, request);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 3u);
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const PlanResponse& r = (*batch)[i];
+    EXPECT_EQ(r.budget, request.budgets[i]);
+    EXPECT_EQ(r.solver, "bab-p");
+    EXPECT_LE(r.plan.size(), r.budget);
+    EXPECT_GT(r.utility, 0.0);
+  }
+  // More budget can only help (same samples, same objective).
+  EXPECT_GE((*batch)[1].utility + 1e-9, (*batch)[0].utility);
+  EXPECT_GE((*batch)[2].utility + 1e-9, (*batch)[1].utility);
+
+  // Batch responses match one-off solves bit for bit.
+  const auto solo = Solve(*context_, Request("bab-p", 4));
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(solo->plan.Assignments(), (*batch)[1].plan.Assignments());
+  EXPECT_EQ(solo->utility, (*batch)[1].utility);
+}
+
+// ------------------------------------------------------- concurrency
+
+TEST_F(ApiFixture, ConcurrentSolvesOnOneContextMatchSequentialRuns) {
+  // Reference: sequential solves.
+  const auto seq_bab = Solve(*context_, Request("bab-p", 5));
+  const auto seq_tim = Solve(*context_, Request("tim", 5));
+  ASSERT_TRUE(seq_bab.ok() && seq_tim.ok());
+
+  // Two threads share the context; each runs its solver several times.
+  constexpr int kRounds = 3;
+  std::vector<StatusOr<PlanResponse>> bab_runs, tim_runs;
+  std::thread bab_thread([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      bab_runs.push_back(Solve(*context_, Request("bab-p", 5)));
+    }
+  });
+  std::thread tim_thread([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      tim_runs.push_back(Solve(*context_, Request("tim", 5)));
+    }
+  });
+  bab_thread.join();
+  tim_thread.join();
+
+  for (const auto& run : bab_runs) {
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->plan.Assignments(), seq_bab->plan.Assignments());
+    EXPECT_EQ(run->utility, seq_bab->utility);
+    EXPECT_EQ(run->holdout_utility, seq_bab->holdout_utility);
+    EXPECT_EQ(run->nodes_expanded, seq_bab->nodes_expanded);
+  }
+  for (const auto& run : tim_runs) {
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->plan.Assignments(), seq_tim->plan.Assignments());
+    EXPECT_EQ(run->utility, seq_tim->utility);
+  }
+}
+
+}  // namespace
+}  // namespace oipa

@@ -120,8 +120,29 @@ TEST(CliParseTest, DefaultsMirrorQuickstart) {
   EXPECT_DOUBLE_EQ(config.epsilon, 0.5);
   EXPECT_EQ(config.variant, BoundVariant::kZeroAnchored);
   EXPECT_TRUE(config.progressive);
+  EXPECT_EQ(config.method, "bab-p");
   EXPECT_FALSE(config.learn);
   EXPECT_EQ(config.k_sweep, std::vector<int64_t>({10}));
+}
+
+TEST(CliParseTest, MethodResolvesFromProgressiveWhenAbsent) {
+  CliConfig config;
+  ASSERT_TRUE(
+      ParseCliConfig(MakeFlags({"plan", "--progressive=false"}), &config)
+          .ok());
+  EXPECT_EQ(config.method, "bab");
+  ASSERT_TRUE(
+      ParseCliConfig(MakeFlags({"plan", "--method=tim"}), &config).ok());
+  EXPECT_EQ(config.method, "tim");
+}
+
+TEST(CliParseTest, UnknownMethodIsNotFoundListingRegistry) {
+  CliConfig config;
+  const Status status =
+      ParseCliConfig(MakeFlags({"plan", "--method=annealing"}), &config);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("unknown solver"), std::string::npos);
+  EXPECT_NE(status.message().find("bab-p"), std::string::npos);
 }
 
 TEST(CliParseTest, FlagsOverrideEveryStage) {
@@ -191,6 +212,23 @@ TEST(CliDispatchTest, HelpSucceeds) {
   EXPECT_NE(run.out.find("usage: oipa_cli"), std::string::npos);
 }
 
+TEST(CliDispatchTest, MethodListPrintsTheRegistry) {
+  // Works even without a subcommand.
+  const CliRun run = InvokeCli({"--method=list"});
+  EXPECT_EQ(run.code, 0);
+  for (const char* name : {"bab", "bab-p", "im", "tim", "brute-force"}) {
+    EXPECT_NE(run.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CliDispatchTest, UnknownMethodFailsWithExitCode2) {
+  const CliRun run = InvokeCli(TinyArgs("plan", {"--method=annealing"}));
+  EXPECT_EQ(run.code, 2);
+  EXPECT_NE(run.err.find("unknown solver 'annealing'"),
+            std::string::npos);
+  EXPECT_NE(run.err.find("bab-p"), std::string::npos);
+}
+
 // ------------------------------------------------------- JSON pipelines
 
 TEST(CliPipelineTest, GenerateEmitsDatasetShape) {
@@ -225,6 +263,22 @@ TEST(CliPipelineTest, SimulateValidatesThePlan) {
   ASSERT_EQ(run.code, 0) << run.err;
   EXPECT_NE(run.out.find("\"simulate\":"), std::string::npos);
   EXPECT_NE(run.out.find("\"trials\":50"), std::string::npos);
+}
+
+TEST(CliPipelineTest, NamedMethodsDispatchThroughTheRegistry) {
+  for (const char* method : {"bab", "im", "tim", "greedy-sigma"}) {
+    const CliRun run =
+        InvokeCli(TinyArgs("plan", {std::string("--method=") + method}));
+    ASSERT_EQ(run.code, 0) << method << ": " << run.err;
+    EXPECT_NE(run.out.find(std::string("\"method\":\"") + method + "\""),
+              std::string::npos)
+        << method;
+    EXPECT_NE(run.out.find("\"converged\":"), std::string::npos) << method;
+    EXPECT_NE(run.out.find("\"nodes_expanded\":"), std::string::npos)
+        << method;
+    EXPECT_NE(run.out.find("\"bound_calls\":"), std::string::npos)
+        << method;
+  }
 }
 
 TEST(CliPipelineTest, BenchSweepsBudgets) {

@@ -1,9 +1,17 @@
+// Behavioral tests of the request/response planning surface: the solver
+// outcomes formerly covered through the OipaPlanner facade, now running
+// through PlanningContext + SolverRegistry (oipa/api/). Registry and
+// error-path coverage lives in api_test.cc.
+
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "graph/generators.h"
-#include "oipa/planner.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver_registry.h"
 #include "rrset/mrr_collection.h"
 #include "topic/prob_models.h"
 #include "util/random.h"
@@ -11,76 +19,89 @@
 namespace oipa {
 namespace {
 
-class PlannerFixture : public ::testing::Test {
+class PlanningFixture : public ::testing::Test {
  protected:
   void SetUp() override {
-    graph_ = std::make_unique<Graph>(GenerateHolmeKim(500, 4, 0.4, 7));
-    probs_ = std::make_unique<EdgeTopicProbs>(
+    graph_ = std::make_shared<Graph>(GenerateHolmeKim(500, 4, 0.4, 7));
+    probs_ = std::make_shared<EdgeTopicProbs>(
         AssignWeightedCascadeTopics(*graph_, 6, 2.0, 11));
     Rng rng(13);
-    campaign_ = Campaign::SampleUniformPieces(3, 6, &rng);
+    campaign_ = std::make_shared<Campaign>(
+        Campaign::SampleUniformPieces(3, 6, &rng));
     for (VertexId v = 0; v < graph_->num_vertices(); v += 5) {
       pool_.push_back(v);
     }
-    PlannerOptions options;
+    ContextOptions options;
     options.theta = 10'000;
     options.seed = 17;
-    planner_ = std::make_unique<OipaPlanner>(
-        *graph_, *probs_, campaign_, LogisticAdoptionModel(2.0, 1.0),
+    auto ctx = PlanningContext::Create(
+        graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0),
         options);
+    ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+    context_ = *ctx;
   }
 
-  std::unique_ptr<Graph> graph_;
-  std::unique_ptr<EdgeTopicProbs> probs_;
-  Campaign campaign_;
+  PlanResponse MustSolve(const std::string& solver, int budget) const {
+    PlanRequest request;
+    request.solver = solver;
+    request.pool = pool_;
+    request.budgets = {budget};
+    StatusOr<PlanResponse> response = Solve(*context_, request);
+    EXPECT_TRUE(response.ok())
+        << solver << ": " << response.status().ToString();
+    return *std::move(response);
+  }
+
+  std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const EdgeTopicProbs> probs_;
+  std::shared_ptr<const Campaign> campaign_;
   std::vector<VertexId> pool_;
-  std::unique_ptr<OipaPlanner> planner_;
+  std::shared_ptr<const PlanningContext> context_;
 };
 
-TEST_F(PlannerFixture, SolversProduceFeasiblePlans) {
-  for (const PlanReport& r :
-       {planner_->SolveBab(pool_, 6), planner_->SolveBabP(pool_, 6),
-        planner_->SolveImBaseline(pool_, 6),
-        planner_->SolveTimBaseline(pool_, 6)}) {
-    EXPECT_LE(r.plan.size(), 6) << r.method;
-    EXPECT_GT(r.utility, 0.0) << r.method;
-    EXPECT_GT(r.holdout_utility, 0.0) << r.method;
+TEST_F(PlanningFixture, SolversProduceFeasiblePlans) {
+  for (const char* solver : {"bab", "bab-p", "im", "tim"}) {
+    const PlanResponse r = MustSolve(solver, 6);
+    EXPECT_LE(r.plan.size(), 6) << solver;
+    EXPECT_GT(r.utility, 0.0) << solver;
+    EXPECT_GT(r.holdout_utility, 0.0) << solver;
     for (int j = 0; j < r.plan.num_pieces(); ++j) {
       for (VertexId v : r.plan.SeedSet(j)) {
-        EXPECT_EQ(v % 5, 0) << r.method;  // pool membership
+        EXPECT_EQ(v % 5, 0) << solver;  // pool membership
       }
     }
   }
 }
 
-TEST_F(PlannerFixture, MethodLabelsSet) {
-  EXPECT_EQ(planner_->SolveBab(pool_, 3).method, "BAB");
-  EXPECT_EQ(planner_->SolveBabP(pool_, 3).method, "BAB-P");
-  EXPECT_EQ(planner_->SolveImBaseline(pool_, 3).method, "IM");
-  EXPECT_EQ(planner_->SolveTimBaseline(pool_, 3).method, "TIM");
+TEST_F(PlanningFixture, ResponsesCarryTheSolverName) {
+  EXPECT_EQ(MustSolve("bab", 3).solver, "bab");
+  EXPECT_EQ(MustSolve("bab-p", 3).solver, "bab-p");
+  EXPECT_EQ(MustSolve("im", 3).solver, "im");
+  EXPECT_EQ(MustSolve("tim", 3).solver, "tim");
 }
 
-TEST_F(PlannerFixture, BabBeatsBaselinesInSample) {
-  const PlanReport bab = planner_->SolveBab(pool_, 8);
-  const PlanReport im = planner_->SolveImBaseline(pool_, 8);
-  const PlanReport tim = planner_->SolveTimBaseline(pool_, 8);
+TEST_F(PlanningFixture, BabBeatsBaselinesInSample) {
+  const PlanResponse bab = MustSolve("bab", 8);
+  const PlanResponse im = MustSolve("im", 8);
+  const PlanResponse tim = MustSolve("tim", 8);
   EXPECT_GE(bab.utility * 1.001, im.utility);
   EXPECT_GE(bab.utility * 1.001, tim.utility);
 }
 
-TEST_F(PlannerFixture, EvaluatePlanConsistentWithSolvers) {
-  const PlanReport bab = planner_->SolveBab(pool_, 5);
-  const PlanReport re = planner_->EvaluatePlan(bab.plan, "re-eval");
-  EXPECT_NEAR(re.utility, bab.utility, 1e-9);
-  EXPECT_NEAR(re.holdout_utility, bab.holdout_utility, 1e-9);
-  EXPECT_EQ(re.method, "re-eval");
+TEST_F(PlanningFixture, EvaluateConsistentWithSolvers) {
+  const PlanResponse bab = MustSolve("bab", 5);
+  const auto re = context_->Evaluate(bab.plan, "re-eval");
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  EXPECT_NEAR(re->utility, bab.utility, 1e-9);
+  EXPECT_NEAR(re->holdout_utility, bab.holdout_utility, 1e-9);
+  EXPECT_EQ(re->solver, "re-eval");
 }
 
-TEST_F(PlannerFixture, HoldoutCloseToSimulation) {
-  const PlanReport bab = planner_->SolveBabP(pool_, 6);
-  const double sim = planner_->SimulateUtility(bab.plan, 3000, 19);
-  EXPECT_NEAR(sim, bab.holdout_utility,
-              0.2 * std::max(1.0, bab.holdout_utility));
+TEST_F(PlanningFixture, HoldoutCloseToSimulation) {
+  const PlanResponse bab_p = MustSolve("bab-p", 6);
+  const double sim = context_->SimulateUtility(bab_p.plan, 3000, 19);
+  EXPECT_NEAR(sim, bab_p.holdout_utility,
+              0.2 * std::max(1.0, bab_p.holdout_utility));
 }
 
 // ------------------------------------------------------------ LT mode
@@ -91,16 +112,20 @@ TEST(LtMrrTest, GenerateAndSolveUnderLinearThreshold) {
       AssignWeightedCascadeTopics(graph, 5, 2.0, 29);
   Rng rng(31);
   const Campaign campaign = Campaign::SampleUniformPieces(2, 5, &rng);
-  PlannerOptions options;
+  ContextOptions options;
   options.theta = 8'000;
   options.diffusion = DiffusionModel::kLinearThreshold;
-  const OipaPlanner planner(graph, probs, campaign,
-                            LogisticAdoptionModel(2.0, 1.0), options);
-  std::vector<VertexId> pool;
-  for (VertexId v = 0; v < 300; v += 4) pool.push_back(v);
-  const PlanReport r = planner.SolveBabP(pool, 5);
-  EXPECT_LE(r.plan.size(), 5);
-  EXPECT_GT(r.utility, 0.0);
+  const auto ctx = PlanningContext::Borrow(
+      graph, probs, campaign, LogisticAdoptionModel(2.0, 1.0), options);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  PlanRequest request;
+  request.solver = "bab-p";
+  for (VertexId v = 0; v < 300; v += 4) request.pool.push_back(v);
+  request.budgets = {5};
+  const auto r = Solve(**ctx, request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LE(r->plan.size(), 5);
+  EXPECT_GT(r->utility, 0.0);
 }
 
 TEST(LtMrrTest, LtSetsArePaths) {
