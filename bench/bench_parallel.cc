@@ -1,0 +1,150 @@
+// Parallel branch-and-bound scaling bench: runs the same budget sweep
+// through SolveBatch at 1/2/4/8 worker threads (BAB and BAB-P) and
+// reports per-thread-count runtimes, parallel speedups, and the
+// single-thread throughput CI gates on (scripts/check_perf_regression.py
+// compares tau_evals_per_sec against the committed baseline).
+//
+// The defaults (tight gap, 4000-node cap) are deliberately heavier than
+// the figure benches so the frontier stays populated and bound calls
+// dominate — the regime the parallel engine targets.
+//
+// Flags: --dataset=lastfm --theta=30000 --ell=3 --k=10,20,40
+//        --threads=1,2,4,8 --gap=0.0001 --max_nodes=4000
+//        --output=BENCH_parallel.json
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cli/json_writer.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace oipa;
+  using namespace oipa::bench;
+  FlagParser flags(argc, argv);
+  const std::string dataset = flags.GetString("dataset", "lastfm");
+  const int64_t theta = flags.GetInt("theta", 30'000);
+  const int ell = static_cast<int>(flags.GetInt("ell", 3));
+  const std::vector<int64_t> ks = flags.GetIntList("k", {10, 20, 40});
+  const std::vector<int64_t> thread_counts =
+      flags.GetIntList("threads", {1, 2, 4, 8});
+  const std::string output =
+      flags.GetString("output", "BENCH_parallel.json");
+  BabOptions base;
+  base.gap = flags.GetDouble("gap", 0.0001);
+  base.max_nodes = flags.GetInt("max_nodes", 4000);
+  // Exact pruning (e/(e-1)-inflated bounds) keeps the frontier wide —
+  // these instances otherwise converge in a few hundred nodes, leaving
+  // too little open work for the thread scaling to be measurable.
+  base.exact_pruning = flags.GetBool("exact_pruning", true);
+  const LogisticAdoptionModel model(2.0, 1.0);
+
+  std::printf("=== parallel BAB scaling: %s, theta=%lld, k-sweep of %zu "
+              "budgets ===\n",
+              dataset.c_str(), static_cast<long long>(theta), ks.size());
+  const BenchEnv env = MakeEnv(dataset, RequestedScales(flags), ell,
+                               theta, 13);
+
+  JsonValue result = JsonValue::Object();
+  result.Set("dataset", dataset)
+      .Set("theta", theta)
+      .Set("ell", ell)
+      .Set("sample_seconds", env.sample_seconds);
+
+  JsonValue methods = JsonValue::Object();
+  for (const char* method : {"bab", "bab-p"}) {
+    struct Run {
+      int threads = 0;
+      double total_seconds = 0.0;
+      int64_t total_tau_evals = 0;
+      int64_t total_nodes = 0;
+      JsonValue per_k;
+    };
+    std::vector<Run> measured;
+    for (const int64_t threads64 : thread_counts) {
+      const int threads = static_cast<int>(threads64);
+      PlanRequest request;
+      request.solver = method;
+      request.pool = env.dataset.promoter_pool;
+      request.budgets.assign(ks.begin(), ks.end());
+      request.options.gap = base.gap;
+      request.options.max_nodes = base.max_nodes;
+      request.options.variant = base.variant;
+      request.options.exact_pruning = base.exact_pruning;
+      request.num_threads = threads;
+      const auto sweep = SolveBatch(*env.Context(model), request);
+      OIPA_CHECK(sweep.ok()) << sweep.status().ToString();
+
+      Run run;
+      run.threads = threads;
+      run.per_k = JsonValue::Array();
+      for (const PlanResponse& r : *sweep) {
+        run.total_seconds += r.seconds;
+        run.total_tau_evals += r.tau_evals;
+        run.total_nodes += r.nodes_expanded;
+        JsonValue row = JsonValue::Object();
+        row.Set("k", r.budget)
+            .Set("utility", r.utility)
+            .Set("seconds", r.seconds)
+            .Set("nodes_expanded", r.nodes_expanded)
+            .Set("tau_evals", r.tau_evals)
+            .Set("converged", r.converged);
+        run.per_k.Append(std::move(row));
+      }
+      measured.push_back(std::move(run));
+    }
+
+    // Speedups and the gated single-thread throughput are computed after
+    // the sweep so the 1-thread run may appear anywhere in --threads
+    // (or be absent, in which case neither is reported).
+    double single_thread_seconds = 0.0;
+    JsonValue single_thread = JsonValue::Object();
+    for (const Run& run : measured) {
+      if (run.threads == 1 && run.total_seconds > 0.0) {
+        single_thread_seconds = run.total_seconds;
+        single_thread.Set("seconds", run.total_seconds)
+            .Set("tau_evals", run.total_tau_evals)
+            .Set("tau_evals_per_sec",
+                 run.total_tau_evals / run.total_seconds);
+      }
+    }
+    JsonValue runs = JsonValue::Array();
+    for (Run& run : measured) {
+      const double speedup =
+          run.total_seconds > 0.0 && single_thread_seconds > 0.0
+              ? single_thread_seconds / run.total_seconds
+              : 0.0;
+      std::printf("%-6s threads=%d  total=%.3fs  speedup=%.2fx  "
+                  "tau_evals=%lld\n",
+                  method, run.threads, run.total_seconds, speedup,
+                  static_cast<long long>(run.total_tau_evals));
+      JsonValue row = JsonValue::Object();
+      row.Set("threads", run.threads)
+          .Set("total_seconds", run.total_seconds)
+          .Set("total_tau_evals", run.total_tau_evals)
+          .Set("total_nodes_expanded", run.total_nodes)
+          .Set("speedup_vs_1_thread", speedup)
+          .Set("per_k", std::move(run.per_k));
+      runs.Append(std::move(row));
+    }
+    JsonValue entry = JsonValue::Object();
+    entry.Set("single_thread", std::move(single_thread))
+        .Set("runs", std::move(runs));
+    methods.Set(method, std::move(entry));
+  }
+  result.Set("methods", std::move(methods));
+
+  const std::string text = result.Dump(2);
+  std::ofstream file(output);
+  file << text << "\n";
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", output.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output.c_str());
+  return 0;
+}

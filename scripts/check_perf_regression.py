@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fail CI when single-thread solver throughput regresses.
+
+Compares the `single_thread.tau_evals_per_sec` figures of a fresh
+BENCH_parallel.json against the committed baseline and exits non-zero
+when any method's throughput falls more than --tolerance (default 20%)
+below its baseline. Throughput is tau evaluations per second — the
+bound evaluator's unit of work — which is far more stable across runs
+than wall seconds of the whole sweep.
+
+Usage:
+  scripts/check_perf_regression.py BENCH_parallel.json \
+      bench/BASELINE_parallel.json [--tolerance 0.2]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench", help="fresh BENCH_parallel.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop vs. baseline (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args()
+
+    with open(args.bench) as f:
+        bench = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for method, expected in baseline.get("methods", {}).items():
+        want = expected.get("tau_evals_per_sec")
+        if not want:
+            continue
+        entry = bench.get("methods", {}).get(method)
+        if entry is None:
+            failures.append(f"{method}: missing from bench output")
+            continue
+        got = entry.get("single_thread", {}).get("tau_evals_per_sec", 0.0)
+        if not got:
+            failures.append(
+                f"{method}: no single-thread measurement in bench output "
+                "(run bench_parallel with 1 in its --threads list)"
+            )
+            continue
+        floor = want * (1.0 - args.tolerance)
+        verdict = "OK" if got >= floor else "REGRESSION"
+        print(
+            f"{method}: {got:,.0f} tau_evals/s "
+            f"(baseline {want:,.0f}, floor {floor:,.0f}) {verdict}"
+        )
+        if got < floor:
+            failures.append(
+                f"{method}: {got:,.0f} < floor {floor:,.0f} tau_evals/s"
+            )
+
+    if failures:
+        print("single-thread throughput regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("single-thread throughput within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
 #include <ostream>
@@ -15,6 +16,7 @@
 #include "oipa/api/plan_request.h"
 #include "oipa/api/planning_context.h"
 #include "oipa/api/solver_registry.h"
+#include "oipa/branch_and_bound.h"
 #include "rrset/mrr_collection.h"
 #include "topic/campaign.h"
 #include "topic/influence_graph.h"
@@ -64,6 +66,18 @@ struct Pipeline {
     return learned ? *learned : *dataset.probs;
   }
 };
+
+/// Effective solver worker count for this run: flag absent (-1) = the
+/// deterministic sequential engine, --threads=0 = auto-detect,
+/// --threads=N = exactly N. Single source for both the request sent to
+/// the solver and the config echoed in the JSON result.
+int ResolvedSolverThreads(const CliConfig& c) {
+  if (c.threads < 0) return 1;
+  // Auto-detection stays within the solver's worker cap (a larger
+  // OIPA_THREADS would otherwise bounce off request validation).
+  if (c.threads == 0) return std::min(GetNumThreads(), kMaxBabWorkers);
+  return c.threads;
+}
 
 Dataset MakeSyntheticDataset(const CliConfig& c) {
   Dataset d;
@@ -177,6 +191,7 @@ PlanRequest MakeRequest(const CliConfig& c, std::vector<int> budgets) {
   request.options.epsilon = c.epsilon;
   request.options.variant = c.variant;
   request.options.max_nodes = c.max_nodes;
+  request.num_threads = ResolvedSolverThreads(c);
   request.seed = c.seed;
   return request;
 }
@@ -255,7 +270,12 @@ JsonValue ConfigJson(const CliConfig& c) {
       .Set("bound", c.bound)
       .Set("progressive", c.progressive)
       .Set("learn", c.learn)
-      .Set("threads", GetNumThreads())
+      .Set("threads", ResolvedSolverThreads(c))
+      // MRR sampling always parallelizes via GetNumThreads() (already
+      // reflecting an explicit --threads through SetNumThreads), so the
+      // two counts can legitimately differ — e.g. a default run samples
+      // on every core but solves sequentially.
+      .Set("sampling_threads", GetNumThreads())
       .Set("seed", static_cast<int64_t>(c.seed));
   return j;
 }
@@ -410,7 +430,9 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   c.trials = static_cast<int>(flags.GetInt("trials", c.trials));
   c.k_sweep = flags.GetIntList("k", {c.k});
 
-  c.threads = static_cast<int>(flags.GetInt("threads", c.threads));
+  if (flags.Has("threads")) {
+    c.threads = static_cast<int>(flags.GetInt("threads", 0));
+  }
   c.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   c.indent = static_cast<int>(flags.GetInt("indent", c.indent));
   c.output = flags.GetString("output", c.output);
@@ -426,8 +448,12 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
     return Status::InvalidArgument("--epsilon must be in (0, 1)");
   }
   if (c.trials < 1) return Status::InvalidArgument("--trials must be >= 1");
-  if (c.threads < 0) {
-    return Status::InvalidArgument("--threads must be >= 0");
+  if (flags.Has("threads") &&
+      (c.threads < 0 || c.threads > kMaxBabWorkers)) {
+    // Rejected at parse time: the request layer would refuse the same
+    // value only after the full dataset/sampling pipeline has run.
+    return Status::InvalidArgument("--threads must be in [0, " +
+                                   std::to_string(kMaxBabWorkers) + "]");
   }
   for (const int64_t budget : c.k_sweep) {
     if (budget < 1) return Status::InvalidArgument("--k entries must be >= 1");
@@ -472,7 +498,9 @@ std::string UsageString() {
      << "  --learn                  plan on TIC-learned probabilities\n"
      << "  --cascades=<count>       action-log cascades for --learn (1000)\n"
      << "  --trials=<count>         simulate Monte-Carlo trials (2000)\n"
-     << "  --threads=<count>        worker threads; 0 = auto (0)\n"
+     << "  --threads=<count>        solver worker threads; 0 = auto via\n"
+     << "                           hardware/OIPA_THREADS; absent = the\n"
+     << "                           deterministic sequential solver\n"
      << "  --seed=<u64>             master RNG seed (1)\n"
      << "  --indent=<n>             JSON indent; negative = compact (2)\n"
      << "  --output=<path>          also write the JSON result to a file\n";

@@ -77,8 +77,13 @@ struct CliConfig {
   std::vector<int64_t> k_sweep;
 
   // ------------------------------------------------------ runtime
-  /// Worker threads; 0 keeps the library default.
-  int threads = 0;
+  /// Worker threads. -1 (flag absent) keeps the pre-flag behavior:
+  /// auto-parallel MRR sampling but the deterministic sequential solver,
+  /// so default runs reproduce bit-for-bit per --seed. --threads=0 =
+  /// full auto (hardware concurrency / OIPA_THREADS, parallel solver);
+  /// N = exactly N solver workers (N > 1: utility within --gap of
+  /// sequential, plan may differ between runs).
+  int threads = -1;
   uint64_t seed = 1;
   /// Pretty-print indent for the JSON result (<0 = compact).
   int indent = 2;

@@ -71,6 +71,15 @@ struct PlanRequest {
   /// SolveBatch() sweeps every entry against the same MRR samples.
   std::vector<int> budgets = {10};
   SolverOptions options;
+  /// Worker threads for solvers that can parallelize (the
+  /// branch-and-bound family). 1 (default) is the sequential engine —
+  /// bit-identical, deterministic responses; 0 resolves to
+  /// GetNumThreads(); N > 1 runs N workers over a shared frontier:
+  /// utility stays within roughly the request's gap of the sequential
+  /// result (rigorously under options.exact_pruning) but the specific
+  /// equally-good plan may differ between runs. Values above
+  /// kMaxBabWorkers (branch_and_bound.h) are InvalidArgument.
+  int num_threads = 1;
   /// Seed for solver-internal randomness (baseline RR sampling, random
   /// heuristic). Independent of the context's sampling seed.
   uint64_t seed = 1;

@@ -62,6 +62,7 @@ class BabFamilySolver : public Solver {
     options.variant = request.options.variant;
     options.exact_pruning = request.options.exact_pruning;
     options.max_nodes = request.options.max_nodes;
+    options.num_threads = request.num_threads;
     if (request.progress) {
       options.on_progress = [this, &request,
                              budget](const BabProgress& p) {
@@ -279,6 +280,11 @@ Status ValidateRequest(const PlanningContext& context,
       return Status::InvalidArgument("budgets must be >= 1, got " +
                                      std::to_string(budget));
     }
+  }
+  if (request.num_threads < 0 || request.num_threads > kMaxBabWorkers) {
+    return Status::InvalidArgument(
+        "num_threads must be in [0, " + std::to_string(kMaxBabWorkers) +
+        "] (0 = auto), got " + std::to_string(request.num_threads));
   }
   return Status::Ok();
 }

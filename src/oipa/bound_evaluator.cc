@@ -119,13 +119,14 @@ bool BoundEvaluator::IsExcluded(int piece, VertexId v) const {
 
 void BoundEvaluator::FinishResult(CoverageState* state, double tau_raw,
                                   BoundResult* result) {
+  // Snapshot/Restore journals the adds and rewinds them without a
+  // second inverted-list traversal.
+  state->Snapshot();
   for (const auto& [piece, v] : result->additions) {
     state->AddSeed(v, piece);
   }
   result->sigma = state->Utility();
-  for (const auto& [piece, v] : result->additions) {
-    state->RemoveSeed(v, piece);
-  }
+  state->Restore();
   result->tau = tau_raw * mrr_->UtilityScale();
 }
 
@@ -263,6 +264,16 @@ BoundResult BoundEvaluator::ComputeBoundPro(
 
   if (!candidates.empty() && budget_remaining > 0) {
     std::vector<uint8_t> selected(candidates.size(), 0);
+    // CELF-style lazy cache: the last gain computed for each candidate.
+    // The surrogate is submodular within one call (line values only
+    // rise), so a cached gain is an upper bound on the fresh gain — a
+    // candidate whose cache is already below the threshold cannot pass
+    // it and is skipped without re-evaluation. Selections are identical
+    // to the eager scan; only tau_evals shrinks.
+    std::vector<double> cached_gain(candidates.size());
+    for (size_t idx = 0; idx < candidates.size(); ++idx) {
+      cached_gain[idx] = candidates[idx].gain0;
+    }
     const double maxinf = candidates[0].gain0;
     double h = maxinf;
     double tau_gains = 0.0;  // surrogate mass added by selections
@@ -280,7 +291,9 @@ BoundResult BoundEvaluator::ComputeBoundPro(
         const Candidate& cand = candidates[idx];
         if (cand.gain0 < h) break;  // Lines 11-12: sorted early exit
         if (selected[idx]) continue;
+        if (cached_gain[idx] < h) continue;  // lazy skip: cannot pass h
         const double gain = CandidateGain(cand.piece, cand.v, *state);
+        cached_gain[idx] = gain;
         if (gain >= h) {
           const double applied = ApplyCandidate(cand.piece, cand.v, *state);
           tau_raw += applied;

@@ -92,6 +92,12 @@ class BoundEvaluator {
 
   const TangentTable& tangent_table() const { return table_; }
 
+  /// The per-piece candidate pools this evaluator owns (used to stamp
+  /// out thread-local evaluator clones without a second stored copy).
+  const std::vector<std::vector<VertexId>>& pools() const {
+    return pools_;
+  }
+
  private:
   /// Lazily initializes and returns the current surrogate line value of
   /// sample i (anchor value plus greedy-phase gains this call).

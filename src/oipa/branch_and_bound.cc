@@ -1,10 +1,15 @@
 #include "oipa/branch_and_bound.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <queue>
+#include <thread>
 
 #include "util/logging.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace oipa {
@@ -36,6 +41,52 @@ AssignmentPlan PlanFromPairs(int num_pieces,
   return plan;
 }
 
+/// A CoverageState kept in sync with an assignment list by diff-replay;
+/// both engines (and each parallel worker) step between partial plans
+/// through MoveTo so there is exactly one copy of the diffing logic.
+class PlanReplay {
+ public:
+  PlanReplay(const MrrCollection* mrr, std::vector<double> f_by_count)
+      : state_(mrr, std::move(f_by_count)) {}
+
+  CoverageState* state() { return &state_; }
+
+  void MoveTo(const std::vector<Assignment>& target) {
+    for (const auto& pair : current_) {
+      if (std::find(target.begin(), target.end(), pair) == target.end()) {
+        state_.RemoveSeed(pair.second, pair.first);
+      }
+    }
+    for (const auto& pair : target) {
+      if (std::find(current_.begin(), current_.end(), pair) ==
+          current_.end()) {
+        state_.AddSeed(pair.second, pair.first);
+      }
+    }
+    current_ = target;
+  }
+
+ private:
+  CoverageState state_;
+  std::vector<Assignment> current_;
+};
+
+/// Dispatches one upper-bound evaluation to the variant `options` selects.
+BoundResult ComputeNodeBound(BoundEvaluator* evaluator,
+                             const BabOptions& options, CoverageState* state,
+                             int budget_remaining,
+                             const std::vector<Assignment>& excluded) {
+  if (options.progressive) {
+    return evaluator->ComputeBoundPro(state, budget_remaining, excluded,
+                                      options.epsilon,
+                                      options.progressive_fill);
+  }
+  if (options.lazy_greedy) {
+    return evaluator->ComputeBoundLazy(state, budget_remaining, excluded);
+  }
+  return evaluator->ComputeBound(state, budget_remaining, excluded);
+}
+
 }  // namespace
 
 BabSolver::BabSolver(const MrrCollection* mrr,
@@ -48,6 +99,7 @@ BabSolver::BabSolver(const MrrCollection* mrr,
       evaluator_(mrr, model, std::move(pools), options.variant) {
   OIPA_CHECK_GE(options_.budget, 1);
   OIPA_CHECK_GE(options_.gap, 0.0);
+  OIPA_CHECK_GE(options_.num_threads, 0);
 }
 
 BabSolver::BabSolver(const MrrCollection* mrr,
@@ -60,46 +112,29 @@ BabSolver::BabSolver(const MrrCollection* mrr,
                 options) {}
 
 BabResult BabSolver::Solve() {
+  const int threads =
+      options_.num_threads == 0 ? GetNumThreads() : options_.num_threads;
+  if (threads <= 1) return SolveSequential();
+  return SolveParallel(std::min(threads, kMaxBabWorkers));
+}
+
+BabResult BabSolver::SolveSequential() {
   WallTimer timer;
   BabResult result;
   result.plan = AssignmentPlan(mrr_->num_pieces());
 
-  CoverageState state(mrr_, model_.AdoptionTable(mrr_->num_pieces()));
+  PlanReplay replay(mrr_, model_.AdoptionTable(mrr_->num_pieces()));
   // Theorem-2 pruning uses tau(greedy) directly; exact pruning inflates
   // the bound by e/(e-1) so no subspace that could beat the incumbent
   // under the MRR objective is ever dropped.
   const double bound_scale =
       options_.exact_pruning ? 1.0 / (1.0 - std::exp(-1.0)) : 1.0;
 
-  auto compute = [&](CoverageState* st, int budget_remaining,
+  auto compute = [&](int budget_remaining,
                      const std::vector<Assignment>& excluded) {
     ++result.bound_calls;
-    if (options_.progressive) {
-      return evaluator_.ComputeBoundPro(st, budget_remaining, excluded,
-                                        options_.epsilon,
-                                        options_.progressive_fill);
-    }
-    if (options_.lazy_greedy) {
-      return evaluator_.ComputeBoundLazy(st, budget_remaining, excluded);
-    }
-    return evaluator_.ComputeBound(st, budget_remaining, excluded);
-  };
-
-  // `state` mirrors `current_pairs` at all times; MoveTo diffs plans.
-  std::vector<Assignment> current_pairs;
-  auto move_to = [&](const std::vector<Assignment>& target) {
-    for (const auto& pair : current_pairs) {
-      if (std::find(target.begin(), target.end(), pair) == target.end()) {
-        state.RemoveSeed(pair.second, pair.first);
-      }
-    }
-    for (const auto& pair : target) {
-      if (std::find(current_pairs.begin(), current_pairs.end(), pair) ==
-          current_pairs.end()) {
-        state.AddSeed(pair.second, pair.first);
-      }
-    }
-    current_pairs = target;
+    return ComputeNodeBound(&evaluator_, options_, replay.state(),
+                            budget_remaining, excluded);
   };
 
   double lower = 0.0;
@@ -110,7 +145,7 @@ BabResult BabSolver::Solve() {
 
   // Root bound (empty plan, nothing excluded).
   {
-    const BoundResult root = compute(&state, options_.budget, {});
+    const BoundResult root = compute(options_.budget, {});
     result.plan = PlanFromPairs(mrr_->num_pieces(), {}, root.additions);
     lower = root.sigma;
     have_incumbent = true;
@@ -156,8 +191,8 @@ BabResult BabSolver::Solve() {
       const int remaining =
           options_.budget - static_cast<int>(child.included.size());
       OIPA_CHECK_GE(remaining, 0);
-      move_to(child.included);
-      const BoundResult r = compute(&state, remaining, child.excluded);
+      replay.MoveTo(child.included);
+      const BoundResult r = compute(remaining, child.excluded);
       if (!have_incumbent || r.sigma > lower) {
         lower = r.sigma;
         have_incumbent = true;
@@ -175,9 +210,185 @@ BabResult BabSolver::Solve() {
   }
   if (heap.empty()) result.upper_bound = lower;
 
-  move_to({});
+  replay.MoveTo({});
   result.utility = lower;
   result.tau_evals = evaluator_.total_tau_evals();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+BabResult BabSolver::SolveParallel(int num_workers) {
+  WallTimer timer;
+  BabResult result;
+  result.plan = AssignmentPlan(mrr_->num_pieces());
+
+  const double bound_scale =
+      options_.exact_pruning ? 1.0 / (1.0 - std::exp(-1.0)) : 1.0;
+  const double gap_factor = 1.0 + options_.gap;
+
+  std::priority_queue<SearchNode, std::vector<SearchNode>, NodeCompare>
+      heap;
+
+  // Root bound on the calling thread: a deterministic first incumbent
+  // before any worker races begin.
+  {
+    CoverageState root_state(mrr_,
+                             model_.AdoptionTable(mrr_->num_pieces()));
+    ++result.bound_calls;
+    const BoundResult root = ComputeNodeBound(
+        &evaluator_, options_, &root_state, options_.budget, {});
+    result.plan = PlanFromPairs(mrr_->num_pieces(), {}, root.additions);
+    result.utility = root.sigma;
+    const double upper = root.tau * bound_scale;
+    if (root.first_pick.valid() && upper > root.sigma) {
+      heap.push(SearchNode{{}, {}, upper, root.first_pick});
+    }
+    result.upper_bound = std::max(upper, root.sigma);
+  }
+
+  // Shared search state. The frontier, best plan, and scalar flags are
+  // guarded by `mu`; `lower` and `stop` are additionally atomic so
+  // workers can read them between bound calls without the lock.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<double> lower{result.utility};
+  std::atomic<int64_t> nodes_expanded{0};
+  std::atomic<bool> stop{false};
+  AssignmentPlan best_plan = result.plan;
+  int active = 0;
+  bool cancelled = false;
+  bool converged = true;
+  double pruned_upper = result.utility;
+  int64_t total_bound_calls = 0;
+  int64_t total_tau_evals = 0;
+
+  auto worker = [&] {
+    // Thread-local solver state, replayed between plans by diffing.
+    PlanReplay replay(mrr_, model_.AdoptionTable(mrr_->num_pieces()));
+    BoundEvaluator evaluator(mrr_, model_, evaluator_.pools(),
+                             options_.variant);
+    int64_t bound_calls = 0;
+
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      // Idle/termination detection: sleep while the frontier is empty
+      // but some worker is still expanding (it may refill the frontier);
+      // wake to exit once every worker is idle or a stop was requested.
+      cv.wait(lock, [&] {
+        return stop.load(std::memory_order_relaxed) || !heap.empty() ||
+               active == 0;
+      });
+      if (stop.load(std::memory_order_relaxed) || heap.empty()) break;
+      SearchNode node = heap.top();
+      heap.pop();
+      // The incumbent may have risen since this node was pushed.
+      // pruned_upper accumulates the max bound among gap-pruned nodes —
+      // the frontier's top at the moment the gap was first met — which
+      // is exactly what the sequential engine reports as upper_bound
+      // when it breaks on the gap; a run where nothing gets pruned here
+      // drains to upper_bound == utility, matching the sequential
+      // exhausted case.
+      if (node.upper <=
+          lower.load(std::memory_order_relaxed) * gap_factor) {
+        pruned_upper = std::max(pruned_upper, node.upper);
+        if (heap.empty() && active == 0) cv.notify_all();
+        continue;
+      }
+      if (nodes_expanded.load(std::memory_order_relaxed) >=
+          options_.max_nodes) {
+        heap.push(std::move(node));  // keep the frontier's bound honest
+        converged = false;
+        stop.store(true, std::memory_order_relaxed);
+        cv.notify_all();
+        break;
+      }
+      if (options_.on_progress) {
+        const double incumbent = lower.load(std::memory_order_relaxed);
+        const BabProgress progress{
+            nodes_expanded.load(std::memory_order_relaxed), incumbent,
+            std::max(node.upper, incumbent)};
+        if (!options_.on_progress(progress)) {
+          heap.push(std::move(node));
+          converged = false;
+          cancelled = true;
+          stop.store(true, std::memory_order_relaxed);
+          cv.notify_all();
+          break;
+        }
+      }
+      nodes_expanded.fetch_add(1, std::memory_order_relaxed);
+      ++active;
+      lock.unlock();
+
+      bool aborted = false;
+      for (const bool include : {true, false}) {
+        if (stop.load(std::memory_order_relaxed)) {
+          aborted = true;
+          break;
+        }
+        SearchNode child;
+        child.included = node.included;
+        child.excluded = node.excluded;
+        if (include) {
+          child.included.emplace_back(node.branch.piece, node.branch.v);
+        } else {
+          child.excluded.emplace_back(node.branch.piece, node.branch.v);
+        }
+        const int remaining =
+            options_.budget - static_cast<int>(child.included.size());
+        OIPA_CHECK_GE(remaining, 0);
+        replay.MoveTo(child.included);
+        ++bound_calls;
+        const BoundResult r =
+            ComputeNodeBound(&evaluator, options_, replay.state(),
+                             remaining, child.excluded);
+        const double upper = r.tau * bound_scale;
+
+        lock.lock();
+        if (r.sigma > lower.load(std::memory_order_relaxed)) {
+          lower.store(r.sigma, std::memory_order_relaxed);
+          best_plan = PlanFromPairs(mrr_->num_pieces(), child.included,
+                                    r.additions);
+        }
+        if (upper > lower.load(std::memory_order_relaxed) * gap_factor &&
+            r.first_pick.valid() && remaining > 0) {
+          child.upper = upper;
+          child.branch = r.first_pick;
+          heap.push(std::move(child));
+          cv.notify_one();
+        }
+        lock.unlock();
+      }
+
+      lock.lock();
+      if (aborted) {
+        // The unexpanded remainder of this node's subspace was dropped;
+        // fold its bound in so upper_bound stays valid.
+        pruned_upper = std::max(pruned_upper, node.upper);
+      }
+      --active;
+      if (active == 0) cv.notify_all();
+    }
+    // Every exit path above holds the lock; fold the counters in.
+    total_bound_calls += bound_calls;
+    total_tau_evals += evaluator.total_tau_evals();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (int t = 0; t < num_workers; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  result.nodes_expanded = nodes_expanded.load();
+  result.bound_calls += total_bound_calls;
+  result.tau_evals = evaluator_.total_tau_evals() + total_tau_evals;
+  result.utility = lower.load();
+  result.plan = std::move(best_plan);
+  result.converged = converged;
+  result.cancelled = cancelled;
+  double upper = std::max(result.utility, pruned_upper);
+  if (!heap.empty()) upper = std::max(upper, heap.top().upper);
+  result.upper_bound = upper;
   result.seconds = timer.Seconds();
   return result;
 }
@@ -189,28 +400,76 @@ BabResult GreedySigmaSolve(const MrrCollection& mrr,
   BabResult result;
   result.plan = AssignmentPlan(mrr.num_pieces());
   CoverageState state(&mrr, model.AdoptionTable(mrr.num_pieces()));
-  for (int round = 0; round < budget; ++round) {
-    double best_gain = 0.0;
-    int best_piece = -1;
-    VertexId best_v = -1;
-    for (int j = 0; j < mrr.num_pieces(); ++j) {
-      for (VertexId v : pool) {
-        if (result.plan.Contains(j, v)) continue;
-        const double gain = state.GainOfAdding(v, j);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_piece = j;
-          best_v = v;
-        }
+
+  // CELF-lazy selection keyed by a forward-valid gain upper bound (see
+  // CoverageState::GainAndBoundOfAdding): sigma is not submodular, so a
+  // stale gain is not itself a bound, but the suffix-max bound is — an
+  // entry whose bound trails the best fresh gain cannot win the round.
+  // Selections are identical to a full rescan, including ties (smallest
+  // piece, then vertex).
+  struct Entry {
+    double bound = 0.0;
+    double gain = 0.0;
+    int round = 0;  // round this entry's gain/bound were computed in
+    int piece = 0;
+    VertexId v = 0;
+  };
+  auto worse = [](const Entry& a, const Entry& b) {
+    if (a.bound != b.bound) return a.bound < b.bound;
+    if (a.piece != b.piece) return a.piece > b.piece;
+    return a.v > b.v;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(
+      worse);
+  std::vector<VertexId> candidates(pool);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (int j = 0; j < mrr.num_pieces(); ++j) {
+    for (VertexId v : candidates) {
+      const auto [gain, bound] = state.GainAndBoundOfAdding(v, j);
+      heap.push({bound, gain, 0, j, v});
+    }
+  }
+
+  std::vector<Entry> beaten;
+  for (int round = 0; round < budget && !heap.empty(); ++round) {
+    Entry best;
+    bool have_best = false;
+    beaten.clear();
+    while (!heap.empty()) {
+      if (have_best && heap.top().bound < best.gain) break;
+      Entry e = heap.top();
+      heap.pop();
+      if (e.round != round) {
+        const auto [gain, bound] = state.GainAndBoundOfAdding(e.v, e.piece);
+        e.gain = gain;
+        e.bound = bound;
+        e.round = round;
+      }
+      const bool better =
+          !have_best || e.gain > best.gain ||
+          (e.gain == best.gain &&
+           (e.piece < best.piece ||
+            (e.piece == best.piece && e.v < best.v)));
+      if (better) {
+        if (have_best) beaten.push_back(best);
+        best = e;
+        have_best = true;
+      } else {
+        beaten.push_back(e);
       }
     }
-    if (best_piece < 0) break;
-    state.AddSeed(best_v, best_piece);
-    result.plan.Add(best_piece, best_v);
+    // A zero-gain round still takes a candidate: under the logistic f a
+    // pick gaining nothing now can unlock steeper marginals later, and
+    // the plan must never silently under-fill the budget.
+    state.AddSeed(best.v, best.piece);
+    result.plan.Add(best.piece, best.v);
+    for (const Entry& e : beaten) heap.push(e);
   }
   result.utility = state.Utility();
   result.upper_bound = result.utility;
-  result.converged = true;
+  result.converged = result.plan.size() >= budget;
   result.seconds = timer.Seconds();
   return result;
 }

@@ -12,6 +12,12 @@
 
 namespace oipa {
 
+/// Safety ceiling on BabOptions::num_threads: the solver clamps larger
+/// values (each worker is a real std::thread plus a thread-local
+/// coverage state, so unbounded counts would exhaust OS resources); the
+/// request layer rejects them as InvalidArgument.
+inline constexpr int kMaxBabWorkers = 256;
+
 /// Search-progress snapshot passed to BabOptions::on_progress.
 struct BabProgress {
   int64_t nodes_expanded = 0;
@@ -50,9 +56,20 @@ struct BabOptions {
   /// Safety cap on expanded nodes; the search reports converged=false if
   /// it trips.
   int64_t max_nodes = 100'000;
-  /// Optional hook invoked before every node expansion. Return false to
-  /// cancel: the search stops and returns its incumbent with
-  /// cancelled=true (converged=false).
+  /// Worker threads for the search. 1 (default) runs the classic
+  /// sequential engine bit-identically; 0 resolves to GetNumThreads();
+  /// N > 1 runs N workers over a shared bound-ordered frontier (clamped
+  /// to kMaxBabWorkers). Parallel searches keep every quality guarantee
+  /// of the sequential engine — under exact_pruning both land within
+  /// `gap` of the optimum, so within ~gap of each other; default
+  /// Theorem-2 pruning keeps the (1-1/e) floor — but may return a
+  /// different equally-good plan and expand a different node count run
+  /// to run.
+  int num_threads = 1;
+  /// Optional hook invoked before every node expansion (serialized
+  /// across workers when num_threads > 1). Return false to cancel: the
+  /// search stops and returns its incumbent with cancelled=true
+  /// (converged=false).
   std::function<bool(const BabProgress&)> on_progress;
 };
 
@@ -77,6 +94,12 @@ struct BabResult {
 /// partial plans ordered by tangent-surrogate upper bound; each expansion
 /// branches on the bound's first greedy pick (include vs. exclude);
 /// pruning drops subspaces whose bound cannot beat the incumbent.
+///
+/// With BabOptions::num_threads > 1, the frontier becomes a shared
+/// mutex-guarded priority queue drained by a pool of workers; each
+/// worker owns a thread-local CoverageState + BoundEvaluator replayed by
+/// plan diffing, and prunes against a shared atomic incumbent. The
+/// search terminates when the frontier drains with every worker idle.
 class BabSolver {
  public:
   /// All arguments must outlive the solver. `pools[j]` is the promoter
@@ -91,14 +114,21 @@ class BabSolver {
   BabResult Solve();
 
  private:
+  BabResult SolveSequential();
+  BabResult SolveParallel(int num_workers);
+
   const MrrCollection* mrr_;
   LogisticAdoptionModel model_;
   BabOptions options_;
-  BoundEvaluator evaluator_;
+  BoundEvaluator evaluator_;  // also owns the candidate pools
 };
 
 /// Baseline heuristic for ablations: greedy directly on the
 /// (non-submodular) MRR-estimated adoption utility, no guarantee.
+/// CELF-lazy selection (exact even under non-submodular f, via
+/// suffix-max gain bounds); ties and zero-gain rounds still fill the
+/// budget — converged is false only when the candidate space itself
+/// runs out before `budget` assignments.
 BabResult GreedySigmaSolve(const MrrCollection& mrr,
                            const LogisticAdoptionModel& model,
                            const std::vector<VertexId>& pool, int budget);

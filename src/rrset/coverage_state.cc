@@ -12,6 +12,17 @@ CoverageState::CoverageState(const MrrCollection* mrr,
       num_pieces_(mrr->num_pieces()),
       f_by_count_(std::move(f_by_count)) {
   OIPA_CHECK_EQ(static_cast<int>(f_by_count_.size()), num_pieces_ + 1);
+  delta_f_.resize(num_pieces_);
+  for (int c = 0; c < num_pieces_; ++c) {
+    delta_f_[c] = f_by_count_[c + 1] - f_by_count_[c];
+  }
+  delta_f_sufmax_.resize(num_pieces_);
+  double running = 0.0;
+  for (int c = num_pieces_ - 1; c >= 0; --c) {
+    running = c == num_pieces_ - 1 ? delta_f_[c]
+                                   : std::max(delta_f_[c], running);
+    delta_f_sufmax_[c] = running;
+  }
   multiplicity_.assign(
       static_cast<size_t>(mrr_->theta()) * num_pieces_, 0);
   cover_count_.assign(mrr_->theta(), 0);
@@ -22,12 +33,14 @@ CoverageState::CoverageState(const MrrCollection* mrr,
 void CoverageState::AddSeed(VertexId v, int piece) {
   OIPA_CHECK_GE(piece, 0);
   OIPA_CHECK_LT(piece, num_pieces_);
+  const bool journal = journaling();
   for (int64_t i : mrr_->SamplesContaining(piece, v)) {
     uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
     OIPA_CHECK_LT(mult, UINT16_MAX);
+    if (journal) journal_.push_back({i, piece, +1});
     if (mult++ == 0) {
       const int c = cover_count_[i]++;
-      sum_f_ += f_by_count_[c + 1] - f_by_count_[c];
+      sum_f_ += delta_f_[c];
       --count_hist_[c];
       ++count_hist_[c + 1];
       if (c == 0) touched_.push_back(i);
@@ -38,12 +51,14 @@ void CoverageState::AddSeed(VertexId v, int piece) {
 void CoverageState::RemoveSeed(VertexId v, int piece) {
   OIPA_CHECK_GE(piece, 0);
   OIPA_CHECK_LT(piece, num_pieces_);
+  const bool journal = journaling();
   for (int64_t i : mrr_->SamplesContaining(piece, v)) {
     uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
     OIPA_CHECK_GT(mult, 0) << "RemoveSeed without matching AddSeed";
+    if (journal) journal_.push_back({i, piece, -1});
     if (--mult == 0) {
       const int c = cover_count_[i]--;
-      sum_f_ += f_by_count_[c - 1] - f_by_count_[c];
+      sum_f_ -= delta_f_[c - 1];
       --count_hist_[c];
       ++count_hist_[c - 1];
     }
@@ -51,6 +66,7 @@ void CoverageState::RemoveSeed(VertexId v, int piece) {
 }
 
 void CoverageState::Clear() {
+  OIPA_CHECK(!journaling()) << "Clear() inside an open Snapshot";
   // touched_ may contain duplicates and samples whose count has already
   // returned to zero; both are harmless to re-clear.
   for (int64_t i : touched_) {
@@ -65,15 +81,65 @@ void CoverageState::Clear() {
   count_hist_[0] = mrr_->theta();
 }
 
+void CoverageState::Snapshot() { marks_.push_back(journal_.size()); }
+
+void CoverageState::Restore() {
+  OIPA_CHECK(!marks_.empty()) << "Restore() without an open Snapshot";
+  const size_t mark = marks_.back();
+  marks_.pop_back();
+  // Undo in reverse journal order: at each step the state is exactly
+  // what it was right after that entry was applied, so the inverse
+  // per-sample step is always legal — any interleaving of adds and
+  // removes inside the scope (including add-then-remove of the same
+  // seed) rewinds cleanly.
+  for (size_t k = journal_.size(); k-- > mark;) {
+    const JournalEntry& entry = journal_[k];
+    uint16_t& mult =
+        multiplicity_[entry.sample * num_pieces_ + entry.piece];
+    if (entry.delta > 0) {
+      OIPA_CHECK_GT(mult, 0);
+      if (--mult == 0) {
+        const int c = cover_count_[entry.sample]--;
+        sum_f_ -= delta_f_[c - 1];
+        --count_hist_[c];
+        ++count_hist_[c - 1];
+      }
+    } else {
+      if (mult++ == 0) {
+        const int c = cover_count_[entry.sample]++;
+        sum_f_ += delta_f_[c];
+        --count_hist_[c];
+        ++count_hist_[c + 1];
+        if (c == 0) touched_.push_back(entry.sample);
+      }
+    }
+  }
+  journal_.resize(mark);
+}
+
 double CoverageState::GainOfAdding(VertexId v, int piece) const {
   double gain = 0.0;
   for (int64_t i : mrr_->SamplesContaining(piece, v)) {
     if (multiplicity_[i * num_pieces_ + piece] == 0) {
-      const int c = cover_count_[i];
-      gain += f_by_count_[c + 1] - f_by_count_[c];
+      gain += delta_f_[cover_count_[i]];
     }
   }
   return gain * mrr_->UtilityScale();
+}
+
+std::pair<double, double> CoverageState::GainAndBoundOfAdding(
+    VertexId v, int piece) const {
+  double gain = 0.0;
+  double bound = 0.0;
+  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
+    if (multiplicity_[i * num_pieces_ + piece] == 0) {
+      const int c = cover_count_[i];
+      gain += delta_f_[c];
+      bound += delta_f_sufmax_[c];
+    }
+  }
+  const double scale = mrr_->UtilityScale();
+  return {gain * scale, bound * scale};
 }
 
 }  // namespace oipa

@@ -2,6 +2,7 @@
 #define OIPA_RRSET_COVERAGE_STATE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "rrset/mrr_collection.h"
@@ -16,7 +17,9 @@ namespace oipa {
 /// Maintains, per sample i: how many seeds of piece j hit R_i^j
 /// (multiplicity), the covered-piece count c_i, and the running sum of
 /// f(c_i) — so AddSeed / RemoveSeed are O(|inverted list|) and the
-/// branch-and-bound engine can move between plans by diffing.
+/// branch-and-bound engine can move between plans by diffing. The
+/// marginal table delta_f[c] = f[c+1] - f[c] is precomputed so every
+/// touched sample costs one flat-array lookup, not two.
 class CoverageState {
  public:
   /// `f_by_count` has num_pieces()+1 entries: f[c] is the value of a
@@ -30,12 +33,32 @@ class CoverageState {
   /// Reverses a prior AddSeed(v, piece).
   void RemoveSeed(VertexId v, int piece);
 
-  /// Removes all seeds (O(#touched samples), not O(theta)).
+  /// Removes all seeds (O(#touched samples), not O(theta)). Must not be
+  /// called while a Snapshot is open.
   void Clear();
 
   /// Marginal utility (in utility units, i.e. scaled by n/theta) of adding
   /// seed v for piece j, without mutating the state.
   double GainOfAdding(VertexId v, int piece) const;
+
+  /// GainOfAdding plus a forward-valid upper bound on that same gain:
+  /// while only AddSeed is applied (a greedy run), coverage counts only
+  /// grow, so the bound — built from suffix maxima of delta_f — can only
+  /// shrink. Lets CELF-lazy selection stay exact even when f has
+  /// increasing marginals (the paper's non-submodular regime).
+  std::pair<double, double> GainAndBoundOfAdding(VertexId v,
+                                                 int piece) const;
+
+  /// Opens a checkpoint: every subsequent AddSeed/RemoveSeed is journaled
+  /// until the matching Restore. Checkpoints nest (LIFO).
+  void Snapshot();
+
+  /// Rewinds to the most recent Snapshot in O(#journaled touches) — no
+  /// inverted-list re-traversal, no full Clear+rebuild.
+  void Restore();
+
+  /// Depth of open Snapshot() checkpoints.
+  int snapshot_depth() const { return static_cast<int>(marks_.size()); }
 
   /// Current adoption-utility estimate: (n/theta) * sum_i f(c_i).
   double Utility() const { return sum_f_ * mrr_->UtilityScale(); }
@@ -56,13 +79,27 @@ class CoverageState {
   const std::vector<double>& f_by_count() const { return f_by_count_; }
 
  private:
+  /// One journaled touch: sample `sample` had its multiplicity for
+  /// `piece` moved by `delta` (+1 for AddSeed, -1 for RemoveSeed).
+  struct JournalEntry {
+    int64_t sample;
+    int32_t piece;
+    int32_t delta;
+  };
+
+  bool journaling() const { return !marks_.empty(); }
+
   const MrrCollection* mrr_;  // not owned
   int num_pieces_;
   std::vector<double> f_by_count_;
+  std::vector<double> delta_f_;         // l: f[c+1] - f[c]
+  std::vector<double> delta_f_sufmax_;  // l: max_{c' >= c} delta_f[c']
   std::vector<uint16_t> multiplicity_;  // theta x l
   std::vector<uint8_t> cover_count_;    // theta
   std::vector<int64_t> touched_;        // samples with any multiplicity
   std::vector<int64_t> count_hist_;     // l + 1
+  std::vector<JournalEntry> journal_;   // touches since the first Snapshot
+  std::vector<size_t> marks_;           // journal sizes at open Snapshots
   double sum_f_ = 0.0;
 };
 

@@ -2,18 +2,47 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 #include "util/logging.h"
 
 namespace oipa {
 
 namespace {
+
 std::atomic<int> g_num_threads{0};  // 0 = auto
+
+/// Hard ceiling on explicit thread overrides — an OS-resource guard,
+/// far above any sensible worker count.
+constexpr long kMaxExplicitThreads = 1024;
+
+/// OIPA_THREADS, parsed once; 0 when unset, empty, or malformed.
+/// Oversized values saturate at the ceiling (never silently fall back
+/// to auto-detection, which would hand out FEWER threads).
+int EnvNumThreads() {
+  static const int value = [] {
+    const char* s = std::getenv("OIPA_THREADS");
+    if (s == nullptr || *s == '\0') return 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || parsed < 0) return 0;
+    return static_cast<int>(std::min(parsed, kMaxExplicitThreads));
+  }();
+  return value;
+}
+
 }  // namespace
 
 int GetNumThreads() {
   int n = g_num_threads.load(std::memory_order_relaxed);
-  if (n > 0) return n;
+  if (n <= 0) n = EnvNumThreads();
+  if (n > 0) {
+    // Explicit override: honored verbatim (oversubscription is legal and
+    // lets tests force multi-shard paths on small machines), with only a
+    // generous OS-resource safety ceiling instead of the auto path's 16.
+    return static_cast<int>(
+        std::min(static_cast<long>(n), kMaxExplicitThreads));
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return std::clamp(static_cast<int>(hw == 0 ? 1 : hw), 1, 16);
 }

@@ -8,8 +8,14 @@
 
 namespace oipa {
 
-/// Number of worker threads used by ParallelFor: hardware concurrency,
-/// clamped to [1, 16]. Overridable for tests/benches via SetNumThreads.
+/// Number of worker threads used by ParallelFor and the parallel
+/// branch-and-bound engine. Resolution order:
+///   1. SetNumThreads(n > 0)      — programmatic override,
+///   2. OIPA_THREADS=n (n > 0)    — environment override,
+///   3. hardware concurrency clamped to [1, 16].
+/// Explicit overrides (1 and 2) are honored verbatim — large machines
+/// can use every core and tests may oversubscribe — bounded only by a
+/// 1024-thread OS-resource ceiling, not the auto path's 16.
 int GetNumThreads();
 void SetNumThreads(int n);
 

@@ -318,6 +318,23 @@ TEST(CliPipelineTest, LearnedPlanningPathRuns) {
   EXPECT_NE(run.out.find("\"plan\":"), std::string::npos);
 }
 
+TEST(CliPipelineTest, ThreadsFlagRunsTheParallelEngine) {
+  // TinyArgs pins --threads=1; override with a multi-worker solve across
+  // plan and bench. The parallel engine must still produce a complete,
+  // converged result.
+  for (const char* extra : {"--threads=2", "--threads=4"}) {
+    const CliRun run = InvokeCli(TinyArgs("plan", {extra}));
+    ASSERT_EQ(run.code, 0) << extra << ": " << run.err;
+    EXPECT_NE(run.out.find("\"utility\":"), std::string::npos) << extra;
+    EXPECT_NE(run.out.find("\"budget_used\":3"), std::string::npos)
+        << extra;
+  }
+  const CliRun bench = InvokeCli(TinyArgs("bench", {"--k=2,3",
+                                                    "--threads=2"}));
+  ASSERT_EQ(bench.code, 0) << bench.err;
+  EXPECT_NE(bench.out.find("\"sweep\":"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace oipa

@@ -305,5 +305,81 @@ TEST_F(CoverageFixture, ClearResetsEverything) {
   EXPECT_GT(state_->RawSum(), 0.0);
 }
 
+TEST_F(CoverageFixture, SnapshotRestoreRoundTrips) {
+  state_->AddSeed(3, 0);
+  state_->AddSeed(7, 1);
+  const double sum_before = state_->RawSum();
+  const std::vector<int64_t> hist_before = state_->CountHistogram();
+  std::vector<int> counts_before(mrr_->theta());
+  for (int64_t i = 0; i < mrr_->theta(); ++i) {
+    counts_before[i] = state_->CoverCount(i);
+  }
+
+  state_->Snapshot();
+  EXPECT_EQ(state_->snapshot_depth(), 1);
+  state_->AddSeed(5, 0);
+  state_->AddSeed(5, 2);
+  state_->RemoveSeed(7, 1);  // mixed adds and removes inside the scope
+  state_->AddSeed(12, 1);
+  state_->RemoveSeed(12, 1);  // add-then-remove of the same seed
+  EXPECT_NE(state_->RawSum(), sum_before);
+  state_->Restore();
+  EXPECT_EQ(state_->snapshot_depth(), 0);
+
+  EXPECT_DOUBLE_EQ(state_->RawSum(), sum_before);
+  EXPECT_EQ(state_->CountHistogram(), hist_before);
+  for (int64_t i = 0; i < mrr_->theta(); ++i) {
+    EXPECT_EQ(state_->CoverCount(i), counts_before[i]) << "sample " << i;
+  }
+  // The state stays fully usable: the pre-snapshot seeds remove cleanly.
+  state_->RemoveSeed(7, 1);
+  state_->RemoveSeed(3, 0);
+  EXPECT_DOUBLE_EQ(state_->RawSum(), 0.0);
+}
+
+TEST_F(CoverageFixture, SnapshotsNestLifo) {
+  state_->AddSeed(3, 0);
+  const double level0 = state_->RawSum();
+  state_->Snapshot();
+  state_->AddSeed(5, 1);
+  const double level1 = state_->RawSum();
+  state_->Snapshot();
+  state_->AddSeed(9, 2);
+  EXPECT_EQ(state_->snapshot_depth(), 2);
+  state_->Restore();
+  EXPECT_DOUBLE_EQ(state_->RawSum(), level1);
+  state_->Restore();
+  EXPECT_DOUBLE_EQ(state_->RawSum(), level0);
+}
+
+TEST_F(CoverageFixture, GainAndBoundDominatesGainAndShrinks) {
+  // f = {0, 1, 1.5, 1.75} has decreasing marginals, so initially the
+  // bound equals the gain; after adds the bound stays >= the fresh gain.
+  const auto [gain0, bound0] = state_->GainAndBoundOfAdding(4, 1);
+  EXPECT_DOUBLE_EQ(gain0, state_->GainOfAdding(4, 1));
+  EXPECT_GE(bound0 + 1e-12, gain0);
+  state_->AddSeed(9, 1);
+  state_->AddSeed(3, 0);
+  const auto [gain1, bound1] = state_->GainAndBoundOfAdding(4, 1);
+  EXPECT_DOUBLE_EQ(gain1, state_->GainOfAdding(4, 1));
+  EXPECT_GE(bound1 + 1e-12, gain1);
+  // Forward validity: the old bound still dominates the fresh gain.
+  EXPECT_GE(bound0 + 1e-12, gain1);
+}
+
+TEST_F(CoverageFixture, GainBoundIsForwardValidUnderIncreasingMarginals) {
+  // Convex-then-flat f: the second piece is worth more than the first,
+  // so plain stale gains would UNDER-estimate later gains. The suffix-max
+  // bound must still dominate every future gain of an add-only run.
+  CoverageState state(mrr_.get(), {0.0, 0.1, 1.0, 1.2});
+  const auto [gain0, bound0] = state.GainAndBoundOfAdding(4, 1);
+  state.AddSeed(9, 0);
+  state.AddSeed(3, 2);
+  state.AddSeed(11, 0);
+  const double fresh = state.GainOfAdding(4, 1);
+  EXPECT_GE(bound0 + 1e-12, fresh);
+  (void)gain0;
+}
+
 }  // namespace
 }  // namespace oipa
