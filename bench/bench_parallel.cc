@@ -76,6 +76,10 @@ int main(int argc, char** argv) {
       request.options.variant = base.variant;
       request.options.exact_pruning = base.exact_pruning;
       request.num_threads = threads;
+      // This bench measures the parallel search engine itself, so keep
+      // the sweep serial — budget sharding would run every solve on the
+      // sequential engine and flatten the thread-scaling signal.
+      request.shard_budgets = false;
       const auto sweep = SolveBatch(*env.Context(model), request);
       OIPA_CHECK(sweep.ok()) << sweep.status().ToString();
 

@@ -168,7 +168,10 @@ Status BuildContext(Pipeline* p, std::ostream& err) {
       << " pieces...\n";
   ContextOptions options;
   options.theta = c.theta;
-  options.holdout_theta = 0;  // the CLI validates by forward simulation
+  // One-shot runs validate by forward simulation only; progressive runs
+  // additionally need the holdout the (ε)-stopping rule compares
+  // against.
+  options.holdout_theta = c.sampling_epsilon > 0.0 ? -1 : 0;
   options.seed = c.seed + 5;
   WallTimer timer;
   auto context = PlanningContext::Borrow(
@@ -192,6 +195,8 @@ PlanRequest MakeRequest(const CliConfig& c, std::vector<int> budgets) {
   request.options.variant = c.variant;
   request.options.max_nodes = c.max_nodes;
   request.num_threads = ResolvedSolverThreads(c);
+  request.epsilon = c.sampling_epsilon;
+  request.max_theta = c.max_theta;
   request.seed = c.seed;
   return request;
 }
@@ -225,8 +230,14 @@ JsonValue PlanJson(const Pipeline& p, const PlanResponse& result) {
       .Set("bound_calls", result.bound_calls)
       .Set("tau_evals", result.tau_evals)
       .Set("converged", result.converged)
+      .Set("theta_used", result.theta_used)
+      .Set("sampling_rounds", result.sampling_rounds)
       .Set("sample_seconds", p.sample_seconds)
       .Set("solve_seconds", result.seconds);
+  if (p.config->sampling_epsilon > 0.0) {
+    j.Set("holdout_utility", result.holdout_utility)
+        .Set("sampling_gap", result.sampling_gap);
+  }
   return j;
 }
 
@@ -264,6 +275,8 @@ JsonValue ConfigJson(const CliConfig& c) {
       .Set("ell", c.ell)
       .Set("theta", c.theta)
       .Set("epsilon", c.epsilon)
+      .Set("sampling_epsilon", c.sampling_epsilon)
+      .Set("max_theta", c.max_theta)
       .Set("gap", c.gap)
       .Set("alpha", c.alpha)
       .Set("beta", c.beta)
@@ -422,6 +435,9 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   c.ell = static_cast<int>(flags.GetInt("ell", c.ell));
   c.theta = flags.GetInt("theta", c.theta);
   c.epsilon = flags.GetDouble("epsilon", c.epsilon);
+  c.sampling_epsilon =
+      flags.GetDouble("sampling_epsilon", c.sampling_epsilon);
+  c.max_theta = flags.GetInt("max_theta", c.max_theta);
   c.gap = flags.GetDouble("gap", c.gap);
   c.alpha = flags.GetDouble("alpha", c.alpha);
   c.beta = flags.GetDouble("beta", c.beta);
@@ -446,6 +462,15 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   if (c.theta < 1) return Status::InvalidArgument("--theta must be >= 1");
   if (c.epsilon <= 0.0 || c.epsilon >= 1.0) {
     return Status::InvalidArgument("--epsilon must be in (0, 1)");
+  }
+  if (c.sampling_epsilon < 0.0 || c.sampling_epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "--sampling_epsilon must be in [0, 1) (0 = one-shot solve)");
+  }
+  if (c.sampling_epsilon > 0.0 && c.max_theta < c.theta) {
+    // Only meaningful for progressive runs; a plain --theta above the
+    // default growth cap is fine.
+    return Status::InvalidArgument("--max_theta must be >= --theta");
   }
   if (c.trials < 1) return Status::InvalidArgument("--trials must be >= 1");
   if (flags.Has("threads") &&
@@ -489,8 +514,15 @@ std::string UsageString() {
      << "                           --progressive=false)\n"
      << "  --k=<budget[,budget..]>  assignment budget; list for bench (10)\n"
      << "  --ell=<pieces>           campaign pieces L (3)\n"
-     << "  --theta=<samples>        MRR samples (20000)\n"
+     << "  --theta=<samples>        MRR samples (20000); the starting\n"
+     << "                           size under --sampling_epsilon\n"
      << "  --epsilon=<0..1>         BAB-P threshold decay (0.5)\n"
+     << "  --sampling_epsilon=<0..1> progressive (ε)-stopping: grow the\n"
+     << "                           samples and re-solve until in-sample\n"
+     << "                           and holdout utilities agree within\n"
+     << "                           this relative gap (0 = off)\n"
+     << "  --max_theta=<samples>    growth cap for --sampling_epsilon\n"
+     << "                           (2000000)\n"
      << "  --gap=<frac>             termination gap (0.01)\n"
      << "  --alpha --beta           logistic adoption model (2.0, 1.0)\n"
      << "  --bound=zero|paper       tangent-bound variant (zero)\n"

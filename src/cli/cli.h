@@ -51,10 +51,17 @@ struct CliConfig {
   int k = 10;
   /// Campaign pieces L (the paper's l).
   int ell = 3;
-  /// MRR samples.
+  /// MRR samples (the starting theta under --sampling_epsilon).
   int64_t theta = 20'000;
   /// BAB-P threshold decay epsilon.
   double epsilon = 0.5;
+  /// Progressive (ε)-stopping tolerance: > 0 enables a holdout
+  /// collection and grows the sample store (doubling from --theta, up to
+  /// --max_theta) until the solved plan's in-sample and holdout
+  /// estimates agree within this relative gap. 0 = one-shot solve.
+  double sampling_epsilon = 0.0;
+  /// Growth cap for --sampling_epsilon.
+  int64_t max_theta = 2'000'000;
   /// Relative termination gap.
   double gap = 0.01;
   /// Logistic adoption parameters.

@@ -80,6 +80,24 @@ struct PlanRequest {
   /// equally-good plan may differ between runs. Values above
   /// kMaxBabWorkers (branch_and_bound.h) are InvalidArgument.
   int num_threads = 1;
+  /// Progressive (ε)-stopping: when > 0, each budget is re-solved on a
+  /// growing sample store — the context's collections are doubled in
+  /// place (PlanningContext::GrowSamples) until the relative gap between
+  /// the in-sample and holdout utility estimates of the solved plan
+  /// falls to `epsilon` or growth hits `max_theta`. Requires a context
+  /// with a holdout and extendable samples. 0 (default) solves once on
+  /// the samples as-is. Distinct from SolverOptions::epsilon (the BAB-P
+  /// threshold decay).
+  double epsilon = 0.0;
+  /// Cap on the grown in-sample theta for progressive solving.
+  int64_t max_theta = 2'000'000;
+  /// SolveBatch only: with num_threads > 1, run the budget sweep
+  /// concurrently (num_threads sweep workers), each budget on the
+  /// deterministic sequential engine — responses are bit-identical to
+  /// the num_threads == 1 sweep, just faster. Set false to keep the
+  /// sweep serial with each individual solve using the parallel
+  /// branch-and-bound engine instead (thread-scaling benches).
+  bool shard_budgets = true;
   /// Seed for solver-internal randomness (baseline RR sampling, random
   /// heuristic). Independent of the context's sampling seed.
   uint64_t seed = 1;
@@ -109,6 +127,19 @@ struct PlanResponse {
   int64_t bound_calls = 0;
   int64_t tau_evals = 0;
   double seconds = 0.0;
+  /// In-sample theta the final solve ran on (grows under progressive
+  /// (ε)-stopping; otherwise the context's theta at solve time). Read
+  /// just before dispatch — when another thread grows the store
+  /// mid-solve (sharded progressive sweeps), the solver may pick up a
+  /// generation one round newer than this label.
+  int64_t theta_used = 0;
+  /// Solve-grow rounds performed: 1 for a plain solve; > 1 when
+  /// PlanRequest::epsilon made the sample store grow.
+  int sampling_rounds = 1;
+  /// Relative in-sample/holdout gap of the returned plan (0 when the
+  /// context has no holdout). Progressive solving drives this to
+  /// PlanRequest::epsilon unless max_theta stops growth first.
+  double sampling_gap = 0.0;
   /// False when the solver stopped early (max_nodes trip, cancellation).
   bool converged = true;
   /// True when the request's progress hook asked to stop.

@@ -145,14 +145,78 @@ PlanningContext::BorrowWithSamples(const Graph& graph,
                    : Unowned(*holdout));
 }
 
+const MrrCollection& PlanningContext::mrr() const {
+  std::lock_guard<std::mutex> lock(sample_mu_);
+  return *mrr_;
+}
+
+const MrrCollection* PlanningContext::holdout() const {
+  std::lock_guard<std::mutex> lock(sample_mu_);
+  return holdout_.get();
+}
+
+bool PlanningContext::CanGrowSamples() const {
+  std::lock_guard<std::mutex> lock(sample_mu_);
+  return mrr_->extendable() &&
+         (holdout_ == nullptr || holdout_->extendable());
+}
+
+Status PlanningContext::GrowSamples(int64_t target_theta) const {
+  if (target_theta < 1) {
+    return Status::InvalidArgument("GrowSamples target must be >= 1");
+  }
+  // grow_mu_ serializes growers for the whole (expensive) sampling
+  // phase; sample_mu_ is only taken for the pointer reads/swaps, so
+  // concurrent solvers keep reading their generation while new samples
+  // are being drawn.
+  std::lock_guard<std::mutex> grow_lock(grow_mu_);
+  std::shared_ptr<const MrrCollection> current_mrr;
+  std::shared_ptr<const MrrCollection> current_holdout;
+  {
+    std::lock_guard<std::mutex> lock(sample_mu_);
+    current_mrr = mrr_;
+    current_holdout = holdout_;
+  }
+  if (current_mrr->theta() >= target_theta) return Status::Ok();
+  if (!current_mrr->extendable() ||
+      (current_holdout != nullptr && !current_holdout->extendable())) {
+    return Status::FailedPrecondition(
+        "context samples lack sampling provenance and cannot grow "
+        "(collections loaded via legacy FromParts are not extendable)");
+  }
+  // Copy-on-grow: extend copies, then publish them, retiring the old
+  // generations so outstanding references stay valid. Only growers
+  // mutate the store and they hold grow_mu_, so the snapshot read above
+  // is still current at the swap below.
+  auto grown = std::make_shared<MrrCollection>(*current_mrr);
+  grown->Extend(pieces_, target_theta);
+  std::shared_ptr<const MrrCollection> grown_holdout;
+  if (current_holdout != nullptr) {
+    auto h = std::make_shared<MrrCollection>(*current_holdout);
+    h->Extend(pieces_, target_theta);
+    grown_holdout = std::move(h);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sample_mu_);
+    retired_.push_back(std::move(mrr_));
+    mrr_ = std::move(grown);
+    if (grown_holdout != nullptr) {
+      retired_.push_back(std::move(holdout_));
+      holdout_ = std::move(grown_holdout);
+    }
+  }
+  return Status::Ok();
+}
+
 double PlanningContext::EstimateUtility(const AssignmentPlan& plan) const {
-  return EstimateAdoptionUtility(*mrr_, model_, plan);
+  return EstimateAdoptionUtility(mrr(), model_, plan);
 }
 
 double PlanningContext::EstimateHoldoutUtility(
     const AssignmentPlan& plan) const {
-  if (holdout_ == nullptr) return 0.0;
-  return EstimateAdoptionUtility(*holdout_, model_, plan);
+  const MrrCollection* h = holdout();
+  if (h == nullptr) return 0.0;
+  return EstimateAdoptionUtility(*h, model_, plan);
 }
 
 StatusOr<PlanResponse> PlanningContext::Evaluate(

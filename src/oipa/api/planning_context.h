@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,12 +30,21 @@ struct ContextOptions {
   DiffusionModel diffusion = DiffusionModel::kIndependentCascade;
 };
 
-/// The immutable shared state of one (graph, probabilities, campaign,
-/// adoption model) planning configuration: the per-piece influence
-/// graphs plus the in-sample and holdout MRR collections. Built once,
-/// then shared — every member is read-only after construction, so any
+/// The shared state of one (graph, probabilities, campaign, adoption
+/// model) planning configuration: the per-piece influence graphs plus
+/// the in-sample and holdout MRR collections. Everything except the
+/// sample store is read-only after construction, and the sample store is
+/// mutable only under an internal lock and only by growing — so any
 /// number of threads may Solve() against one context concurrently, and a
 /// SolveBatch() budget sweep reuses the same samples for every k.
+///
+/// Progressive (ε)-stopping grows the store through GrowSamples():
+/// publication is copy-on-grow — the current collection is copied,
+/// extended in place (bit-identical to a fresh generation at the larger
+/// theta), and swapped in, while every superseded generation is retained
+/// for the context's lifetime. References returned by mrr()/holdout()
+/// therefore stay valid forever; they just keep seeing their original
+/// sample count. Callers wanting the newest samples re-call mrr().
 ///
 ///   auto ctx = PlanningContext::Create(graph, probs, campaign,
 ///                                      LogisticAdoptionModel(2.0, 1.0),
@@ -85,10 +95,29 @@ class PlanningContext {
 
   /// Per-piece influence graphs (alias the context's graph).
   const std::vector<InfluenceGraph>& pieces() const { return pieces_; }
-  const MrrCollection& mrr() const { return *mrr_; }
+  /// Current in-sample MRR generation. The reference stays valid for the
+  /// context's lifetime even across GrowSamples() (superseded
+  /// generations are retained), but a later call may return a larger
+  /// collection — read it once per solve.
+  const MrrCollection& mrr() const;
   /// Null when the context was built with holdout_theta = 0 (or
-  /// BorrowWithSamples without a holdout).
-  const MrrCollection* holdout() const { return holdout_.get(); }
+  /// BorrowWithSamples without a holdout). Same lifetime contract as
+  /// mrr().
+  const MrrCollection* holdout() const;
+
+  /// True when the sample store can grow: the in-sample collection (and
+  /// the holdout, when present) carries sampling provenance
+  /// (MrrCollection::extendable()).
+  bool CanGrowSamples() const;
+
+  /// Grows the in-sample collection (and the holdout, when present) to
+  /// at least `target_theta` samples, bit-identically to collections
+  /// generated at that size up front. No-op when the store is already
+  /// that large. Thread-safe: concurrent growers serialize, concurrent
+  /// solves keep reading their generation. FailedPrecondition when the
+  /// collections lack sampling provenance (CanGrowSamples() == false),
+  /// InvalidArgument for target_theta < 1.
+  Status GrowSamples(int64_t target_theta) const;
 
   /// In-sample MRR estimate of `plan` (what solvers maximize).
   double EstimateUtility(const AssignmentPlan& plan) const;
@@ -123,8 +152,18 @@ class PlanningContext {
   LogisticAdoptionModel model_{2.0, 1.0};
   ContextOptions options_;
   std::vector<InfluenceGraph> pieces_;
-  std::shared_ptr<const MrrCollection> mrr_;
-  std::shared_ptr<const MrrCollection> holdout_;
+
+  // The sample store: current generations plus every superseded one
+  // (kept so outstanding references survive growth). Pointer reads and
+  // swaps are guarded by sample_mu_; growers additionally serialize on
+  // grow_mu_ for the whole sampling phase so readers never wait on
+  // sample generation. Mutable so GrowSamples can run on the shared
+  // const handles the factories give out.
+  mutable std::mutex grow_mu_;
+  mutable std::mutex sample_mu_;
+  mutable std::shared_ptr<const MrrCollection> mrr_;
+  mutable std::shared_ptr<const MrrCollection> holdout_;
+  mutable std::vector<std::shared_ptr<const MrrCollection>> retired_;
 };
 
 }  // namespace oipa

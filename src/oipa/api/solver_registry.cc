@@ -1,6 +1,12 @@
 #include "oipa/api/solver_registry.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "im/heuristics.h"
@@ -8,6 +14,7 @@
 #include "oipa/branch_and_bound.h"
 #include "oipa/brute_force.h"
 #include "util/logging.h"
+#include "util/threading.h"
 #include "util/timer.h"
 
 namespace oipa {
@@ -99,10 +106,13 @@ class ImSolver : public Solver {
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
                                const PlanRequest& request,
                                int budget) const override {
+    // One generation for the whole solve (the store may grow
+    // concurrently under progressive requests).
+    const MrrCollection& mrr = context.mrr();
     return FromBaselineResult(ImBaseline(
-        context.graph(), context.probs(), context.campaign(),
-        context.mrr(), context.model(), request.pool, budget,
-        context.mrr().theta(), request.seed + 17));
+        context.graph(), context.probs(), context.campaign(), mrr,
+        context.model(), request.pool, budget, mrr.theta(),
+        request.seed + 17));
   }
 };
 
@@ -117,10 +127,11 @@ class TimSolver : public Solver {
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
                                const PlanRequest& request,
                                int budget) const override {
+    const MrrCollection& mrr = context.mrr();
     return FromBaselineResult(TimBaseline(
-        context.graph(), context.probs(), context.campaign(),
-        context.mrr(), context.model(), request.pool, budget,
-        context.mrr().theta(), request.seed + 19));
+        context.graph(), context.probs(), context.campaign(), mrr,
+        context.model(), request.pool, budget, mrr.theta(),
+        request.seed + 19));
   }
 };
 
@@ -286,7 +297,38 @@ Status ValidateRequest(const PlanningContext& context,
         "num_threads must be in [0, " + std::to_string(kMaxBabWorkers) +
         "] (0 = auto), got " + std::to_string(request.num_threads));
   }
+  if (request.epsilon < 0.0) {
+    return Status::InvalidArgument(
+        "epsilon must be >= 0 (0 disables progressive solving), got " +
+        std::to_string(request.epsilon));
+  }
+  if (request.epsilon > 0.0) {
+    if (request.max_theta < 1) {
+      return Status::InvalidArgument(
+          "progressive solving needs max_theta >= 1, got " +
+          std::to_string(request.max_theta));
+    }
+    if (context.holdout() == nullptr) {
+      return Status::InvalidArgument(
+          "progressive solving (epsilon > 0) requires a context with a "
+          "holdout collection (ContextOptions::holdout_theta != 0)");
+    }
+    if (!context.CanGrowSamples()) {
+      return Status::FailedPrecondition(
+          "progressive solving (epsilon > 0) requires extendable context "
+          "samples (collections with sampling provenance)");
+    }
+  }
   return Status::Ok();
+}
+
+/// Relative disagreement between the optimizer's in-sample estimate and
+/// the unbiased holdout estimate — the progressive loop's stopping
+/// statistic (mirrors AdaptiveTheta's convergence test).
+double SamplingGap(const PlanResponse& response) {
+  const double scale = std::max(
+      1e-9, std::max(response.utility, response.holdout_utility));
+  return std::fabs(response.utility - response.holdout_utility) / scale;
 }
 
 /// Runs one budget through `solver` and stamps the uniform response
@@ -313,13 +355,127 @@ StatusOr<PlanResponse> SolveOne(const PlanningContext& context,
       return cancelled;
     }
   }
+  const int64_t theta_used = context.mrr().theta();
   StatusOr<PlanResponse> response = solver.Solve(context, request, budget);
   if (!response.ok()) return response.status();
   response->solver = std::string(solver.name());
   response->budget = budget;
   if (response->seconds == 0.0) response->seconds = timer.Seconds();
   response->holdout_utility = context.EstimateHoldoutUtility(response->plan);
+  response->theta_used = theta_used;
+  response->sampling_rounds = 1;
+  if (context.holdout() != nullptr) {
+    response->sampling_gap = SamplingGap(*response);
+  }
   return response;
+}
+
+/// Progressive (ε)-stopping around SolveOne: solve, compare the
+/// in-sample and holdout estimates of the solved plan, and grow the
+/// context's sample store (doubling) until they agree within
+/// request.epsilon or growth hits request.max_theta. Thanks to
+/// copy-on-grow + per-sample seeding, the final round is bit-identical
+/// to a one-shot solve against a context generated at the final theta.
+StatusOr<PlanResponse> SolveOneProgressive(const PlanningContext& context,
+                                           const PlanRequest& request,
+                                           const Solver& solver,
+                                           int budget) {
+  WallTimer total_timer;
+  int rounds = 0;
+  for (;;) {
+    StatusOr<PlanResponse> response =
+        SolveOne(context, request, solver, budget);
+    if (!response.ok()) return response.status();
+    ++rounds;
+    response->sampling_rounds = rounds;
+    if (response->cancelled) return response;
+    if (response->sampling_gap <= request.epsilon) {
+      response->seconds = total_timer.Seconds();
+      return response;
+    }
+    // The store may have been grown further by a concurrent budget
+    // worker; double whatever is current.
+    const int64_t current = context.mrr().theta();
+    const int64_t target =
+        std::min(request.max_theta,
+                 current > request.max_theta / 2 ? request.max_theta
+                                                 : current * 2);
+    if (target <= current) {
+      // Cannot grow any further: report the best achievable gap.
+      response->seconds = total_timer.Seconds();
+      return response;
+    }
+    OIPA_RETURN_IF_ERROR(context.GrowSamples(target));
+  }
+}
+
+/// Dispatches one budget through the progressive wrapper when the
+/// request asks for (ε)-stopping, else plain SolveOne.
+StatusOr<PlanResponse> SolveBudget(const PlanningContext& context,
+                                   const PlanRequest& request,
+                                   const Solver& solver, int budget) {
+  if (request.epsilon > 0.0) {
+    return SolveOneProgressive(context, request, solver, budget);
+  }
+  return SolveOne(context, request, solver, budget);
+}
+
+/// SolveBatch fan-out: num_threads sweep workers pull budgets off a
+/// shared counter; every individual solve runs the deterministic
+/// sequential engine, so the sweep's responses are bit-identical to the
+/// serial num_threads == 1 sweep. Progress hooks are serialized.
+StatusOr<std::vector<PlanResponse>> SolveBatchSharded(
+    const PlanningContext& context, const PlanRequest& request,
+    const Solver& solver) {
+  const int workers = std::min<int>(
+      request.num_threads == 0 ? GetNumThreads() : request.num_threads,
+      static_cast<int>(request.budgets.size()));
+
+  PlanRequest worker_request = request;
+  worker_request.num_threads = 1;
+  std::mutex progress_mu;
+  std::atomic<bool> stop{false};
+  if (request.progress) {
+    worker_request.progress = [&](const PlanProgress& p) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      const bool keep_going = request.progress(p);
+      if (!keep_going) stop.store(true, std::memory_order_relaxed);
+      return keep_going;
+    };
+  }
+
+  // nullopt = budget never attempted (a worker saw the stop flag first).
+  std::vector<std::optional<StatusOr<PlanResponse>>> results(
+      request.budgets.size());
+  std::atomic<size_t> next{0};
+  auto work = [&] {
+    for (;;) {
+      const size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+      if (idx >= request.budgets.size()) return;
+      if (stop.load(std::memory_order_relaxed)) return;
+      results[idx] = SolveBudget(context, worker_request, solver,
+                                 request.budgets[idx]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (int w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();
+  for (std::thread& t : pool) t.join();
+
+  // Stitch in budget order; mirror the serial contract — propagate the
+  // first error, stop after a cancelled response (later budgets may have
+  // solved already; they are dropped for contract parity).
+  std::vector<PlanResponse> responses;
+  responses.reserve(request.budgets.size());
+  for (std::optional<StatusOr<PlanResponse>>& result : results) {
+    if (!result.has_value()) break;
+    if (!result->ok()) return result->status();
+    const bool cancelled = (*result)->cancelled;
+    responses.push_back(*std::move(*result));
+    if (cancelled) break;
+  }
+  return responses;
 }
 
 }  // namespace
@@ -417,7 +573,7 @@ StatusOr<PlanResponse> Solve(const PlanningContext& context,
   const StatusOr<const Solver*> solver = registry.Find(request.solver);
   if (!solver.ok()) return solver.status();
   OIPA_RETURN_IF_ERROR(ValidateRequest(context, request));
-  return SolveOne(context, request, **solver, request.budgets[0]);
+  return SolveBudget(context, request, **solver, request.budgets[0]);
 }
 
 StatusOr<std::vector<PlanResponse>> SolveBatch(
@@ -426,11 +582,15 @@ StatusOr<std::vector<PlanResponse>> SolveBatch(
   const StatusOr<const Solver*> solver = registry.Find(request.solver);
   if (!solver.ok()) return solver.status();
   OIPA_RETURN_IF_ERROR(ValidateRequest(context, request));
+  if (request.num_threads != 1 && request.shard_budgets &&
+      request.budgets.size() > 1) {
+    return SolveBatchSharded(context, request, **solver);
+  }
   std::vector<PlanResponse> responses;
   responses.reserve(request.budgets.size());
   for (const int budget : request.budgets) {
     StatusOr<PlanResponse> response =
-        SolveOne(context, request, **solver, budget);
+        SolveBudget(context, request, **solver, budget);
     if (!response.ok()) return response.status();
     const bool cancelled = response->cancelled;
     responses.push_back(*std::move(response));

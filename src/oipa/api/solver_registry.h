@@ -63,8 +63,13 @@ class SolverRegistry {
 /// Solves one request (exactly one budget) against a shared context:
 /// validates the request, dispatches to the named solver, and stamps the
 /// response with the solver name, budget, wall time, and holdout
-/// utility. InvalidArgument on a malformed request, NotFound on an
-/// unknown solver name.
+/// utility. With request.epsilon > 0 the solve is progressive: the
+/// context's sample store grows (doubling, in place and bit-identically
+/// to up-front generation) and the budget is re-solved until the
+/// in-sample/holdout gap reaches epsilon or theta hits
+/// request.max_theta; the response reports theta_used, sampling_rounds,
+/// and the achieved sampling_gap. InvalidArgument on a malformed
+/// request, NotFound on an unknown solver name.
 StatusOr<PlanResponse> Solve(
     const PlanningContext& context, const PlanRequest& request,
     const SolverRegistry& registry = SolverRegistry::Global());
@@ -74,6 +79,19 @@ StatusOr<PlanResponse> Solve(
 /// sampling pass plus the solves. Responses come back in budget order.
 /// If a solve is cancelled via the progress hook, the sweep stops after
 /// the cancelled response.
+///
+/// With request.num_threads != 1 (and shard_budgets, the default), the
+/// sweep itself is parallelized: up to num_threads workers each solve
+/// whole budgets on the deterministic sequential engine, so fixed-theta
+/// responses are bit-identical to the num_threads == 1 sweep — only
+/// faster. Set
+/// request.shard_budgets = false to instead run budgets serially with
+/// each solve using the parallel branch-and-bound engine (the PR-3
+/// behavior thread-scaling benches measure). Progressive requests
+/// (epsilon > 0) compose with sharding: workers grow the shared store
+/// cooperatively, and each response reports the theta it converged at
+/// (growth interleaving may differ from a serial sweep's, so per-budget
+/// theta_used can be smaller — never the plan quality contract).
 StatusOr<std::vector<PlanResponse>> SolveBatch(
     const PlanningContext& context, const PlanRequest& request,
     const SolverRegistry& registry = SolverRegistry::Global());

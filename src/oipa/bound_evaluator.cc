@@ -33,6 +33,18 @@ BoundEvaluator::BoundEvaluator(const MrrCollection* mrr,
       static_cast<size_t>(num_pieces_) * num_vertices_, 0);
 }
 
+void BoundEvaluator::SyncWithCollection() {
+  const int64_t new_theta = mrr_->theta();
+  OIPA_CHECK_GE(new_theta, static_cast<int64_t>(line_epoch_.size()));
+  // Per-sample scratch is sample-major, so growth is a plain append.
+  // New entries start at epoch 0; BeginCall keeps epoch_ >= 1, so they
+  // are correctly treated as stale on first touch.
+  line_epoch_.resize(new_theta, 0);
+  line_value_.resize(new_theta, 0.0);
+  greedy_cover_epoch_.resize(
+      static_cast<size_t>(new_theta) * num_pieces_, 0);
+}
+
 BoundEvaluator::BoundEvaluator(const MrrCollection* mrr,
                                const LogisticAdoptionModel& model,
                                const std::vector<VertexId>& shared_pool,
@@ -62,26 +74,26 @@ double BoundEvaluator::CandidateGain(int piece, VertexId v,
                                      const CoverageState& state) {
   ++total_tau_evals_;
   double gain = 0.0;
-  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
-    if (state.IsCovered(i, piece)) continue;
-    if (greedy_cover_epoch_[i * num_pieces_ + piece] == epoch_) continue;
+  mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
+    if (state.IsCovered(i, piece)) return;
+    if (greedy_cover_epoch_[i * num_pieces_ + piece] == epoch_) return;
     gain += SampleGain(i, state);
-  }
+  });
   return gain;
 }
 
 double BoundEvaluator::ApplyCandidate(int piece, VertexId v,
                                       const CoverageState& state) {
   double gain = 0.0;
-  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
-    if (state.IsCovered(i, piece)) continue;
+  mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
+    if (state.IsCovered(i, piece)) return;
     uint32_t& mark = greedy_cover_epoch_[i * num_pieces_ + piece];
-    if (mark == epoch_) continue;
+    if (mark == epoch_) return;
     mark = epoch_;
     const double g = SampleGain(i, state);
     line_value_[i] += g;  // LineValue already initialized by SampleGain
     gain += g;
-  }
+  });
   return gain;
 }
 

@@ -87,6 +87,13 @@ class BoundEvaluator {
   BoundResult ComputeBoundLazy(CoverageState* state, int budget_remaining,
                                const std::vector<Assignment>& excluded);
 
+  /// Rebinds the evaluator after MrrCollection::Extend grew the
+  /// collection: the per-sample scratch arrays are appended in place
+  /// (O(new samples)), never rebuilt. Call between bound computations —
+  /// a subsequent ComputeBound* behaves exactly like one from a freshly
+  /// constructed evaluator over the grown collection.
+  void SyncWithCollection();
+
   /// Cumulative tau evaluations across all calls.
   int64_t total_tau_evals() const { return total_tau_evals_; }
 

@@ -4,17 +4,10 @@
 
 #include "rrset/coverage_state.h"
 #include "util/logging.h"
-#include "util/math.h"
 
 namespace oipa {
 
 namespace {
-
-std::vector<double> AdoptionTable(double alpha, double beta, int l) {
-  std::vector<double> f(l + 1, 0.0);
-  for (int c = 1; c <= l; ++c) f[c] = Sigmoid(beta * c - alpha);
-  return f;
-}
 
 /// Greedy probe plan on `state` (coverage-gain greedy over the pool),
 /// applied in place. Returns the (piece, vertex) selections.
@@ -54,20 +47,26 @@ AdaptiveThetaResult ChooseTheta(
   OIPA_CHECK_GT(options.initial_theta, 0);
   OIPA_CHECK_GT(options.relative_tolerance, 0.0);
   const int l = static_cast<int>(piece_graphs.size());
-  const std::vector<double> f = AdoptionTable(options.alpha, options.beta, l);
+  const std::vector<double> f = options.model.AdoptionTable(l);
+
+  // One pair of collections for the whole search, grown in place each
+  // round — per-sample seeding makes round r's estimates bit-identical
+  // to the old regenerate-from-scratch scheme while paying for each
+  // sample exactly once.
+  MrrCollection train = MrrCollection::Generate(
+      piece_graphs, options.initial_theta, options.seed + 1,
+      options.diffusion);
+  MrrCollection test = MrrCollection::Generate(
+      piece_graphs, options.initial_theta, options.seed + 2,
+      options.diffusion);
+  CoverageState train_state(&train, f);
+  CoverageState test_state(&test, f);
 
   AdaptiveThetaResult result;
-  int64_t theta = options.initial_theta;
-  for (;; theta *= 2, ++result.rounds) {
-    const MrrCollection train =
-        MrrCollection::Generate(piece_graphs, theta, options.seed + 1);
-    const MrrCollection test =
-        MrrCollection::Generate(piece_graphs, theta, options.seed + 2);
-    CoverageState train_state(&train, f);
+  for (int64_t theta = options.initial_theta;; ++result.rounds) {
     const auto plan = BuildProbePlan(&train_state, promoter_pool,
                                      options.probe_budget);
     const double train_utility = train_state.Utility();
-    CoverageState test_state(&test, f);
     for (const auto& [piece, v] : plan) test_state.AddSeed(v, piece);
     const double test_utility = test_state.Utility();
 
@@ -78,8 +77,23 @@ AdaptiveThetaResult ChooseTheta(
     result.theta = theta;
     if (result.achieved_disagreement <= options.relative_tolerance ||
         theta * 2 > options.max_theta) {
+      // Both collections were grown in place, so their final sizes ARE
+      // the total draw (a process-global counter diff would pick up
+      // unrelated sampling on other threads).
+      result.total_samples_generated = train.theta() + test.theta();
       return result;
     }
+
+    // Next round: double both collections in place and rebind the
+    // states to the appended samples (probe plans are rebuilt from
+    // scratch, so rebinding starts from an empty plan).
+    theta *= 2;
+    train_state.Clear();
+    test_state.Clear();
+    train.Extend(piece_graphs, theta);
+    test.Extend(piece_graphs, theta);
+    train_state.ExtendToCollection();
+    test_state.ExtendToCollection();
   }
 }
 

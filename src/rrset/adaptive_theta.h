@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "oipa/logistic_model.h"
 #include "rrset/mrr_collection.h"
 #include "topic/influence_graph.h"
 
@@ -20,9 +21,13 @@ struct AdaptiveThetaOptions {
   /// Probe budget: the utility probe is a greedy plan of this many
   /// assignments built on one half.
   int probe_budget = 10;
-  /// Values of f(1..l) are taken from this logistic model.
-  double alpha = 2.0;
-  double beta = 1.0;
+  /// The adoption curve the solver will actually optimize: f(1..l) is
+  /// taken from model.AdoptionTable(), so the chosen theta reflects the
+  /// variance of the real objective, not a hardcoded surrogate.
+  LogisticAdoptionModel model{2.0, 1.0};
+  /// Diffusion model the collections are sampled under (must match the
+  /// solver's ContextOptions::diffusion).
+  DiffusionModel diffusion = DiffusionModel::kIndependentCascade;
   uint64_t seed = 1;
 };
 
@@ -32,6 +37,11 @@ struct AdaptiveThetaResult {
   double achieved_disagreement = 0.0;
   /// Rounds of doubling performed.
   int rounds = 0;
+  /// MRR samples drawn across the whole search: exactly 2 * theta (one
+  /// train + one test collection, each grown in place) — every sample is
+  /// generated at most once per collection, never regenerated between
+  /// rounds.
+  int64_t total_samples_generated = 0;
 };
 
 /// Practical theta selection for OIPA (a convenience the paper leaves to
@@ -40,6 +50,12 @@ struct AdaptiveThetaResult {
 /// `relative_tolerance`. The probe plan is built greedily on the first
 /// collection, so the check also captures the optimizer's overfitting
 /// exposure at that sample size, not just estimator variance.
+///
+/// The two collections are generated once at `initial_theta` and grown
+/// in place (MrrCollection::Extend) every round, with the coverage
+/// states rebound incrementally — per-round cost is O(new samples), and
+/// the per-round estimates are bit-identical to regenerating both
+/// collections from scratch at each size (per-sample seeding).
 AdaptiveThetaResult ChooseTheta(
     const std::vector<InfluenceGraph>& piece_graphs,
     const std::vector<VertexId>& promoter_pool,

@@ -30,11 +30,17 @@ CoverageState::CoverageState(const MrrCollection* mrr,
   count_hist_[0] = mrr_->theta();
 }
 
+void CoverageState::CheckSynced() const {
+  OIPA_CHECK_EQ(static_cast<int64_t>(cover_count_.size()), mrr_->theta())
+      << "collection grew; call ExtendToCollection() first";
+}
+
 void CoverageState::AddSeed(VertexId v, int piece) {
   OIPA_CHECK_GE(piece, 0);
   OIPA_CHECK_LT(piece, num_pieces_);
+  CheckSynced();
   const bool journal = journaling();
-  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
+  mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
     uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
     OIPA_CHECK_LT(mult, UINT16_MAX);
     if (journal) journal_.push_back({i, piece, +1});
@@ -45,14 +51,15 @@ void CoverageState::AddSeed(VertexId v, int piece) {
       ++count_hist_[c + 1];
       if (c == 0) touched_.push_back(i);
     }
-  }
+  });
 }
 
 void CoverageState::RemoveSeed(VertexId v, int piece) {
   OIPA_CHECK_GE(piece, 0);
   OIPA_CHECK_LT(piece, num_pieces_);
+  CheckSynced();
   const bool journal = journaling();
-  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
+  mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
     uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
     OIPA_CHECK_GT(mult, 0) << "RemoveSeed without matching AddSeed";
     if (journal) journal_.push_back({i, piece, -1});
@@ -62,6 +69,39 @@ void CoverageState::RemoveSeed(VertexId v, int piece) {
       --count_hist_[c];
       ++count_hist_[c - 1];
     }
+  });
+}
+
+void CoverageState::ExtendToCollection(
+    const std::vector<std::pair<int, VertexId>>& applied) {
+  OIPA_CHECK(!journaling())
+      << "ExtendToCollection() inside an open Snapshot";
+  const int64_t old_theta = static_cast<int64_t>(cover_count_.size());
+  const int64_t new_theta = mrr_->theta();
+  OIPA_CHECK_GE(new_theta, old_theta);
+  if (new_theta == old_theta) return;
+  multiplicity_.resize(static_cast<size_t>(new_theta) * num_pieces_, 0);
+  cover_count_.resize(new_theta, 0);
+  count_hist_[0] += new_theta - old_theta;
+  // Bind the active seeds to the appended samples only; samples below
+  // old_theta already carry them.
+  for (const auto& [piece, v] : applied) {
+    OIPA_CHECK_GE(piece, 0);
+    OIPA_CHECK_LT(piece, num_pieces_);
+    mrr_->ForEachSampleContaining(
+        piece, v,
+        [&](int64_t i) {
+          uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
+          OIPA_CHECK_LT(mult, UINT16_MAX);
+          if (mult++ == 0) {
+            const int c = cover_count_[i]++;
+            sum_f_ += delta_f_[c];
+            --count_hist_[c];
+            ++count_hist_[c + 1];
+            if (c == 0) touched_.push_back(i);
+          }
+        },
+        /*min_sample=*/old_theta);
   }
 }
 
@@ -78,7 +118,9 @@ void CoverageState::Clear() {
   touched_.clear();
   sum_f_ = 0.0;
   std::fill(count_hist_.begin(), count_hist_.end(), 0);
-  count_hist_[0] = mrr_->theta();
+  // The bound theta, not mrr_->theta(): the collection may have grown
+  // since the last ExtendToCollection.
+  count_hist_[0] = static_cast<int64_t>(cover_count_.size());
 }
 
 void CoverageState::Snapshot() { marks_.push_back(journal_.size()); }
@@ -118,26 +160,28 @@ void CoverageState::Restore() {
 }
 
 double CoverageState::GainOfAdding(VertexId v, int piece) const {
+  CheckSynced();
   double gain = 0.0;
-  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
+  mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
     if (multiplicity_[i * num_pieces_ + piece] == 0) {
       gain += delta_f_[cover_count_[i]];
     }
-  }
+  });
   return gain * mrr_->UtilityScale();
 }
 
 std::pair<double, double> CoverageState::GainAndBoundOfAdding(
     VertexId v, int piece) const {
+  CheckSynced();
   double gain = 0.0;
   double bound = 0.0;
-  for (int64_t i : mrr_->SamplesContaining(piece, v)) {
+  mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
     if (multiplicity_[i * num_pieces_ + piece] == 0) {
       const int c = cover_count_[i];
       gain += delta_f_[c];
       bound += delta_f_sufmax_[c];
     }
-  }
+  });
   const double scale = mrr_->UtilityScale();
   return {gain * scale, bound * scale};
 }

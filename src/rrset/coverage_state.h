@@ -20,6 +20,11 @@ namespace oipa {
 /// branch-and-bound engine can move between plans by diffing. The
 /// marginal table delta_f[c] = f[c+1] - f[c] is precomputed so every
 /// touched sample costs one flat-array lookup, not two.
+///
+/// The state binds the collection's theta at construction. If the
+/// collection is grown (MrrCollection::Extend), call
+/// ExtendToCollection() before the next mutation or gain query — every
+/// entry point CHECK-fails on a stale binding.
 class CoverageState {
  public:
   /// `f_by_count` has num_pieces()+1 entries: f[c] is the value of a
@@ -32,6 +37,17 @@ class CoverageState {
 
   /// Reverses a prior AddSeed(v, piece).
   void RemoveSeed(VertexId v, int piece);
+
+  /// Rebinds the state to its (grown) collection after MrrCollection::
+  /// Extend: per-sample arrays are appended (not rebuilt) and every seed
+  /// in `applied` — which must list exactly the AddSeed calls currently
+  /// in effect, duplicates included — is bound to the NEW samples only,
+  /// so the whole call costs O(new samples' index lists). Afterwards the
+  /// state is exactly what a fresh CoverageState over the grown
+  /// collection plus the same AddSeed calls would be. Must not be called
+  /// inside an open Snapshot.
+  void ExtendToCollection(
+      const std::vector<std::pair<int, VertexId>>& applied = {});
 
   /// Removes all seeds (O(#touched samples), not O(theta)). Must not be
   /// called while a Snapshot is open.
@@ -88,6 +104,9 @@ class CoverageState {
   };
 
   bool journaling() const { return !marks_.empty(); }
+
+  /// The collection must not have grown past this state's arrays.
+  void CheckSynced() const;
 
   const MrrCollection* mrr_;  // not owned
   int num_pieces_;

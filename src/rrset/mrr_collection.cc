@@ -1,5 +1,7 @@
 #include "rrset/mrr_collection.h"
 
+#include <atomic>
+
 #include "diffusion/lt_cascade.h"
 #include "rrset/rr_sampler.h"
 #include "util/logging.h"
@@ -7,55 +9,84 @@
 
 namespace oipa {
 
+namespace {
+
+std::atomic<int64_t> g_generated_samples{0};
+
+}  // namespace
+
+int64_t MrrCollection::GeneratedSampleCount() {
+  return g_generated_samples.load(std::memory_order_relaxed);
+}
+
 MrrCollection MrrCollection::Generate(
     const std::vector<InfluenceGraph>& piece_graphs, int64_t theta,
     uint64_t seed, DiffusionModel model) {
   OIPA_CHECK_GE(theta, 0);
   OIPA_CHECK(!piece_graphs.empty());
   const VertexId n = piece_graphs[0].graph().num_vertices();
+
+  MrrCollection mc;
+  mc.theta_ = 0;
+  mc.num_pieces_ = static_cast<int>(piece_graphs.size());
+  mc.num_vertices_ = n;
+  mc.base_seed_ = seed;
+  mc.model_ = model;
+  mc.extendable_ = true;
+  mc.Extend(piece_graphs, theta);
+  return mc;
+}
+
+void MrrCollection::Extend(const std::vector<InfluenceGraph>& piece_graphs,
+                           int64_t new_theta) {
+  OIPA_CHECK(extendable_)
+      << "Extend on a collection without sampling provenance";
+  OIPA_CHECK_EQ(static_cast<int>(piece_graphs.size()), num_pieces_);
+  const VertexId n = num_vertices_;
   for (const InfluenceGraph& ig : piece_graphs) {
     OIPA_CHECK_EQ(ig.graph().num_vertices(), n)
         << "all pieces must share the social graph";
   }
-  const int ell = static_cast<int>(piece_graphs.size());
-
-  MrrCollection mc;
-  mc.theta_ = theta;
-  mc.num_pieces_ = ell;
-  mc.num_vertices_ = n;
-  if (theta == 0 || n == 0) {
-    mc.inv_offsets_.assign(
-        static_cast<size_t>(ell) * (n + 1) + 1, 0);
-    return mc;
+  if (new_theta <= theta_) return;
+  const int64_t begin = theta_;
+  const int64_t extra = new_theta - begin;
+  const int ell = num_pieces_;
+  if (n == 0) {
+    // No vertices: every sample is empty and there is nothing to index.
+    theta_ = new_theta;
+    return;
   }
 
   // Precompute LT weights once per piece when sampling under LT.
   std::vector<std::vector<float>> lt_weights;
-  if (model == DiffusionModel::kLinearThreshold) {
+  if (model_ == DiffusionModel::kLinearThreshold) {
     lt_weights.reserve(ell);
     for (const InfluenceGraph& ig : piece_graphs) {
       lt_weights.push_back(LtWeights(ig));
     }
   }
 
+  // Shard-local buffers stitched afterwards, so results are independent
+  // of the thread count (per-sample seeds fix the randomness).
   const int shards = GetNumThreads();
   std::vector<std::vector<VertexId>> shard_roots(shards);
   std::vector<std::vector<int32_t>> shard_sizes(shards);
   std::vector<std::vector<VertexId>> shard_nodes(shards);
 
-  ParallelFor(theta, [&](int shard, int64_t lo, int64_t hi) {
+  ParallelFor(extra, [&](int shard, int64_t lo, int64_t hi) {
     RrSampler sampler(n);
     std::vector<VertexId> set;
     auto& roots = shard_roots[shard];
     auto& sizes = shard_sizes[shard];
     auto& nodes = shard_nodes[shard];
-    for (int64_t i = lo; i < hi; ++i) {
-      Rng root_rng(PerSampleSeed(seed, i, -1));
+    for (int64_t s = lo; s < hi; ++s) {
+      const int64_t i = begin + s;
+      Rng root_rng(PerSampleSeed(base_seed_, i, -1));
       const VertexId root = static_cast<VertexId>(root_rng.NextBounded(n));
       roots.push_back(root);
       for (int j = 0; j < ell; ++j) {
-        Rng rng(PerSampleSeed(seed, i, j));
-        if (model == DiffusionModel::kLinearThreshold) {
+        Rng rng(PerSampleSeed(base_seed_, i, j));
+        if (model_ == DiffusionModel::kLinearThreshold) {
           SampleLtRrSet(piece_graphs[j].graph(), lt_weights[j], root,
                         &rng, &set);
         } else {
@@ -68,27 +99,28 @@ MrrCollection MrrCollection::Generate(
   });
 
   for (int shard = 0; shard < shards; ++shard) {
-    mc.roots_.insert(mc.roots_.end(), shard_roots[shard].begin(),
-                     shard_roots[shard].end());
+    roots_.insert(roots_.end(), shard_roots[shard].begin(),
+                  shard_roots[shard].end());
     for (int32_t size : shard_sizes[shard]) {
-      mc.offsets_.push_back(mc.offsets_.back() + size);
+      offsets_.push_back(offsets_.back() + size);
     }
-    mc.nodes_.insert(mc.nodes_.end(), shard_nodes[shard].begin(),
-                     shard_nodes[shard].end());
+    nodes_.insert(nodes_.end(), shard_nodes[shard].begin(),
+                  shard_nodes[shard].end());
   }
-  OIPA_CHECK_EQ(static_cast<int64_t>(mc.roots_.size()), theta);
-  OIPA_CHECK_EQ(static_cast<int64_t>(mc.offsets_.size()),
-                theta * ell + 1);
+  theta_ = new_theta;
+  OIPA_CHECK_EQ(static_cast<int64_t>(roots_.size()), theta_);
+  OIPA_CHECK_EQ(static_cast<int64_t>(offsets_.size()),
+                theta_ * ell + 1);
 
-  mc.BuildInvertedIndex();
-  return mc;
+  AppendIndexSegment(begin);
+  g_generated_samples.fetch_add(extra, std::memory_order_relaxed);
 }
 
-MrrCollection MrrCollection::FromParts(int64_t theta, int num_pieces,
-                                       VertexId num_vertices,
-                                       std::vector<VertexId> roots,
-                                       std::vector<int64_t> offsets,
-                                       std::vector<VertexId> nodes) {
+MrrCollection MrrCollection::FromParts(
+    int64_t theta, int num_pieces, VertexId num_vertices,
+    std::vector<VertexId> roots, std::vector<int64_t> offsets,
+    std::vector<VertexId> nodes, uint64_t base_seed, DiffusionModel model,
+    bool extendable) {
   OIPA_CHECK_GE(theta, 0);
   OIPA_CHECK_GT(num_pieces, 0);
   OIPA_CHECK_GE(num_vertices, 0);
@@ -113,38 +145,56 @@ MrrCollection MrrCollection::FromParts(int64_t theta, int num_pieces,
   mc.theta_ = theta;
   mc.num_pieces_ = num_pieces;
   mc.num_vertices_ = num_vertices;
+  mc.base_seed_ = base_seed;
+  mc.model_ = model;
+  mc.extendable_ = extendable;
   mc.roots_ = std::move(roots);
   mc.offsets_ = std::move(offsets);
   mc.nodes_ = std::move(nodes);
-  mc.BuildInvertedIndex();
+  if (theta > 0 && num_vertices > 0) mc.AppendIndexSegment(0);
   return mc;
 }
 
-void MrrCollection::BuildInvertedIndex() {
+void MrrCollection::AppendIndexSegment(int64_t begin) {
+  if (begin == theta_) return;  // zero-sample growth: nothing to index
   const int64_t keys =
       static_cast<int64_t>(num_pieces_) * (num_vertices_ + 1);
-  inv_offsets_.assign(keys + 1, 0);
-  for (int64_t i = 0; i < theta_; ++i) {
+  IndexSegment seg;
+  seg.begin_sample = begin;
+  seg.end_sample = theta_;
+  seg.offsets.assign(keys + 1, 0);
+  for (int64_t i = begin; i < theta_; ++i) {
     for (int j = 0; j < num_pieces_; ++j) {
       for (VertexId v : Set(i, j)) {
         const int64_t key =
             static_cast<int64_t>(j) * (num_vertices_ + 1) + v;
-        ++inv_offsets_[key + 1];
+        ++seg.offsets[key + 1];
       }
     }
   }
-  for (int64_t k = 0; k < keys; ++k) inv_offsets_[k + 1] += inv_offsets_[k];
-  inv_samples_.resize(nodes_.size());
-  std::vector<int64_t> fill(inv_offsets_.begin(), inv_offsets_.end() - 1);
-  for (int64_t i = 0; i < theta_; ++i) {
+  for (int64_t k = 0; k < keys; ++k) seg.offsets[k + 1] += seg.offsets[k];
+  seg.samples.resize(
+      static_cast<size_t>(offsets_[theta_ * num_pieces_] -
+                          offsets_[begin * num_pieces_]));
+  std::vector<int64_t> fill(seg.offsets.begin(), seg.offsets.end() - 1);
+  for (int64_t i = begin; i < theta_; ++i) {
     for (int j = 0; j < num_pieces_; ++j) {
       for (VertexId v : Set(i, j)) {
         const int64_t key =
             static_cast<int64_t>(j) * (num_vertices_ + 1) + v;
-        inv_samples_[fill[key]++] = i;
+        seg.samples[fill[key]++] = i;
       }
     }
   }
+  segments_.push_back(std::move(seg));
+}
+
+std::vector<int64_t> MrrCollection::SamplesContaining(int piece,
+                                                      VertexId v) const {
+  std::vector<int64_t> out;
+  ForEachSampleContaining(piece, v,
+                          [&out](int64_t i) { out.push_back(i); });
+  return out;
 }
 
 }  // namespace oipa

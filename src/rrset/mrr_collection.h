@@ -21,6 +21,13 @@ enum class DiffusionModel {
   kLinearThreshold,     // extension: LT live-edge path sampling
 };
 
+/// A growable collection of MRR samples. Sample i's randomness depends
+/// only on (base seed, i, piece) — PerSampleSeed — so the collection can
+/// be grown in place: Generate(theta1) followed by Extend(theta2) is
+/// bit-identical (roots, offsets, nodes, and inverted-index queries) to a
+/// fresh Generate(theta2), regardless of thread count. Growth appends an
+/// inverted-index segment covering only the new samples, so an Extend
+/// costs O(new samples), never a full index rebuild.
 class MrrCollection {
  public:
   /// Generates theta samples over `piece_graphs` (all sharing one social
@@ -34,20 +41,43 @@ class MrrCollection {
       uint64_t seed,
       DiffusionModel model = DiffusionModel::kIndependentCascade);
 
+  /// Grows the collection in place to `new_theta` samples (no-op when
+  /// new_theta <= theta()). `piece_graphs` must be the graphs the
+  /// collection was generated over; sampling continues from the stored
+  /// base seed under the stored diffusion model, so the result is
+  /// bit-identical to a fresh Generate(new_theta). CHECK-fails on
+  /// collections without sampling provenance (FromParts-built ones with
+  /// extendable() == false).
+  void Extend(const std::vector<InfluenceGraph>& piece_graphs,
+              int64_t new_theta);
+
   /// Rebuilds a collection from raw storage (deserialization path; see
   /// rrset/mrr_io.h). `offsets` has theta*num_pieces+1 entries indexing
   /// into `nodes`; all vertex ids must lie in [0, num_vertices). The
-  /// inverted index is rebuilt. CHECK-fails on malformed input — callers
-  /// (the loader) validate untrusted bytes first.
+  /// inverted index is rebuilt (as one segment). CHECK-fails on malformed
+  /// input — callers (the loader) validate untrusted bytes first. When
+  /// `extendable` is true, `base_seed`/`model` record the sampling
+  /// provenance so the rebuilt collection keeps growing bit-identically
+  /// to the original (the append-aware IO path).
   static MrrCollection FromParts(int64_t theta, int num_pieces,
                                  VertexId num_vertices,
                                  std::vector<VertexId> roots,
                                  std::vector<int64_t> offsets,
-                                 std::vector<VertexId> nodes);
+                                 std::vector<VertexId> nodes,
+                                 uint64_t base_seed = 0,
+                                 DiffusionModel model =
+                                     DiffusionModel::kIndependentCascade,
+                                 bool extendable = false);
 
   int64_t theta() const { return theta_; }
   int num_pieces() const { return num_pieces_; }
   VertexId num_vertices() const { return num_vertices_; }
+
+  /// Sampling provenance: true when the collection knows its base seed
+  /// and diffusion model, i.e. Extend is allowed.
+  bool extendable() const { return extendable_; }
+  uint64_t base_seed() const { return base_seed_; }
+  DiffusionModel model() const { return model_; }
 
   VertexId root(int64_t i) const { return roots_[i]; }
 
@@ -57,12 +87,34 @@ class MrrCollection {
     return {nodes_.data() + offsets_[s], nodes_.data() + offsets_[s + 1]};
   }
 
-  /// Sample ids i such that v is in R_i^piece.
-  std::span<const int64_t> SamplesContaining(int piece, VertexId v) const {
+  /// Invokes fn(sample_id) for every sample i with v in R_i^piece whose
+  /// id is >= min_sample, in ascending id order. `min_sample` must be a
+  /// growth boundary (0, or a theta at which Extend was called) — the
+  /// index is segmented at exactly those boundaries, which is what lets
+  /// incremental consumers (CoverageState::ExtendToCollection) bind only
+  /// the appended samples in O(new samples).
+  template <typename Fn>
+  void ForEachSampleContaining(int piece, VertexId v, Fn&& fn,
+                               int64_t min_sample = 0) const {
     const int64_t key =
         static_cast<int64_t>(piece) * (num_vertices_ + 1) + v;
-    return {inv_samples_.data() + inv_offsets_[key],
-            inv_samples_.data() + inv_offsets_[key + 1]};
+    for (const IndexSegment& seg : segments_) {
+      if (seg.end_sample <= min_sample) continue;
+      const int64_t* p = seg.samples.data() + seg.offsets[key];
+      const int64_t* end = seg.samples.data() + seg.offsets[key + 1];
+      for (; p != end; ++p) fn(*p);
+    }
+  }
+
+  /// Materialized sample ids i such that v is in R_i^piece, ascending.
+  /// Convenience for tests and cold paths; hot loops should use
+  /// ForEachSampleContaining (no allocation).
+  std::vector<int64_t> SamplesContaining(int piece, VertexId v) const;
+
+  /// Inverted-index segments currently held: one per Generate/Extend
+  /// growth step (exposed for tests and diagnostics).
+  int num_index_segments() const {
+    return static_cast<int>(segments_.size());
   }
 
   /// Total number of (sample, piece, vertex) memberships.
@@ -75,21 +127,38 @@ class MrrCollection {
                              static_cast<double>(theta_);
   }
 
+  /// Process-wide count of MRR samples drawn by Generate/Extend since
+  /// startup (one unit = one root plus its l RR sets). Benches and tests
+  /// diff it around a call to prove no sample is ever generated twice.
+  static int64_t GeneratedSampleCount();
+
  private:
+  /// Inverted-index postings for one contiguous growth step
+  /// [begin_sample, end_sample): offsets is keyed by piece*(n+1)+v and
+  /// samples holds ascending sample ids. Segments are append-only —
+  /// growing the collection never touches earlier segments.
+  struct IndexSegment {
+    int64_t begin_sample = 0;
+    int64_t end_sample = 0;
+    std::vector<int64_t> offsets;  // l*(n+1) + 1
+    std::vector<int64_t> samples;
+  };
+
   MrrCollection() = default;
 
-  void BuildInvertedIndex();
+  /// Builds the index segment for samples [begin, theta_).
+  void AppendIndexSegment(int64_t begin);
 
   int64_t theta_ = 0;
   int num_pieces_ = 0;
   VertexId num_vertices_ = 0;
+  uint64_t base_seed_ = 0;
+  DiffusionModel model_ = DiffusionModel::kIndependentCascade;
+  bool extendable_ = false;
   std::vector<VertexId> roots_;
   std::vector<int64_t> offsets_{0};  // theta*l + 1
   std::vector<VertexId> nodes_;
-
-  // Inverted index keyed by piece * (n+1) + v.
-  std::vector<int64_t> inv_offsets_;
-  std::vector<int64_t> inv_samples_;
+  std::vector<IndexSegment> segments_;
 };
 
 }  // namespace oipa

@@ -8,7 +8,12 @@ namespace oipa {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x4f4950414d525231ULL;  // "OIPAMRR1"
+// Version 2 ("OIPAMRR2") appends sampling provenance — base seed,
+// diffusion model, extendable flag — so a loaded collection keeps
+// growing bit-identically to the one that was saved. Version 1 files
+// are still readable; they load as non-extendable.
+constexpr uint64_t kMagicV1 = 0x4f4950414d525231ULL;  // "OIPAMRR1"
+constexpr uint64_t kMagicV2 = 0x4f4950414d525232ULL;  // "OIPAMRR2"
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -45,10 +50,13 @@ Status SaveMrrCollection(const MrrCollection& mrr,
                          const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
-  WritePod(out, kMagic);
+  WritePod(out, kMagicV2);
   WritePod(out, static_cast<int64_t>(mrr.theta()));
   WritePod(out, static_cast<int32_t>(mrr.num_pieces()));
   WritePod(out, static_cast<int32_t>(mrr.num_vertices()));
+  WritePod(out, static_cast<uint64_t>(mrr.base_seed()));
+  WritePod(out, static_cast<int32_t>(mrr.model()));
+  WritePod(out, static_cast<int32_t>(mrr.extendable() ? 1 : 0));
 
   std::vector<VertexId> roots(mrr.theta());
   for (int64_t i = 0; i < mrr.theta(); ++i) roots[i] = mrr.root(i);
@@ -75,7 +83,7 @@ StatusOr<MrrCollection> LoadMrrCollection(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   uint64_t magic = 0;
-  if (!ReadPod(in, &magic) || magic != kMagic) {
+  if (!ReadPod(in, &magic) || (magic != kMagicV1 && magic != kMagicV2)) {
     return Status::InvalidArgument(path + ": bad MRR magic");
   }
   int64_t theta = 0;
@@ -83,6 +91,16 @@ StatusOr<MrrCollection> LoadMrrCollection(const std::string& path) {
   if (!ReadPod(in, &theta) || !ReadPod(in, &pieces) || !ReadPod(in, &n) ||
       theta < 0 || pieces <= 0 || n < 0) {
     return Status::InvalidArgument(path + ": bad MRR header");
+  }
+  uint64_t base_seed = 0;
+  int32_t model_raw = 0;
+  int32_t extendable_raw = 0;
+  if (magic == kMagicV2) {
+    if (!ReadPod(in, &base_seed) || !ReadPod(in, &model_raw) ||
+        !ReadPod(in, &extendable_raw) || model_raw < 0 || model_raw > 1 ||
+        extendable_raw < 0 || extendable_raw > 1) {
+      return Status::InvalidArgument(path + ": bad MRR provenance header");
+    }
   }
   std::vector<VertexId> roots;
   std::vector<int64_t> offsets;
@@ -97,6 +115,9 @@ StatusOr<MrrCollection> LoadMrrCollection(const std::string& path) {
                        : offsets.back() !=
                              static_cast<int64_t>(nodes.size()))) {
     return Status::InvalidArgument(path + ": inconsistent MRR sizes");
+  }
+  if (!offsets.empty() && offsets.front() != 0) {
+    return Status::InvalidArgument(path + ": offsets must start at 0");
   }
   for (size_t i = 1; i < offsets.size(); ++i) {
     if (offsets[i - 1] > offsets[i]) {
@@ -113,8 +134,10 @@ StatusOr<MrrCollection> LoadMrrCollection(const std::string& path) {
       return Status::InvalidArgument(path + ": root out of range");
     }
   }
-  return MrrCollection::FromParts(theta, pieces, n, std::move(roots),
-                                  std::move(offsets), std::move(nodes));
+  return MrrCollection::FromParts(
+      theta, pieces, n, std::move(roots), std::move(offsets),
+      std::move(nodes), base_seed, static_cast<DiffusionModel>(model_raw),
+      extendable_raw != 0);
 }
 
 }  // namespace oipa

@@ -11,8 +11,13 @@ namespace oipa {
 /// Binary snapshotting for MRR collections. At the paper's theta = 10^6
 /// the sampling phase dominates setup time (Table III), so benches and
 /// applications cache collections between runs. Format: little-endian,
-/// magic "OIPAMRR1", then theta/l/n, roots, set offsets, members; the
+/// magic "OIPAMRR2", then theta/l/n, sampling provenance (base seed,
+/// diffusion model, extendable flag), roots, set offsets, members; the
 /// inverted index is rebuilt on load (cheaper to rebuild than to store).
+/// The format is append-aware: a grown collection round-trips exactly,
+/// and because provenance is preserved, save -> load -> Extend produces
+/// the same samples as extending the original. Legacy "OIPAMRR1" files
+/// still load (as non-extendable collections).
 Status SaveMrrCollection(const MrrCollection& mrr, const std::string& path);
 
 StatusOr<MrrCollection> LoadMrrCollection(const std::string& path);

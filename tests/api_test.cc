@@ -309,6 +309,173 @@ TEST_F(ApiFixture, SolveBatchSweepsBudgetsOverSharedSamples) {
   EXPECT_EQ(solo->utility, (*batch)[1].utility);
 }
 
+// ------------------------------------------- progressive (ε)-stopping
+
+TEST_F(ApiFixture, GrowSamplesIsBitIdenticalToUpFrontGeneration) {
+  // Take a reference to the current generation, grow, and check both
+  // that the old reference stays valid and that the grown store matches
+  // a context generated at the larger theta from scratch.
+  const MrrCollection& before = context_->mrr();
+  ASSERT_EQ(before.theta(), 4'000);
+  ASSERT_TRUE(context_->CanGrowSamples());
+  ASSERT_TRUE(context_->GrowSamples(16'000).ok());
+  EXPECT_EQ(before.theta(), 4'000);  // retired generation still alive
+  EXPECT_EQ(context_->mrr().theta(), 16'000);
+  EXPECT_EQ(context_->holdout()->theta(), 16'000);
+  // Growing to a smaller/equal target is a no-op.
+  ASSERT_TRUE(context_->GrowSamples(8'000).ok());
+  EXPECT_EQ(context_->mrr().theta(), 16'000);
+
+  ContextOptions big;
+  big.theta = 16'000;
+  big.seed = 17;
+  auto fresh = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), big);
+  ASSERT_TRUE(fresh.ok());
+  const auto grown_solve = Solve(*context_, Request("bab-p", 4));
+  const auto fresh_solve = Solve(**fresh, Request("bab-p", 4));
+  ASSERT_TRUE(grown_solve.ok() && fresh_solve.ok());
+  EXPECT_EQ(grown_solve->plan.Assignments(),
+            fresh_solve->plan.Assignments());
+  EXPECT_EQ(grown_solve->utility, fresh_solve->utility);
+  EXPECT_EQ(grown_solve->holdout_utility, fresh_solve->holdout_utility);
+  EXPECT_EQ(grown_solve->theta_used, 16'000);
+}
+
+TEST_F(ApiFixture, ProgressiveSolveGrowsUntilGapMet) {
+  ContextOptions small;
+  small.theta = 250;  // deliberately noisy start
+  small.seed = 17;
+  auto ctx = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), small);
+  ASSERT_TRUE(ctx.ok());
+
+  PlanRequest request = Request("bab-p", 5);
+  request.epsilon = 0.02;
+  request.max_theta = 64'000;
+  const auto r = Solve(**ctx, request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*ctx)->mrr().theta(), r->theta_used);
+  EXPECT_GE(r->theta_used, 250);
+  EXPECT_GE(r->sampling_rounds, 1);
+  if (r->theta_used < request.max_theta) {
+    EXPECT_LE(r->sampling_gap, request.epsilon);
+  }
+  // The progressive result is bit-identical to a one-shot solve against
+  // a context generated at the final theta up front.
+  ContextOptions final_options;
+  final_options.theta = r->theta_used;
+  final_options.seed = 17;
+  auto final_ctx = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0),
+      final_options);
+  ASSERT_TRUE(final_ctx.ok());
+  const auto oneshot = Solve(**final_ctx, Request("bab-p", 5));
+  ASSERT_TRUE(oneshot.ok());
+  EXPECT_EQ(r->plan.Assignments(), oneshot->plan.Assignments());
+  EXPECT_EQ(r->utility, oneshot->utility);
+  EXPECT_EQ(r->holdout_utility, oneshot->holdout_utility);
+}
+
+TEST_F(ApiFixture, ProgressiveSolveStopsAtMaxTheta) {
+  ContextOptions small;
+  small.theta = 200;
+  small.seed = 17;
+  auto ctx = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), small);
+  ASSERT_TRUE(ctx.ok());
+  PlanRequest request = Request("bab-p", 5);
+  request.epsilon = 1e-9;  // unreachable tolerance
+  request.max_theta = 800;
+  const auto r = Solve(**ctx, request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->theta_used, 800);
+  EXPECT_EQ(r->sampling_rounds, 3);  // 200 -> 400 -> 800
+  EXPECT_GT(r->sampling_gap, request.epsilon);
+}
+
+TEST_F(ApiFixture, ProgressiveSolveRequiresHoldout) {
+  ContextOptions no_holdout;
+  no_holdout.theta = 500;
+  no_holdout.holdout_theta = 0;
+  no_holdout.seed = 17;
+  auto ctx = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0),
+      no_holdout);
+  ASSERT_TRUE(ctx.ok());
+  PlanRequest request = Request("bab-p", 3);
+  request.epsilon = 0.05;
+  EXPECT_EQ(Solve(**ctx, request).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Negative epsilon is malformed regardless of context.
+  PlanRequest negative = Request("bab-p", 3);
+  negative.epsilon = -0.1;
+  EXPECT_EQ(Solve(*context_, negative).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ApiFixture, ProgressiveSolveRequiresExtendableSamples) {
+  // A FromParts collection (no sampling provenance) cannot grow.
+  MrrCollection parts = MrrCollection::FromParts(
+      2, campaign_->num_pieces(), graph_->num_vertices(),
+      /*roots=*/{0, 1}, /*offsets=*/{0, 1, 2, 3, 4},
+      /*nodes=*/{0, 5, 1, 5});
+  auto ctx = PlanningContext::BorrowWithSamples(
+      *graph_, *probs_, *campaign_, LogisticAdoptionModel(2.0, 1.0),
+      &parts, &parts);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  EXPECT_FALSE((*ctx)->CanGrowSamples());
+  PlanRequest request = Request("greedy-sigma", 1);
+  request.epsilon = 0.05;
+  EXPECT_EQ(Solve(**ctx, request).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------ sharded sweep
+
+TEST_F(ApiFixture, ShardedSolveBatchIsBitIdenticalToSerialSweep) {
+  PlanRequest serial = Request("bab-p", 2);
+  serial.budgets = {2, 4, 6, 8};
+  const auto serial_batch = SolveBatch(*context_, serial);
+  ASSERT_TRUE(serial_batch.ok());
+
+  PlanRequest sharded = serial;
+  sharded.num_threads = 3;  // shard_budgets defaults to true
+  const auto sharded_batch = SolveBatch(*context_, sharded);
+  ASSERT_TRUE(sharded_batch.ok());
+
+  ASSERT_EQ(sharded_batch->size(), serial_batch->size());
+  for (size_t i = 0; i < serial_batch->size(); ++i) {
+    const PlanResponse& a = (*serial_batch)[i];
+    const PlanResponse& b = (*sharded_batch)[i];
+    EXPECT_EQ(a.budget, b.budget);
+    EXPECT_EQ(a.plan.Assignments(), b.plan.Assignments());
+    EXPECT_EQ(a.utility, b.utility);
+    EXPECT_EQ(a.holdout_utility, b.holdout_utility);
+    EXPECT_EQ(a.nodes_expanded, b.nodes_expanded);
+    EXPECT_EQ(a.tau_evals, b.tau_evals);
+  }
+}
+
+TEST_F(ApiFixture, ShardedSolveBatchHonorsCancellation) {
+  PlanRequest request = Request("bab-p", 2);
+  request.budgets = {2, 4, 6, 8};
+  request.num_threads = 2;
+  request.progress = [](const PlanProgress&) { return false; };
+  const auto batch = SolveBatch(*context_, request);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_GE(batch->size(), 1u);
+  EXPECT_TRUE(batch->front().cancelled);
+  // Budget order is preserved and nothing follows the cancelled entry.
+  for (size_t i = 0; i < batch->size(); ++i) {
+    EXPECT_EQ((*batch)[i].budget, request.budgets[i]);
+    if (i + 1 < batch->size()) {
+      EXPECT_FALSE((*batch)[i].cancelled);
+    }
+  }
+}
+
 // ------------------------------------------------------- concurrency
 
 TEST_F(ApiFixture, ConcurrentSolvesOnOneContextMatchSequentialRuns) {

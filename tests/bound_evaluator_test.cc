@@ -108,6 +108,41 @@ TEST(BoundEvaluatorTest, StateRestoredAfterCall) {
   EXPECT_NEAR(state.Utility(), before, 1e-9);
 }
 
+TEST(BoundEvaluatorTest, SyncWithCollectionMatchesFreshEvaluator) {
+  // Use an evaluator, grow the collection under it, rebind, and compare
+  // every bound flavor against a freshly constructed evaluator — the
+  // appended scratch must be indistinguishable from a rebuild.
+  SmallInstance inst(20, 0.12, 3, 4, 67);
+  BoundEvaluator reused(inst.mrr.get(), inst.model, inst.pool);
+  CoverageState pre_state(
+      inst.mrr.get(), inst.model.AdoptionTable(inst.mrr->num_pieces()));
+  (void)reused.ComputeBound(&pre_state, 3, {});  // dirty the scratch
+
+  inst.mrr->Extend(inst.pieces, 9000);
+  reused.SyncWithCollection();
+  BoundEvaluator fresh(inst.mrr.get(), inst.model, inst.pool);
+
+  CoverageState state_a(
+      inst.mrr.get(), inst.model.AdoptionTable(inst.mrr->num_pieces()));
+  CoverageState state_b(
+      inst.mrr.get(), inst.model.AdoptionTable(inst.mrr->num_pieces()));
+  state_a.AddSeed(2, 1);
+  state_b.AddSeed(2, 1);
+
+  const BoundResult ra = reused.ComputeBound(&state_a, 4, {});
+  const BoundResult rb = fresh.ComputeBound(&state_b, 4, {});
+  EXPECT_EQ(ra.additions, rb.additions);
+  EXPECT_DOUBLE_EQ(ra.tau, rb.tau);
+  EXPECT_DOUBLE_EQ(ra.sigma, rb.sigma);
+  EXPECT_EQ(ra.tau_evals, rb.tau_evals);
+
+  const BoundResult pa = reused.ComputeBoundPro(&state_a, 4, {}, 0.5);
+  const BoundResult pb = fresh.ComputeBoundPro(&state_b, 4, {}, 0.5);
+  EXPECT_EQ(pa.additions, pb.additions);
+  EXPECT_DOUBLE_EQ(pa.tau, pb.tau);
+  EXPECT_EQ(pa.threshold_scans, pb.threshold_scans);
+}
+
 class BoundDominance : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BoundDominance, TauUpperBoundsOptimalCompletion) {

@@ -281,6 +281,39 @@ TEST(CliPipelineTest, NamedMethodsDispatchThroughTheRegistry) {
   }
 }
 
+TEST(CliPipelineTest, SamplingEpsilonRunsProgressiveSolving) {
+  const CliRun run = InvokeCli(TinyArgs(
+      "plan", {"--theta=300", "--sampling_epsilon=0.02",
+               "--max_theta=64000"}));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"sampling_epsilon\":0.02"), std::string::npos);
+  EXPECT_NE(run.out.find("\"theta_used\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"sampling_rounds\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"sampling_gap\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"holdout_utility\":"), std::string::npos);
+}
+
+TEST(CliPipelineTest, SamplingEpsilonValidation) {
+  EXPECT_EQ(InvokeCli(TinyArgs("plan", {"--sampling_epsilon=1.5"})).code,
+            2);
+  EXPECT_EQ(InvokeCli(TinyArgs("plan", {"--sampling_epsilon=-0.1"})).code,
+            2);
+  // --max_theta below the starting theta can never be satisfied.
+  EXPECT_EQ(InvokeCli(TinyArgs("plan", {"--sampling_epsilon=0.1",
+                                        "--max_theta=500"}))
+                .code,
+            2);
+}
+
+TEST(CliPipelineTest, OneShotPlanStillReportsThetaUsed) {
+  const CliRun run = InvokeCli(TinyArgs("plan"));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"theta_used\":1000"), std::string::npos);
+  EXPECT_NE(run.out.find("\"sampling_rounds\":1"), std::string::npos);
+  // No holdout is sampled unless progressive solving asks for one.
+  EXPECT_EQ(run.out.find("\"sampling_gap\":"), std::string::npos);
+}
+
 TEST(CliPipelineTest, BenchSweepsBudgets) {
   const CliRun run = InvokeCli(TinyArgs("bench", {"--k=2,3"}));
   ASSERT_EQ(run.code, 0) << run.err;

@@ -13,18 +13,23 @@
 namespace oipa {
 namespace {
 
-MrrCollection MakeCollection(int64_t theta, uint64_t seed) {
+const std::vector<InfluenceGraph>& SharedPieces() {
   static const Graph* graph =
       new Graph(GenerateErdosRenyi(40, 0.1, 7));
   static const EdgeTopicProbs* probs = new EdgeTopicProbs(
       AssignWeightedCascadeTopics(*graph, 4, 2.0, 11));
-  Rng rng(13);
-  static const Campaign campaign =
-      Campaign::SampleUniformPieces(3, 4, &rng);
-  static const std::vector<InfluenceGraph>* pieces =
-      new std::vector<InfluenceGraph>(
-          BuildPieceGraphs(*graph, *probs, campaign));
-  return MrrCollection::Generate(*pieces, theta, seed);
+  static const std::vector<InfluenceGraph>* pieces = [] {
+    Rng rng(13);
+    static const Campaign campaign =
+        Campaign::SampleUniformPieces(3, 4, &rng);
+    return new std::vector<InfluenceGraph>(
+        BuildPieceGraphs(*graph, *probs, campaign));
+  }();
+  return *pieces;
+}
+
+MrrCollection MakeCollection(int64_t theta, uint64_t seed) {
+  return MrrCollection::Generate(SharedPieces(), theta, seed);
 }
 
 TEST(MrrIoTest, RoundtripPreservesEverything) {
@@ -91,6 +96,76 @@ TEST(MrrIoTest, TruncationRejected) {
     ASSERT_EQ(truncate(path.c_str(), size / 3), 0);
   }
   EXPECT_FALSE(LoadMrrCollection(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MrrIoTest, GrownCollectionRoundTripsWithProvenance) {
+  // A collection grown across two Extend calls must round-trip exactly,
+  // and — because the format stores sampling provenance — the loaded
+  // copy must keep growing bit-identically to the original.
+  MrrCollection original = MakeCollection(300, 31);
+  original.Extend(SharedPieces(), 700);
+  const std::string path = testing::TempDir() + "/mrr_grown.bin";
+  ASSERT_TRUE(SaveMrrCollection(original, path).ok());
+  auto loaded = LoadMrrCollection(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->theta(), original.theta());
+  EXPECT_TRUE(loaded->extendable());
+  EXPECT_EQ(loaded->base_seed(), original.base_seed());
+  EXPECT_EQ(loaded->model(), original.model());
+  for (int64_t i = 0; i < original.theta(); ++i) {
+    EXPECT_EQ(loaded->root(i), original.root(i));
+    for (int j = 0; j < original.num_pieces(); ++j) {
+      const auto a = original.Set(i, j);
+      const auto b = loaded->Set(i, j);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    }
+  }
+
+  // save -> load -> Extend == Extend on the original.
+  original.Extend(SharedPieces(), 1200);
+  loaded->Extend(SharedPieces(), 1200);
+  for (int64_t i = 700; i < 1200; ++i) {
+    EXPECT_EQ(loaded->root(i), original.root(i));
+    for (int j = 0; j < original.num_pieces(); ++j) {
+      const auto a = original.Set(i, j);
+      const auto b = loaded->Set(i, j);
+      ASSERT_EQ(a.size(), b.size()) << i;
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MrrIoTest, MalformedOffsetsRejected) {
+  const MrrCollection original = MakeCollection(50, 37);
+  const std::string path = testing::TempDir() + "/mrr_badoff.bin";
+  ASSERT_TRUE(SaveMrrCollection(original, path).ok());
+
+  // Header layout (v2): magic(8) theta(8) pieces(4) n(4) seed(8)
+  // model(4) extendable(4), then roots [len(8) + data], then offsets
+  // [len(8) + data]. Corrupt the first offset to a non-zero value and
+  // a middle offset to break monotonicity; both must come back as
+  // InvalidArgument statuses, never a crash.
+  const std::streamoff header = 8 + 8 + 4 + 4 + 8 + 4 + 4;
+  const std::streamoff roots_bytes =
+      8 + static_cast<std::streamoff>(original.theta()) * sizeof(VertexId);
+  const std::streamoff offsets_data = header + roots_bytes + 8;
+  for (const auto& [index, value] :
+       std::vector<std::pair<int64_t, int64_t>>{{0, 5}, {10, -3}}) {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(offsets_data + index * 8);
+    f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    f.close();
+    auto loaded = LoadMrrCollection(path);
+    ASSERT_FALSE(loaded.ok()) << "offset[" << index << "] = " << value;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    // Restore the file for the next corruption round.
+    ASSERT_TRUE(SaveMrrCollection(original, path).ok());
+  }
   std::remove(path.c_str());
 }
 

@@ -191,6 +191,97 @@ TEST_F(MrrFixture, RootsUniformlyDistributed) {
   }
 }
 
+/// Asserts a == b on every observable surface: roots, per-set contents
+/// (offsets + nodes), and inverted-index queries — regardless of how
+/// many index segments either side holds.
+void ExpectMrrBitIdentical(const MrrCollection& a, const MrrCollection& b) {
+  ASSERT_EQ(a.theta(), b.theta());
+  ASSERT_EQ(a.num_pieces(), b.num_pieces());
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.TotalSize(), b.TotalSize());
+  for (int64_t i = 0; i < a.theta(); ++i) {
+    EXPECT_EQ(a.root(i), b.root(i)) << i;
+    for (int j = 0; j < a.num_pieces(); ++j) {
+      const auto sa = a.Set(i, j);
+      const auto sb = b.Set(i, j);
+      ASSERT_EQ(sa.size(), sb.size()) << i << "," << j;
+      EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin()))
+          << i << "," << j;
+    }
+  }
+  for (int j = 0; j < a.num_pieces(); ++j) {
+    for (VertexId v = 0; v < a.num_vertices(); ++v) {
+      EXPECT_EQ(a.SamplesContaining(j, v), b.SamplesContaining(j, v))
+          << j << "," << v;
+    }
+  }
+}
+
+class MrrExtendTest
+    : public ::testing::TestWithParam<std::tuple<DiffusionModel, int>> {};
+
+TEST_P(MrrExtendTest, ExtendIsBitIdenticalToSingleShot) {
+  const auto [model, threads] = GetParam();
+  const Graph g = GenerateErdosRenyi(30, 0.1, 17);
+  const EdgeTopicProbs probs = AssignWeightedCascadeTopics(g, 6, 2.0, 19);
+  Rng rng(21);
+  const Campaign campaign = Campaign::SampleUniformPieces(3, 6, &rng);
+  const auto pieces = BuildPieceGraphs(g, probs, campaign);
+
+  SetNumThreads(threads);
+  MrrCollection grown = MrrCollection::Generate(pieces, 400, 23, model);
+  grown.Extend(pieces, 1000);
+  grown.Extend(pieces, 1500);
+  SetNumThreads(1);
+  const MrrCollection oneshot =
+      MrrCollection::Generate(pieces, 1500, 23, model);
+  SetNumThreads(0);
+
+  EXPECT_EQ(grown.num_index_segments(), 3);
+  EXPECT_EQ(oneshot.num_index_segments(), 1);
+  ExpectMrrBitIdentical(grown, oneshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndThreads, MrrExtendTest,
+    ::testing::Combine(
+        ::testing::Values(DiffusionModel::kIndependentCascade,
+                          DiffusionModel::kLinearThreshold),
+        ::testing::Values(1, 4)));
+
+TEST(MrrCollectionTest, ExtendBelowThetaIsNoOp) {
+  const Graph g = GenerateErdosRenyi(20, 0.1, 3);
+  const EdgeTopicProbs probs = AssignWeightedCascadeTopics(g, 4, 2.0, 5);
+  Rng rng(7);
+  const Campaign campaign = Campaign::SampleUniformPieces(2, 4, &rng);
+  const auto pieces = BuildPieceGraphs(g, probs, campaign);
+  MrrCollection mc = MrrCollection::Generate(pieces, 200, 9);
+  const int64_t generated = MrrCollection::GeneratedSampleCount();
+  mc.Extend(pieces, 100);
+  mc.Extend(pieces, 200);
+  EXPECT_EQ(mc.theta(), 200);
+  EXPECT_EQ(mc.num_index_segments(), 1);
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount(), generated);
+}
+
+TEST(MrrCollectionTest, ProvenanceAccessors) {
+  const Graph g = GenerateErdosRenyi(20, 0.1, 3);
+  const EdgeTopicProbs probs = AssignWeightedCascadeTopics(g, 4, 2.0, 5);
+  Rng rng(7);
+  const Campaign campaign = Campaign::SampleUniformPieces(2, 4, &rng);
+  const auto pieces = BuildPieceGraphs(g, probs, campaign);
+  const MrrCollection mc = MrrCollection::Generate(
+      pieces, 50, 99, DiffusionModel::kLinearThreshold);
+  EXPECT_TRUE(mc.extendable());
+  EXPECT_EQ(mc.base_seed(), 99u);
+  EXPECT_EQ(mc.model(), DiffusionModel::kLinearThreshold);
+
+  // Legacy FromParts has no provenance and must refuse to extend.
+  const MrrCollection parts = MrrCollection::FromParts(
+      1, 1, 3, /*roots=*/{0}, /*offsets=*/{0, 1}, /*nodes=*/{0});
+  EXPECT_FALSE(parts.extendable());
+}
+
 TEST(MrrCollectionTest, ThreadCountInvariance) {
   const Graph g = GenerateErdosRenyi(25, 0.1, 29);
   const EdgeTopicProbs probs =
@@ -365,6 +456,52 @@ TEST_F(CoverageFixture, GainAndBoundDominatesGainAndShrinks) {
   EXPECT_GE(bound1 + 1e-12, gain1);
   // Forward validity: the old bound still dominates the fresh gain.
   EXPECT_GE(bound0 + 1e-12, gain1);
+}
+
+TEST_F(CoverageFixture, ExtendToCollectionMatchesFreshState) {
+  // Apply a plan, grow the collection, rebind incrementally; everything
+  // observable must match a freshly constructed state over the grown
+  // collection with the same seeds re-added.
+  const std::vector<std::pair<int, VertexId>> plan = {
+      {0, 3}, {1, 7}, {2, 3}, {0, 12}};
+  for (const auto& [piece, v] : plan) state_->AddSeed(v, piece);
+
+  mrr_->Extend(pieces_, 5000);
+  state_->ExtendToCollection(plan);
+
+  CoverageState fresh(mrr_.get(), f_);
+  for (const auto& [piece, v] : plan) fresh.AddSeed(v, piece);
+
+  EXPECT_DOUBLE_EQ(state_->RawSum(), fresh.RawSum());
+  EXPECT_EQ(state_->CountHistogram(), fresh.CountHistogram());
+  for (int64_t i = 0; i < mrr_->theta(); ++i) {
+    ASSERT_EQ(state_->CoverCount(i), fresh.CoverCount(i)) << i;
+    for (int j = 0; j < mrr_->num_pieces(); ++j) {
+      ASSERT_EQ(state_->IsCovered(i, j), fresh.IsCovered(i, j))
+          << i << "," << j;
+    }
+  }
+  // The rebound state keeps full functionality: gains agree and seeds
+  // remove cleanly down to zero.
+  EXPECT_DOUBLE_EQ(state_->GainOfAdding(5, 1), fresh.GainOfAdding(5, 1));
+  for (const auto& [piece, v] : plan) state_->RemoveSeed(v, piece);
+  EXPECT_DOUBLE_EQ(state_->RawSum(), 0.0);
+  EXPECT_EQ(state_->CountHistogram()[0], mrr_->theta());
+}
+
+TEST_F(CoverageFixture, ExtendToCollectionWithEmptyPlan) {
+  state_->AddSeed(3, 0);
+  state_->RemoveSeed(3, 0);
+  state_->Clear();
+  mrr_->Extend(pieces_, 4000);
+  state_->ExtendToCollection();
+  EXPECT_EQ(state_->CountHistogram()[0], mrr_->theta());
+  EXPECT_DOUBLE_EQ(state_->RawSum(), 0.0);
+  // Utility scale now reflects the grown theta.
+  state_->AddSeed(3, 0);
+  CoverageState fresh(mrr_.get(), f_);
+  fresh.AddSeed(3, 0);
+  EXPECT_DOUBLE_EQ(state_->Utility(), fresh.Utility());
 }
 
 TEST_F(CoverageFixture, GainBoundIsForwardValidUnderIncreasingMarginals) {
