@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
     j.Set("samples", theta)
         .Set("seconds", seconds)
         .Set("samples_per_sec", theta / seconds)
-        .Set("memberships", fresh.TotalSize());
+        .Set("memberships", fresh.TotalSize())
+        .Set("memory_bytes", fresh.MemoryBytes());
     std::printf("generate: %lld samples in %.3fs (%.0f samples/s)\n",
                 static_cast<long long>(theta), seconds, theta / seconds);
     result.Set("generate", std::move(j));

@@ -1,16 +1,27 @@
 #!/usr/bin/env python3
-"""Fail CI when single-thread solver throughput regresses.
+"""Fail CI when benchmark throughput regresses below a committed floor.
 
-Compares the `single_thread.tau_evals_per_sec` figures of a fresh
-BENCH_parallel.json against the committed baseline and exits non-zero
-when any method's throughput falls more than --tolerance (default 20%)
-below its baseline. Throughput is tau evaluations per second — the
-bound evaluator's unit of work — which is far more stable across runs
-than wall seconds of the whole sweep.
+Two baseline formats are supported:
+
+1. `methods` (bench_parallel): compares each method's
+   `single_thread.tau_evals_per_sec` in the fresh bench JSON against the
+   baseline's `tau_evals_per_sec`. Throughput is tau evaluations per
+   second — the bound evaluator's unit of work — which is far more
+   stable across runs than wall seconds of the whole sweep.
+
+2. `metrics` (bench_sampling and future benches): a flat map from a
+   dotted path into the bench JSON (e.g. "generate.samples_per_sec") to
+   its floor value. Any numeric leaf works, so one script gates every
+   bench trajectory.
+
+Exit is non-zero when any figure falls more than --tolerance (default
+20%) below its baseline.
 
 Usage:
   scripts/check_perf_regression.py BENCH_parallel.json \
       bench/BASELINE_parallel.json [--tolerance 0.2]
+  scripts/check_perf_regression.py BENCH_sampling.json \
+      bench/BASELINE_sampling.json
 """
 
 import argparse
@@ -18,9 +29,36 @@ import json
 import sys
 
 
+def lookup(tree, dotted_path):
+    """Resolves "a.b.c" inside nested dicts; None when absent/non-numeric."""
+    node = tree
+    for part in dotted_path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def check(name, got, want, tolerance, failures):
+    if got is None:
+        failures.append(f"{name}: missing from bench output")
+        return
+    if not got:
+        failures.append(f"{name}: measured 0 (broken counter or timer?)")
+        return
+    floor = want * (1.0 - tolerance)
+    verdict = "OK" if got >= floor else "REGRESSION"
+    print(
+        f"{name}: {got:,.0f} "
+        f"(baseline {want:,.0f}, floor {floor:,.0f}) {verdict}"
+    )
+    if got < floor:
+        failures.append(f"{name}: {got:,.0f} < floor {floor:,.0f}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("bench", help="fresh BENCH_parallel.json")
+    parser.add_argument("bench", help="fresh bench JSON")
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument(
         "--tolerance",
@@ -38,7 +76,10 @@ def main() -> int:
     failures = []
     for method, expected in baseline.get("methods", {}).items():
         want = expected.get("tau_evals_per_sec")
-        if not want:
+        if not isinstance(want, (int, float)) or not want:
+            failures.append(
+                f"{method}: non-numeric baseline tau_evals_per_sec {want!r}"
+            )
             continue
         entry = bench.get("methods", {}).get(method)
         if entry is None:
@@ -51,23 +92,24 @@ def main() -> int:
                 "(run bench_parallel with 1 in its --threads list)"
             )
             continue
-        floor = want * (1.0 - args.tolerance)
-        verdict = "OK" if got >= floor else "REGRESSION"
-        print(
-            f"{method}: {got:,.0f} tau_evals/s "
-            f"(baseline {want:,.0f}, floor {floor:,.0f}) {verdict}"
-        )
-        if got < floor:
-            failures.append(
-                f"{method}: {got:,.0f} < floor {floor:,.0f} tau_evals/s"
-            )
+        check(f"{method} tau_evals/s", got, want, args.tolerance, failures)
+
+    for path, want in baseline.get("metrics", {}).items():
+        if not isinstance(want, (int, float)) or not want:
+            failures.append(f"{path}: non-numeric baseline value {want!r}")
+            continue
+        check(path, lookup(bench, path), want, args.tolerance, failures)
+
+    if not baseline.get("methods") and not baseline.get("metrics"):
+        print("baseline declares no methods or metrics", file=sys.stderr)
+        return 1
 
     if failures:
-        print("single-thread throughput regression detected:", file=sys.stderr)
+        print("benchmark regression detected:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("single-thread throughput within tolerance")
+    print("benchmark throughput within tolerance")
     return 0
 
 

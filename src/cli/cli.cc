@@ -173,6 +173,7 @@ Status BuildContext(Pipeline* p, std::ostream& err) {
   // against.
   options.holdout_theta = c.sampling_epsilon > 0.0 ? -1 : 0;
   options.seed = c.seed + 5;
+  options.share_samples = c.share_samples;
   WallTimer timer;
   auto context = PlanningContext::Borrow(
       *p->dataset.graph, p->planning_probs(), p->campaign,
@@ -197,6 +198,7 @@ PlanRequest MakeRequest(const CliConfig& c, std::vector<int> budgets) {
   request.num_threads = ResolvedSolverThreads(c);
   request.epsilon = c.sampling_epsilon;
   request.max_theta = c.max_theta;
+  request.stopping = c.stopping_rule;
   request.seed = c.seed;
   return request;
 }
@@ -237,6 +239,9 @@ JsonValue PlanJson(const Pipeline& p, const PlanResponse& result) {
   if (p.config->sampling_epsilon > 0.0) {
     j.Set("holdout_utility", result.holdout_utility)
         .Set("sampling_gap", result.sampling_gap);
+    if (p.config->stopping_rule == StoppingRuleKind::kOpimBounds) {
+      j.Set("certified_ratio", result.certified_ratio);
+    }
   }
   return j;
 }
@@ -267,6 +272,19 @@ JsonValue SimulateJson(const Pipeline& p, const AssignmentPlan& plan,
   return j;
 }
 
+/// Sample-store telemetry: size, live memory, generation count, and
+/// whether the run resolved the store through the sharing registry.
+JsonValue SampleStoreJson(const Pipeline& p) {
+  const SampleStore::Stats stats = p.context->sample_store().GetStats();
+  JsonValue j = JsonValue::Object();
+  j.Set("theta", stats.theta)
+      .Set("holdout_theta", stats.holdout_theta)
+      .Set("memory_bytes", stats.memory_bytes)
+      .Set("live_generations", stats.live_generations)
+      .Set("shared", stats.shared);
+  return j;
+}
+
 JsonValue ConfigJson(const CliConfig& c) {
   JsonValue j = JsonValue::Object();
   j.Set("dataset", c.dataset)
@@ -282,6 +300,8 @@ JsonValue ConfigJson(const CliConfig& c) {
       .Set("beta", c.beta)
       .Set("bound", c.bound)
       .Set("progressive", c.progressive)
+      .Set("stopping", c.stopping)
+      .Set("share_samples", c.share_samples)
       .Set("learn", c.learn)
       .Set("threads", ResolvedSolverThreads(c))
       // MRR sampling always parallelizes via GetNumThreads() (already
@@ -358,6 +378,7 @@ int RunPipeline(const CliConfig& c, std::ostream& out, std::ostream& err) {
       sweep.Append(std::move(row));
     }
     result.Set("sweep", std::move(sweep));
+    result.Set("sample_store", SampleStoreJson(p));
     return EmitResult(c, result, out, err);
   }
 
@@ -367,6 +388,7 @@ int RunPipeline(const CliConfig& c, std::ostream& out, std::ostream& err) {
     return 1;
   }
   result.Set("plan", PlanJson(p, *r));
+  result.Set("sample_store", SampleStoreJson(p));
   if (c.command == "simulate") {
     result.Set("simulate", SimulateJson(p, r->plan, err));
   }
@@ -438,6 +460,8 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   c.sampling_epsilon =
       flags.GetDouble("sampling_epsilon", c.sampling_epsilon);
   c.max_theta = flags.GetInt("max_theta", c.max_theta);
+  c.stopping = flags.GetString("stopping", c.stopping);
+  c.share_samples = flags.GetBool("share_samples", c.share_samples);
   c.gap = flags.GetDouble("gap", c.gap);
   c.alpha = flags.GetDouble("alpha", c.alpha);
   c.beta = flags.GetDouble("beta", c.beta);
@@ -488,6 +512,9 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
         "--k accepts a list only with the bench subcommand");
   }
   OIPA_RETURN_IF_ERROR(ParseBoundVariant(c.bound, &c.variant));
+  StatusOr<StoppingRuleKind> stopping = ParseStoppingRule(c.stopping);
+  if (!stopping.ok()) return stopping.status();
+  c.stopping_rule = *stopping;
 
   *config = std::move(c);
   return Status::Ok();
@@ -523,6 +550,13 @@ std::string UsageString() {
      << "                           this relative gap (0 = off)\n"
      << "  --max_theta=<samples>    growth cap for --sampling_epsilon\n"
      << "                           (2000000)\n"
+     << "  --stopping=holdout|opim  progressive stopping rule: holdout\n"
+     << "                           gap agreement, or OPIM-style bound\n"
+     << "                           pair certifying a (1-1/e-eps) ratio\n"
+     << "                           (holdout)\n"
+     << "  --share_samples=<bool>   resolve MRR samples through the\n"
+     << "                           process-wide shared store registry\n"
+     << "                           (true)\n"
      << "  --gap=<frac>             termination gap (0.01)\n"
      << "  --alpha --beta           logistic adoption model (2.0, 1.0)\n"
      << "  --bound=zero|paper       tangent-bound variant (zero)\n"

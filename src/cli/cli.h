@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "oipa/tangent_bound.h"
+#include "rrset/sample_store.h"
 #include "util/flags.h"
 #include "util/status.h"
 
@@ -62,6 +63,14 @@ struct CliConfig {
   double sampling_epsilon = 0.0;
   /// Growth cap for --sampling_epsilon.
   int64_t max_theta = 2'000'000;
+  /// holdout (in-sample/holdout gap) | opim (certified bound ratio):
+  /// which rule ends the progressive loop under --sampling_epsilon.
+  std::string stopping = "holdout";
+  StoppingRuleKind stopping_rule = StoppingRuleKind::kHoldoutGap;
+  /// Resolve the MRR sample store through the process-wide registry so
+  /// runs sharing a sampling configuration share one sampling pass
+  /// (--share_samples=false forces a private store).
+  bool share_samples = true;
   /// Relative termination gap.
   double gap = 0.01;
   /// Logistic adoption parameters.

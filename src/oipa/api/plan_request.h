@@ -10,6 +10,7 @@
 #include "graph/graph.h"
 #include "oipa/assignment_plan.h"
 #include "oipa/tangent_bound.h"
+#include "rrset/sample_store.h"
 
 namespace oipa {
 
@@ -91,6 +92,12 @@ struct PlanRequest {
   double epsilon = 0.0;
   /// Cap on the grown in-sample theta for progressive solving.
   int64_t max_theta = 2'000'000;
+  /// Which rule ends the progressive loop (see StoppingRuleKind):
+  /// kHoldoutGap stops when in-sample and holdout estimates agree
+  /// within `epsilon`; kOpimBounds stops when the OPIM-style online
+  /// bound pair certifies a (1 - 1/e - epsilon)-style ratio
+  /// (PlanResponse::certified_ratio), typically earlier.
+  StoppingRuleKind stopping = StoppingRuleKind::kHoldoutGap;
   /// SolveBatch only: with num_threads > 1, run the budget sweep
   /// concurrently (num_threads sweep workers), each budget on the
   /// deterministic sequential engine — responses are bit-identical to
@@ -137,9 +144,14 @@ struct PlanResponse {
   /// PlanRequest::epsilon made the sample store grow.
   int sampling_rounds = 1;
   /// Relative in-sample/holdout gap of the returned plan (0 when the
-  /// context has no holdout). Progressive solving drives this to
-  /// PlanRequest::epsilon unless max_theta stops growth first.
+  /// context has no holdout). Progressive solving under kHoldoutGap
+  /// drives this to PlanRequest::epsilon unless max_theta stops growth
+  /// first.
   double sampling_gap = 0.0;
+  /// kOpimBounds only: the certified lower(plan)/upper(OPT) ratio of
+  /// the returned plan (see StoppingRuleKind::kOpimBounds); 0 under
+  /// kHoldoutGap or without a holdout.
+  double certified_ratio = 0.0;
   /// False when the solver stopped early (max_nodes trip, cancellation).
   bool converged = true;
   /// True when the request's progress hook asked to stop.

@@ -45,6 +45,15 @@ Status ValidateInputs(const Graph* graph, const EdgeTopicProbs* probs,
   return Status::Ok();
 }
 
+SampleStore::Options StoreOptions(const ContextOptions& options) {
+  SampleStore::Options store_options;
+  store_options.theta = options.theta;
+  store_options.holdout_theta = options.holdout_theta;
+  store_options.seed = options.seed;
+  store_options.diffusion = options.diffusion;
+  return store_options;
+}
+
 }  // namespace
 
 StatusOr<std::shared_ptr<const PlanningContext>> PlanningContext::Build(
@@ -60,23 +69,21 @@ StatusOr<std::shared_ptr<const PlanningContext>> PlanningContext::Build(
   ctx->campaign_ = std::move(campaign);
   ctx->model_ = model;
   ctx->options_ = options;
-  ctx->pieces_ =
-      BuildPieceGraphs(*ctx->graph_, *ctx->probs_, *ctx->campaign_);
   if (mrr != nullptr) {
-    ctx->mrr_ = std::move(mrr);
-    ctx->holdout_ = std::move(holdout);
+    ctx->pieces_ = std::make_shared<const std::vector<InfluenceGraph>>(
+        BuildPieceGraphs(*ctx->graph_, *ctx->probs_, *ctx->campaign_));
+    ctx->store_ =
+        SampleStore::Adopt(ctx->pieces_, std::move(mrr), std::move(holdout));
+  } else if (options.share_samples) {
+    // Registry path: the store owns the piece graphs, so a registry hit
+    // skips BuildPieceGraphs along with the sampling pass.
+    ctx->store_ = SampleStore::Acquire(ctx->graph_, ctx->probs_,
+                                       ctx->campaign_, StoreOptions(options));
+    ctx->pieces_ = ctx->store_->pieces();
   } else {
-    ctx->mrr_ = std::make_shared<const MrrCollection>(
-        MrrCollection::Generate(ctx->pieces_, options.theta, options.seed,
-                                options.diffusion));
-    const int64_t holdout_theta =
-        options.holdout_theta < 0 ? options.theta : options.holdout_theta;
-    if (holdout_theta > 0) {
-      ctx->holdout_ = std::make_shared<const MrrCollection>(
-          MrrCollection::Generate(ctx->pieces_, holdout_theta,
-                                  options.seed ^ 0xABCDEF12345ULL,
-                                  options.diffusion));
-    }
+    ctx->pieces_ = std::make_shared<const std::vector<InfluenceGraph>>(
+        BuildPieceGraphs(*ctx->graph_, *ctx->probs_, *ctx->campaign_));
+    ctx->store_ = SampleStore::Create(ctx->pieces_, StoreOptions(options));
   }
   return std::shared_ptr<const PlanningContext>(std::move(ctx));
 }
@@ -138,6 +145,7 @@ PlanningContext::BorrowWithSamples(const Graph& graph,
   ContextOptions options;
   options.theta = mrr->theta();
   options.holdout_theta = holdout == nullptr ? 0 : holdout->theta();
+  options.share_samples = false;
   return Build(Unowned(graph), Unowned(probs), Unowned(campaign), model,
                options, Unowned(*mrr),
                holdout == nullptr
@@ -145,78 +153,15 @@ PlanningContext::BorrowWithSamples(const Graph& graph,
                    : Unowned(*holdout));
 }
 
-const MrrCollection& PlanningContext::mrr() const {
-  std::lock_guard<std::mutex> lock(sample_mu_);
-  return *mrr_;
-}
-
-const MrrCollection* PlanningContext::holdout() const {
-  std::lock_guard<std::mutex> lock(sample_mu_);
-  return holdout_.get();
-}
-
-bool PlanningContext::CanGrowSamples() const {
-  std::lock_guard<std::mutex> lock(sample_mu_);
-  return mrr_->extendable() &&
-         (holdout_ == nullptr || holdout_->extendable());
-}
-
-Status PlanningContext::GrowSamples(int64_t target_theta) const {
-  if (target_theta < 1) {
-    return Status::InvalidArgument("GrowSamples target must be >= 1");
-  }
-  // grow_mu_ serializes growers for the whole (expensive) sampling
-  // phase; sample_mu_ is only taken for the pointer reads/swaps, so
-  // concurrent solvers keep reading their generation while new samples
-  // are being drawn.
-  std::lock_guard<std::mutex> grow_lock(grow_mu_);
-  std::shared_ptr<const MrrCollection> current_mrr;
-  std::shared_ptr<const MrrCollection> current_holdout;
-  {
-    std::lock_guard<std::mutex> lock(sample_mu_);
-    current_mrr = mrr_;
-    current_holdout = holdout_;
-  }
-  if (current_mrr->theta() >= target_theta) return Status::Ok();
-  if (!current_mrr->extendable() ||
-      (current_holdout != nullptr && !current_holdout->extendable())) {
-    return Status::FailedPrecondition(
-        "context samples lack sampling provenance and cannot grow "
-        "(collections loaded via legacy FromParts are not extendable)");
-  }
-  // Copy-on-grow: extend copies, then publish them, retiring the old
-  // generations so outstanding references stay valid. Only growers
-  // mutate the store and they hold grow_mu_, so the snapshot read above
-  // is still current at the swap below.
-  auto grown = std::make_shared<MrrCollection>(*current_mrr);
-  grown->Extend(pieces_, target_theta);
-  std::shared_ptr<const MrrCollection> grown_holdout;
-  if (current_holdout != nullptr) {
-    auto h = std::make_shared<MrrCollection>(*current_holdout);
-    h->Extend(pieces_, target_theta);
-    grown_holdout = std::move(h);
-  }
-  {
-    std::lock_guard<std::mutex> lock(sample_mu_);
-    retired_.push_back(std::move(mrr_));
-    mrr_ = std::move(grown);
-    if (grown_holdout != nullptr) {
-      retired_.push_back(std::move(holdout_));
-      holdout_ = std::move(grown_holdout);
-    }
-  }
-  return Status::Ok();
-}
-
 double PlanningContext::EstimateUtility(const AssignmentPlan& plan) const {
-  return EstimateAdoptionUtility(mrr(), model_, plan);
+  return EstimateAdoptionUtility(*samples().mrr, model_, plan);
 }
 
 double PlanningContext::EstimateHoldoutUtility(
     const AssignmentPlan& plan) const {
-  const MrrCollection* h = holdout();
-  if (h == nullptr) return 0.0;
-  return EstimateAdoptionUtility(*h, model_, plan);
+  const SampleSnapshot snap = samples();
+  if (snap.holdout == nullptr) return 0.0;
+  return EstimateAdoptionUtility(*snap.holdout, model_, plan);
 }
 
 StatusOr<PlanResponse> PlanningContext::Evaluate(
@@ -227,19 +172,25 @@ StatusOr<PlanResponse> PlanningContext::Evaluate(
         " pieces but the campaign has " +
         std::to_string(campaign_->num_pieces()));
   }
+  // One snapshot for both estimates, so they always come from the same
+  // generation even while the store grows.
+  const SampleSnapshot snap = samples();
   PlanResponse response;
   response.solver = label;
   response.budget = plan.size();
   response.plan = plan;
-  response.utility = EstimateUtility(plan);
-  response.holdout_utility = EstimateHoldoutUtility(plan);
+  response.utility = EstimateAdoptionUtility(*snap.mrr, model_, plan);
+  response.holdout_utility =
+      snap.holdout == nullptr
+          ? 0.0
+          : EstimateAdoptionUtility(*snap.holdout, model_, plan);
   response.upper_bound = response.utility;
   return response;
 }
 
 double PlanningContext::SimulateUtility(const AssignmentPlan& plan,
                                         int trials, uint64_t seed) const {
-  return SimulateAdoptionUtility(pieces_, model_, plan, trials, seed);
+  return SimulateAdoptionUtility(*pieces_, model_, plan, trials, seed);
 }
 
 }  // namespace oipa

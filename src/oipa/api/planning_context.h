@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "oipa/api/plan_request.h"
 #include "oipa/logistic_model.h"
 #include "rrset/mrr_collection.h"
+#include "rrset/sample_store.h"
 #include "topic/campaign.h"
 #include "topic/edge_topic_probs.h"
 #include "topic/influence_graph.h"
@@ -28,23 +28,29 @@ struct ContextOptions {
   int64_t holdout_theta = -1;
   uint64_t seed = 1;
   DiffusionModel diffusion = DiffusionModel::kIndependentCascade;
+  /// Resolve the sample store through the process-wide SampleStore
+  /// registry (MRR samples are independent of the adoption model, so
+  /// contexts that differ only in alpha/beta share one store and one
+  /// sampling pass). Set false for a private store — e.g. when the
+  /// context must not observe growth issued through other contexts.
+  bool share_samples = true;
 };
 
 /// The shared state of one (graph, probabilities, campaign, adoption
-/// model) planning configuration: the per-piece influence graphs plus
-/// the in-sample and holdout MRR collections. Everything except the
-/// sample store is read-only after construction, and the sample store is
-/// mutable only under an internal lock and only by growing — so any
-/// number of threads may Solve() against one context concurrently, and a
-/// SolveBatch() budget sweep reuses the same samples for every k.
+/// model) planning configuration: the per-piece influence graphs plus a
+/// handle to the SampleStore holding the in-sample and holdout MRR
+/// collections. Everything except the store is read-only after
+/// construction; the store mutates only by growing and publishes
+/// generations atomically — so any number of threads may Solve()
+/// against one context concurrently, and a SolveBatch() budget sweep
+/// reuses the same samples for every k.
 ///
-/// Progressive (ε)-stopping grows the store through GrowSamples():
-/// publication is copy-on-grow — the current collection is copied,
-/// extended in place (bit-identical to a fresh generation at the larger
-/// theta), and swapped in, while every superseded generation is retained
-/// for the context's lifetime. References returned by mrr()/holdout()
-/// therefore stay valid forever; they just keep seeing their original
-/// sample count. Callers wanting the newest samples re-call mrr().
+/// Samples are read through snapshots: samples() pins the current
+/// generation (a SampleSnapshot keeps its collections alive); after a
+/// GrowSamples() the next samples() call sees the larger generation and
+/// the superseded one is freed as soon as its last snapshot drops
+/// (SampleStore compaction — retired generations no longer accumulate
+/// for the context lifetime).
 ///
 ///   auto ctx = PlanningContext::Create(graph, probs, campaign,
 ///                                      LogisticAdoptionModel(2.0, 1.0),
@@ -81,7 +87,7 @@ class PlanningContext {
   /// sampling fresh ones — for benches and tests that must share one
   /// sample set across configurations or exclude sampling from timings.
   /// `holdout` may be null. All referenced objects must outlive the
-  /// context.
+  /// context. The store is always private (never registry-shared).
   static StatusOr<std::shared_ptr<const PlanningContext>> BorrowWithSamples(
       const Graph& graph, const EdgeTopicProbs& probs,
       const Campaign& campaign, LogisticAdoptionModel model,
@@ -93,36 +99,46 @@ class PlanningContext {
   const LogisticAdoptionModel& model() const { return model_; }
   const ContextOptions& options() const { return options_; }
 
-  /// Per-piece influence graphs (alias the context's graph).
-  const std::vector<InfluenceGraph>& pieces() const { return pieces_; }
-  /// Current in-sample MRR generation. The reference stays valid for the
-  /// context's lifetime even across GrowSamples() (superseded
-  /// generations are retained), but a later call may return a larger
-  /// collection — read it once per solve.
-  const MrrCollection& mrr() const;
-  /// Null when the context was built with holdout_theta = 0 (or
-  /// BorrowWithSamples without a holdout). Same lifetime contract as
-  /// mrr().
-  const MrrCollection* holdout() const;
+  /// Per-piece influence graphs (alias the context's graph; shared with
+  /// the sample store, and across contexts sharing one store).
+  const std::vector<InfluenceGraph>& pieces() const { return *pieces_; }
 
-  /// True when the sample store can grow: the in-sample collection (and
-  /// the holdout, when present) carries sampling provenance
-  /// (MrrCollection::extendable()).
-  bool CanGrowSamples() const;
+  /// Pins and returns the current sample generation. Hold the snapshot
+  /// for the duration of one solve: its collections stay valid (and
+  /// bit-stable) even while the store grows; re-call to see newer
+  /// samples.
+  SampleSnapshot samples() const { return store_->snapshot(); }
 
-  /// Grows the in-sample collection (and the holdout, when present) to
-  /// at least `target_theta` samples, bit-identically to collections
-  /// generated at that size up front. No-op when the store is already
-  /// that large. Thread-safe: concurrent growers serialize, concurrent
-  /// solves keep reading their generation. FailedPrecondition when the
-  /// collections lack sampling provenance (CanGrowSamples() == false),
-  /// InvalidArgument for target_theta < 1.
-  Status GrowSamples(int64_t target_theta) const;
+  /// True when the context was built with a holdout collection.
+  bool has_holdout() const { return store_->has_holdout(); }
 
-  /// In-sample MRR estimate of `plan` (what solvers maximize).
+  /// The context's sample store (telemetry, tests; shared stores show
+  /// growth issued through any sharing context).
+  const SampleStore& sample_store() const { return *store_; }
+
+  /// True when the sample store can grow: the collections carry
+  /// sampling provenance (MrrCollection::extendable()).
+  bool CanGrowSamples() const { return store_->CanGrow(); }
+
+  /// Grows the store's collections to at least `target_theta` samples,
+  /// bit-identically to collections generated at that size up front.
+  /// No-op when the store is already that large. Thread-safe:
+  /// concurrent growers serialize, concurrent solves keep reading their
+  /// pinned snapshots. For a shared store the growth is visible to
+  /// every sharing context. FailedPrecondition when the collections
+  /// lack sampling provenance, InvalidArgument for target_theta < 1.
+  Status GrowSamples(int64_t target_theta) const {
+    return store_->Grow(target_theta);
+  }
+
+  /// In-sample MRR estimate of `plan` (what solvers maximize), on the
+  /// generation current at call time. Each call pins its own snapshot —
+  /// when a consistent in-sample/holdout pair is needed (the store may
+  /// grow between calls), use Evaluate(), which reads one snapshot.
   double EstimateUtility(const AssignmentPlan& plan) const;
 
-  /// Holdout MRR estimate of `plan`; 0 when there is no holdout.
+  /// Holdout MRR estimate of `plan`; 0 when there is no holdout. Same
+  /// per-call snapshot semantics as EstimateUtility().
   double EstimateHoldoutUtility(const AssignmentPlan& plan) const;
 
   /// Scores an externally supplied plan with the same reporting shape as
@@ -151,19 +167,11 @@ class PlanningContext {
   std::shared_ptr<const Campaign> campaign_;
   LogisticAdoptionModel model_{2.0, 1.0};
   ContextOptions options_;
-  std::vector<InfluenceGraph> pieces_;
-
-  // The sample store: current generations plus every superseded one
-  // (kept so outstanding references survive growth). Pointer reads and
-  // swaps are guarded by sample_mu_; growers additionally serialize on
-  // grow_mu_ for the whole sampling phase so readers never wait on
-  // sample generation. Mutable so GrowSamples can run on the shared
-  // const handles the factories give out.
-  mutable std::mutex grow_mu_;
-  mutable std::mutex sample_mu_;
-  mutable std::shared_ptr<const MrrCollection> mrr_;
-  mutable std::shared_ptr<const MrrCollection> holdout_;
-  mutable std::vector<std::shared_ptr<const MrrCollection>> retired_;
+  /// Shared with the store (and with every context sharing the store).
+  std::shared_ptr<const std::vector<InfluenceGraph>> pieces_;
+  /// The sample store: private, or registry-shared across contexts that
+  /// differ only in the adoption model (options_.share_samples).
+  std::shared_ptr<SampleStore> store_;
 };
 
 }  // namespace oipa

@@ -9,10 +9,16 @@
 
 namespace oipa {
 
-/// A pluggable OIPA solver: turns (shared context, request, one budget)
-/// into a plan. Implementations must be stateless between calls — Solve
-/// is const and may be invoked concurrently from many threads against
-/// the same context, so all working state lives on the stack.
+/// A pluggable OIPA solver: turns (shared context, pinned samples,
+/// request, one budget) into a plan. Implementations must be stateless
+/// between calls — Solve is const and may be invoked concurrently from
+/// many threads against the same context, so all working state lives on
+/// the stack.
+///
+/// Implementations read MRR samples from `samples` (the generation the
+/// dispatch layer pinned for this solve), never from the context's
+/// store directly — the store may grow mid-solve and a re-read could
+/// observe a different generation. `samples.mrr` is always non-null.
 ///
 /// Implementations normally don't fill PlanResponse::solver, ::budget,
 /// ::holdout_utility, or ::seconds — the dispatch layer
@@ -32,6 +38,7 @@ class Solver {
   /// Solves for one budget. `request.budgets` should be ignored in favor
   /// of `budget` (SolveBatch calls this once per entry).
   virtual StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                                       const SampleSnapshot& samples,
                                        const PlanRequest& request,
                                        int budget) const = 0;
 };

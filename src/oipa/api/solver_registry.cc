@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "im/heuristics.h"
+#include "oipa/adoption.h"
 #include "oipa/baselines.h"
 #include "oipa/branch_and_bound.h"
 #include "oipa/brute_force.h"
@@ -57,6 +58,7 @@ class BabFamilySolver : public Solver {
   std::string_view description() const override { return description_; }
 
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const SampleSnapshot& samples,
                                const PlanRequest& request,
                                int budget) const override {
     BabOptions options;
@@ -83,7 +85,8 @@ class BabFamilySolver : public Solver {
       };
     }
     return FromBabResult(
-        BabSolver(&context.mrr(), context.model(), request.pool, options)
+        BabSolver(samples.mrr.get(), context.model(), request.pool,
+                  options)
             .Solve());
   }
 
@@ -104,11 +107,10 @@ class ImSolver : public Solver {
   }
 
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const SampleSnapshot& samples,
                                const PlanRequest& request,
                                int budget) const override {
-    // One generation for the whole solve (the store may grow
-    // concurrently under progressive requests).
-    const MrrCollection& mrr = context.mrr();
+    const MrrCollection& mrr = *samples.mrr;
     return FromBaselineResult(ImBaseline(
         context.graph(), context.probs(), context.campaign(), mrr,
         context.model(), request.pool, budget, mrr.theta(),
@@ -125,9 +127,10 @@ class TimSolver : public Solver {
   }
 
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const SampleSnapshot& samples,
                                const PlanRequest& request,
                                int budget) const override {
-    const MrrCollection& mrr = context.mrr();
+    const MrrCollection& mrr = *samples.mrr;
     return FromBaselineResult(TimBaseline(
         context.graph(), context.probs(), context.campaign(), mrr,
         context.model(), request.pool, budget, mrr.theta(),
@@ -146,6 +149,7 @@ class BruteForceSolver : public Solver {
   }
 
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const SampleSnapshot& samples,
                                const PlanRequest& request,
                                int budget) const override {
     // BruteForceSolve CHECK-fails on infeasible instances; turn that
@@ -161,7 +165,7 @@ class BruteForceSolver : public Solver {
     }
     WallTimer timer;
     const BruteForceResult r = BruteForceSolve(
-        context.mrr(), context.model(), request.pool, budget);
+        *samples.mrr, context.model(), request.pool, budget);
     PlanResponse response;
     response.plan = r.plan;
     response.utility = r.utility;
@@ -183,9 +187,10 @@ class GreedySigmaSolver : public Solver {
   }
 
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const SampleSnapshot& samples,
                                const PlanRequest& request,
                                int budget) const override {
-    return FromBabResult(GreedySigmaSolve(context.mrr(), context.model(),
+    return FromBabResult(GreedySigmaSolve(*samples.mrr, context.model(),
                                           request.pool, budget));
   }
 };
@@ -193,11 +198,11 @@ class GreedySigmaSolver : public Solver {
 /// Shared tail of the classic-IM heuristic solvers: seeds per piece ->
 /// best single-piece assignment (the same reporting path as IM/TIM).
 PlanResponse HeuristicResponse(
-    const PlanningContext& context,
+    const PlanningContext& context, const SampleSnapshot& samples,
     const std::vector<std::vector<VertexId>>& per_piece_seeds,
     const WallTimer& timer) {
   PlanResponse response = FromBaselineResult(BestSinglePieceAssignment(
-      context.mrr(), context.model(), per_piece_seeds));
+      *samples.mrr, context.model(), per_piece_seeds));
   response.seconds = timer.Seconds();
   return response;
 }
@@ -211,13 +216,14 @@ class HighDegreeSolver : public Solver {
   }
 
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const SampleSnapshot& samples,
                                const PlanRequest& request,
                                int budget) const override {
     WallTimer timer;
     const std::vector<VertexId> seeds =
         HighDegreeSeeds(context.graph(), budget, request.pool);
     return HeuristicResponse(
-        context,
+        context, samples,
         std::vector<std::vector<VertexId>>(
             context.campaign().num_pieces(), seeds),
         timer);
@@ -233,6 +239,7 @@ class DegreeDiscountSolver : public Solver {
   }
 
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const SampleSnapshot& samples,
                                const PlanRequest& request,
                                int budget) const override {
     WallTimer timer;
@@ -242,7 +249,7 @@ class DegreeDiscountSolver : public Solver {
       per_piece.push_back(
           DegreeDiscountSeeds(piece, budget, request.pool));
     }
-    return HeuristicResponse(context, per_piece, timer);
+    return HeuristicResponse(context, samples, per_piece, timer);
   }
 };
 
@@ -255,13 +262,14 @@ class RandomSolver : public Solver {
   }
 
   StatusOr<PlanResponse> Solve(const PlanningContext& context,
+                               const SampleSnapshot& samples,
                                const PlanRequest& request,
                                int budget) const override {
     WallTimer timer;
     const std::vector<VertexId> seeds = RandomSeeds(
         context.graph(), budget, request.seed + 23, request.pool);
     return HeuristicResponse(
-        context,
+        context, samples,
         std::vector<std::vector<VertexId>>(
             context.campaign().num_pieces(), seeds),
         timer);
@@ -308,7 +316,7 @@ Status ValidateRequest(const PlanningContext& context,
           "progressive solving needs max_theta >= 1, got " +
           std::to_string(request.max_theta));
     }
-    if (context.holdout() == nullptr) {
+    if (!context.has_holdout()) {
       return Status::InvalidArgument(
           "progressive solving (epsilon > 0) requires a context with a "
           "holdout collection (ContextOptions::holdout_theta != 0)");
@@ -322,23 +330,20 @@ Status ValidateRequest(const PlanningContext& context,
   return Status::Ok();
 }
 
-/// Relative disagreement between the optimizer's in-sample estimate and
-/// the unbiased holdout estimate — the progressive loop's stopping
-/// statistic (mirrors AdaptiveTheta's convergence test).
-double SamplingGap(const PlanResponse& response) {
-  const double scale = std::max(
-      1e-9, std::max(response.utility, response.holdout_utility));
-  return std::fabs(response.utility - response.holdout_utility) / scale;
-}
-
 /// Runs one budget through `solver` and stamps the uniform response
-/// fields the solvers themselves leave blank. Every solver gets one
-/// initial progress snapshot (with zeroed counters) before any work, so
-/// cancellation is possible even for solvers that never poll the hook;
-/// the BAB family additionally polls during the search.
+/// fields the solvers themselves leave blank. Pins one sample
+/// generation for the whole solve: the solver, the holdout estimate,
+/// and the stopping statistics all read the same snapshot even while
+/// the store grows concurrently. Every solver gets one initial progress
+/// snapshot (with zeroed counters) before any work, so cancellation is
+/// possible even for solvers that never poll the hook; the BAB family
+/// additionally polls during the search. When the context has a
+/// holdout, `stopping` (optional) receives the configured rule's full
+/// verdict for the progressive loop.
 StatusOr<PlanResponse> SolveOne(const PlanningContext& context,
                                 const PlanRequest& request,
-                                const Solver& solver, int budget) {
+                                const Solver& solver, int budget,
+                                StoppingVerdict* stopping = nullptr) {
   WallTimer timer;
   if (request.progress) {
     PlanProgress initial;
@@ -355,27 +360,47 @@ StatusOr<PlanResponse> SolveOne(const PlanningContext& context,
       return cancelled;
     }
   }
-  const int64_t theta_used = context.mrr().theta();
-  StatusOr<PlanResponse> response = solver.Solve(context, request, budget);
+  const SampleSnapshot samples = context.samples();
+  const int64_t theta_used = samples.mrr->theta();
+  StatusOr<PlanResponse> response =
+      solver.Solve(context, samples, request, budget);
   if (!response.ok()) return response.status();
   response->solver = std::string(solver.name());
   response->budget = budget;
   if (response->seconds == 0.0) response->seconds = timer.Seconds();
-  response->holdout_utility = context.EstimateHoldoutUtility(response->plan);
+  response->holdout_utility =
+      samples.holdout == nullptr
+          ? 0.0
+          : EstimateAdoptionUtility(*samples.holdout, context.model(),
+                                    response->plan);
   response->theta_used = theta_used;
   response->sampling_rounds = 1;
-  if (context.holdout() != nullptr) {
-    response->sampling_gap = SamplingGap(*response);
+  if (samples.holdout != nullptr) {
+    StoppingInputs inputs;
+    inputs.utility = response->utility;
+    inputs.upper_bound = response->upper_bound;
+    inputs.holdout_utility = response->holdout_utility;
+    inputs.theta = theta_used;
+    inputs.holdout_theta = samples.holdout->theta();
+    inputs.num_vertices = context.graph().num_vertices();
+    inputs.epsilon = request.epsilon;
+    const StoppingVerdict verdict =
+        GetStoppingRule(request.stopping).Evaluate(inputs);
+    response->sampling_gap = verdict.sampling_gap;
+    response->certified_ratio = verdict.certified_ratio;
+    if (stopping != nullptr) *stopping = verdict;
   }
   return response;
 }
 
-/// Progressive (ε)-stopping around SolveOne: solve, compare the
-/// in-sample and holdout estimates of the solved plan, and grow the
-/// context's sample store (doubling) until they agree within
-/// request.epsilon or growth hits request.max_theta. Thanks to
-/// copy-on-grow + per-sample seeding, the final round is bit-identical
-/// to a one-shot solve against a context generated at the final theta.
+/// Progressive (ε)-stopping around SolveOne: solve, ask the request's
+/// StoppingRule whether the round certifies (kHoldoutGap: in-sample and
+/// holdout estimates agree within request.epsilon; kOpimBounds: the
+/// online bound pair certifies a (1-1/e-ε)-style ratio), and grow the
+/// context's sample store (doubling) until it does or growth hits
+/// request.max_theta. Thanks to copy-on-grow + per-sample seeding, the
+/// final round is bit-identical to a one-shot solve against a context
+/// generated at the final theta.
 StatusOr<PlanResponse> SolveOneProgressive(const PlanningContext& context,
                                            const PlanRequest& request,
                                            const Solver& solver,
@@ -383,19 +408,20 @@ StatusOr<PlanResponse> SolveOneProgressive(const PlanningContext& context,
   WallTimer total_timer;
   int rounds = 0;
   for (;;) {
+    StoppingVerdict stopping;
     StatusOr<PlanResponse> response =
-        SolveOne(context, request, solver, budget);
+        SolveOne(context, request, solver, budget, &stopping);
     if (!response.ok()) return response.status();
     ++rounds;
     response->sampling_rounds = rounds;
     if (response->cancelled) return response;
-    if (response->sampling_gap <= request.epsilon) {
+    if (stopping.satisfied) {
       response->seconds = total_timer.Seconds();
       return response;
     }
     // The store may have been grown further by a concurrent budget
     // worker; double whatever is current.
-    const int64_t current = context.mrr().theta();
+    const int64_t current = context.sample_store().theta();
     const int64_t target =
         std::min(request.max_theta,
                  current > request.max_theta / 2 ? request.max_theta

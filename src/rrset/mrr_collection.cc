@@ -189,6 +189,17 @@ void MrrCollection::AppendIndexSegment(int64_t begin) {
   segments_.push_back(std::move(seg));
 }
 
+int64_t MrrCollection::MemoryBytes() const {
+  auto bytes = [](const auto& v) {
+    return static_cast<int64_t>(v.capacity() * sizeof(v[0]));
+  };
+  int64_t total = bytes(roots_) + bytes(offsets_) + bytes(nodes_);
+  for (const IndexSegment& seg : segments_) {
+    total += bytes(seg.offsets) + bytes(seg.samples);
+  }
+  return total;
+}
+
 std::vector<int64_t> MrrCollection::SamplesContaining(int piece,
                                                       VertexId v) const {
   std::vector<int64_t> out;

@@ -120,6 +120,11 @@ class MrrCollection {
   /// Total number of (sample, piece, vertex) memberships.
   int64_t TotalSize() const { return static_cast<int64_t>(nodes_.size()); }
 
+  /// Heap bytes held by this collection: roots, offsets, members, and
+  /// every inverted-index segment (capacity, not size — what the
+  /// allocator actually handed out). Store telemetry; O(#segments).
+  int64_t MemoryBytes() const;
+
   /// Scaling factor n/theta that converts per-sample sums to utilities.
   double UtilityScale() const {
     return theta_ == 0 ? 0.0

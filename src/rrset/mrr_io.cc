@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <utility>
 #include <vector>
 
 namespace oipa {
@@ -14,6 +15,9 @@ namespace {
 // are still readable; they load as non-extendable.
 constexpr uint64_t kMagicV1 = 0x4f4950414d525231ULL;  // "OIPAMRR1"
 constexpr uint64_t kMagicV2 = 0x4f4950414d525232ULL;  // "OIPAMRR2"
+// Store snapshot framing: flags word, then one embedded (and still
+// self-describing) collection blob per held collection.
+constexpr uint64_t kMagicStore = 0x4f49504153544f31ULL;  // "OIPASTO1"
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -44,12 +48,9 @@ bool ReadVector(std::ifstream& in, std::vector<T>* v) {
   return static_cast<bool>(in);
 }
 
-}  // namespace
-
-Status SaveMrrCollection(const MrrCollection& mrr,
-                         const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+/// Writes one self-describing OIPAMRR2 blob at the stream position
+/// (shared by the collection-level and store-snapshot formats).
+void WriteCollectionBlob(std::ofstream& out, const MrrCollection& mrr) {
   WritePod(out, kMagicV2);
   WritePod(out, static_cast<int64_t>(mrr.theta()));
   WritePod(out, static_cast<int32_t>(mrr.num_pieces()));
@@ -75,13 +76,11 @@ Status SaveMrrCollection(const MrrCollection& mrr,
   }
   WriteVector(out, offsets);
   WriteVector(out, nodes);
-  if (!out) return Status::IoError("write failure on " + path);
-  return Status::Ok();
 }
 
-StatusOr<MrrCollection> LoadMrrCollection(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
+/// Reads and validates one collection blob at the stream position.
+StatusOr<MrrCollection> ReadCollectionBlob(std::ifstream& in,
+                                           const std::string& path) {
   uint64_t magic = 0;
   if (!ReadPod(in, &magic) || (magic != kMagicV1 && magic != kMagicV2)) {
     return Status::InvalidArgument(path + ": bad MRR magic");
@@ -138,6 +137,93 @@ StatusOr<MrrCollection> LoadMrrCollection(const std::string& path) {
       theta, pieces, n, std::move(roots), std::move(offsets),
       std::move(nodes), base_seed, static_cast<DiffusionModel>(model_raw),
       extendable_raw != 0);
+}
+
+}  // namespace
+
+Status SaveMrrCollection(const MrrCollection& mrr,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteCollectionBlob(out, mrr);
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+StatusOr<MrrCollection> LoadMrrCollection(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadCollectionBlob(in, path);
+}
+
+Status SaveSampleStore(const SampleStore& store, const std::string& path) {
+  // One snapshot for the whole write: both collections come from the
+  // same generation even if the store grows mid-save.
+  const SampleSnapshot snap = store.snapshot();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WritePod(out, kMagicStore);
+  WritePod(out, static_cast<int32_t>(snap.holdout == nullptr ? 0 : 1));
+  WriteCollectionBlob(out, *snap.mrr);
+  if (snap.holdout != nullptr) WriteCollectionBlob(out, *snap.holdout);
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<SampleStore>> LoadSampleStore(
+    const std::string& path,
+    std::shared_ptr<const std::vector<InfluenceGraph>> pieces) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  uint64_t magic = 0;
+  if (!ReadPod(in, &magic) || magic != kMagicStore) {
+    return Status::InvalidArgument(path + ": bad store-snapshot magic");
+  }
+  int32_t has_holdout = 0;
+  if (!ReadPod(in, &has_holdout) || has_holdout < 0 || has_holdout > 1) {
+    return Status::InvalidArgument(path + ": bad store-snapshot header");
+  }
+  StatusOr<MrrCollection> mrr = ReadCollectionBlob(in, path);
+  if (!mrr.ok()) return mrr.status();
+  if (pieces != nullptr) {
+    // Catch a pieces/snapshot mismatch here as a Status — otherwise it
+    // would surface as a CHECK-abort inside the first Grow().
+    if (static_cast<int>(pieces->size()) != mrr->num_pieces()) {
+      return Status::InvalidArgument(
+          path + ": snapshot has " + std::to_string(mrr->num_pieces()) +
+          " pieces but " + std::to_string(pieces->size()) +
+          " piece graphs were supplied");
+    }
+    if (!pieces->empty() &&
+        (*pieces)[0].graph().num_vertices() != mrr->num_vertices()) {
+      return Status::InvalidArgument(
+          path + ": snapshot covers " +
+          std::to_string(mrr->num_vertices()) +
+          " vertices but the piece graphs have " +
+          std::to_string((*pieces)[0].graph().num_vertices()));
+    }
+  }
+  std::shared_ptr<const MrrCollection> holdout;
+  if (has_holdout == 1) {
+    StatusOr<MrrCollection> loaded = ReadCollectionBlob(in, path);
+    if (!loaded.ok()) return loaded.status();
+    if (loaded->num_pieces() != mrr->num_pieces() ||
+        loaded->num_vertices() != mrr->num_vertices()) {
+      // Same guard as above for the holdout blob: a mismatched file
+      // must be a Status, not a later CHECK-abort in Grow().
+      return Status::InvalidArgument(
+          path + ": holdout blob shape (" +
+          std::to_string(loaded->num_pieces()) + " pieces, " +
+          std::to_string(loaded->num_vertices()) +
+          " vertices) does not match the in-sample blob");
+    }
+    holdout = std::make_shared<const MrrCollection>(
+        std::move(loaded).value());
+  }
+  return SampleStore::Adopt(
+      std::move(pieces),
+      std::make_shared<const MrrCollection>(std::move(mrr).value()),
+      holdout);
 }
 
 }  // namespace oipa

@@ -1,9 +1,13 @@
 #ifndef OIPA_RRSET_MRR_IO_H_
 #define OIPA_RRSET_MRR_IO_H_
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "rrset/mrr_collection.h"
+#include "rrset/sample_store.h"
+#include "topic/influence_graph.h"
 #include "util/status.h"
 
 namespace oipa {
@@ -21,6 +25,22 @@ namespace oipa {
 Status SaveMrrCollection(const MrrCollection& mrr, const std::string& path);
 
 StatusOr<MrrCollection> LoadMrrCollection(const std::string& path);
+
+/// Snapshot persistence for sample stores: writes the store's *current*
+/// generation — the in-sample collection plus the holdout, when present
+/// — as one file (magic "OIPASTO1" framing two OIPAMRR2 blobs).
+/// Retired generations are never written; a store round-trips through
+/// its snapshot.
+Status SaveSampleStore(const SampleStore& store, const std::string& path);
+
+/// Rebuilds a private (unregistered) SampleStore from a snapshot file.
+/// Because sampling provenance round-trips, passing the piece graphs
+/// the store was sampled over makes the loaded store growable again:
+/// save -> load -> Grow continues the exact sample stream. Pass null
+/// for a frozen (non-growable) store.
+StatusOr<std::shared_ptr<SampleStore>> LoadSampleStore(
+    const std::string& path,
+    std::shared_ptr<const std::vector<InfluenceGraph>> pieces = nullptr);
 
 }  // namespace oipa
 

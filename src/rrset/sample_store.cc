@@ -1,0 +1,453 @@
+#include "rrset/sample_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace oipa {
+
+namespace {
+
+std::shared_ptr<const MrrCollection> GenerateCollection(
+    const std::vector<InfluenceGraph>& pieces,
+    const SampleStore::Options& options, int64_t theta, uint64_t seed) {
+  return std::make_shared<const MrrCollection>(MrrCollection::Generate(
+      pieces, theta, seed, options.diffusion));
+}
+
+/// The holdout stream is decorrelated from the in-sample stream by the
+/// same seed perturbation PlanningContext used before the store existed
+/// (keeps pre-refactor runs bit-identical).
+constexpr uint64_t kHoldoutSeedXor = 0xABCDEF12345ULL;
+
+int64_t ResolvedHoldoutTheta(const SampleStore::Options& options) {
+  return options.holdout_theta < 0 ? options.theta : options.holdout_theta;
+}
+
+}  // namespace
+
+std::shared_ptr<SampleStore> SampleStore::Build(
+    std::shared_ptr<const std::vector<InfluenceGraph>> pieces,
+    const Options& options, bool shared) {
+  OIPA_CHECK(pieces != nullptr && !pieces->empty());
+  OIPA_CHECK_GE(options.theta, 1);
+  std::shared_ptr<SampleStore> store(new SampleStore());
+  store->pieces_ = std::move(pieces);
+  store->options_ = options;
+  store->options_.holdout_theta = ResolvedHoldoutTheta(options);
+  store->shared_ = shared;
+  auto mrr = GenerateCollection(*store->pieces_, options, options.theta,
+                                options.seed);
+  std::shared_ptr<const MrrCollection> holdout;
+  if (store->options_.holdout_theta > 0) {
+    holdout = GenerateCollection(*store->pieces_, options,
+                                 store->options_.holdout_theta,
+                                 options.seed ^ kHoldoutSeedXor);
+  }
+  store->Publish(std::move(mrr), std::move(holdout));
+  return store;
+}
+
+std::shared_ptr<SampleStore> SampleStore::Create(
+    std::shared_ptr<const std::vector<InfluenceGraph>> pieces,
+    const Options& options) {
+  return Build(std::move(pieces), options, /*shared=*/false);
+}
+
+std::shared_ptr<SampleStore> SampleStore::Adopt(
+    std::shared_ptr<const std::vector<InfluenceGraph>> pieces,
+    std::shared_ptr<const MrrCollection> mrr,
+    std::shared_ptr<const MrrCollection> holdout) {
+  OIPA_CHECK(mrr != nullptr);
+  std::shared_ptr<SampleStore> store(new SampleStore());
+  store->pieces_ = std::move(pieces);
+  store->options_.theta = mrr->theta();
+  store->options_.holdout_theta = holdout == nullptr ? 0 : holdout->theta();
+  store->options_.seed = mrr->base_seed();
+  store->options_.diffusion = mrr->model();
+  store->Publish(std::move(mrr), std::move(holdout));
+  return store;
+}
+
+// ----------------------------------------------------------- registry
+
+namespace {
+
+/// Identity key of a shareable sampling configuration. Graph and probs
+/// are keyed by object identity (a live store keeps them alive, so a
+/// key can never alias a recycled address of a dead object); campaign
+/// pieces are keyed by content, since equal piece topic vectors produce
+/// equal influence graphs regardless of which Campaign object carries
+/// them.
+struct StoreKey {
+  const void* graph = nullptr;
+  const void* probs = nullptr;
+  uint64_t campaign_fingerprint = 0;
+  int diffusion = 0;
+  uint64_t seed = 0;
+  int64_t theta = 0;
+  int64_t holdout_theta = 0;
+
+  bool operator<(const StoreKey& o) const {
+    return std::tie(graph, probs, campaign_fingerprint, diffusion, seed,
+                    theta, holdout_theta) <
+           std::tie(o.graph, o.probs, o.campaign_fingerprint, o.diffusion,
+                    o.seed, o.theta, o.holdout_theta);
+  }
+};
+
+/// Exact piece-content equality — the fingerprint routes to a slot,
+/// this guards against 64-bit hash collisions before samples are
+/// shared (a collision would silently serve one campaign's samples to
+/// another).
+bool SamePieceTopics(const Campaign& a, const Campaign& b) {
+  if (a.num_pieces() != b.num_pieces()) return false;
+  for (int j = 0; j < a.num_pieces(); ++j) {
+    if (a.piece(j).topics.values() != b.piece(j).topics.values()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t FingerprintCampaign(const Campaign& campaign) {
+  // FNV-1a over piece count and each topic value's bit pattern.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<uint64_t>(campaign.num_pieces()));
+  for (const ViralPiece& piece : campaign.pieces()) {
+    mix(static_cast<uint64_t>(piece.topics.num_topics()));
+    for (const double value : piece.topics.values()) {
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(value));
+      std::memcpy(&bits, &value, sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+/// Per-key creation slot: concurrent Acquires of one key serialize on
+/// the slot mutex (exactly one sampling pass), while different keys
+/// sample concurrently — the global registry mutex only guards the map.
+struct RegistrySlot {
+  std::mutex mu;
+  std::weak_ptr<SampleStore> store;
+};
+
+std::mutex g_registry_mu;
+std::map<StoreKey, std::shared_ptr<RegistrySlot>>& Registry() {
+  static auto* registry = new std::map<StoreKey, std::shared_ptr<RegistrySlot>>();
+  return *registry;
+}
+
+/// Drops slots whose store died and which no Acquire currently holds.
+/// Caller holds g_registry_mu.
+void PruneRegistryLocked() {
+  auto& registry = Registry();
+  for (auto it = registry.begin(); it != registry.end();) {
+    if (it->second.use_count() == 1 && it->second->store.expired()) {
+      it = registry.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
+/// Out-of-line so the store's private constructor stays private: builds
+/// the registered store, including its piece graphs and keep-alives.
+std::shared_ptr<SampleStore> MakeStoreForAcquire(
+    std::shared_ptr<const Graph> graph,
+    std::shared_ptr<const EdgeTopicProbs> probs,
+    std::shared_ptr<const Campaign> campaign,
+    const SampleStore::Options& options) {
+  auto pieces = std::make_shared<const std::vector<InfluenceGraph>>(
+      BuildPieceGraphs(*graph, *probs, *campaign));
+  std::shared_ptr<SampleStore> store =
+      SampleStore::Build(std::move(pieces), options, /*shared=*/true);
+  // The campaign keep-alive is an owned deep copy, never the caller's
+  // pointer: campaigns are keyed by content, so a later Acquire may
+  // compare against it after the original (possibly Borrow-aliased,
+  // non-owning) object is gone. Graph/probs need no copy — they are
+  // keyed by identity, so every sharer passes the same live object.
+  store->campaign_keepalive_ = std::make_shared<const Campaign>(*campaign);
+  store->graph_keepalive_ = std::move(graph);
+  store->probs_keepalive_ = std::move(probs);
+  return store;
+}
+
+std::shared_ptr<SampleStore> SampleStore::Acquire(
+    std::shared_ptr<const Graph> graph,
+    std::shared_ptr<const EdgeTopicProbs> probs,
+    std::shared_ptr<const Campaign> campaign, const Options& options) {
+  OIPA_CHECK(graph != nullptr && probs != nullptr && campaign != nullptr);
+  StoreKey key;
+  key.graph = graph.get();
+  key.probs = probs.get();
+  key.campaign_fingerprint = FingerprintCampaign(*campaign);
+  key.diffusion = static_cast<int>(options.diffusion);
+  key.seed = options.seed;
+  key.theta = options.theta;
+  key.holdout_theta = ResolvedHoldoutTheta(options);
+
+  std::shared_ptr<RegistrySlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    PruneRegistryLocked();
+    auto& entry = Registry()[key];
+    if (entry == nullptr) entry = std::make_shared<RegistrySlot>();
+    slot = entry;
+  }
+  // Sampling happens under the slot mutex only: a concurrent Acquire of
+  // the same key waits for (and then shares) this pass; other keys
+  // proceed.
+  std::lock_guard<std::mutex> slot_lock(slot->mu);
+  if (std::shared_ptr<SampleStore> existing = slot->store.lock()) {
+    if (SamePieceTopics(*existing->campaign_keepalive_, *campaign)) {
+      return existing;
+    }
+    // Fingerprint collision between distinct campaigns: never share —
+    // fall through to a store that bypasses the occupied slot.
+    return MakeStoreForAcquire(std::move(graph), std::move(probs),
+                               std::move(campaign), options);
+  }
+  std::shared_ptr<SampleStore> store = MakeStoreForAcquire(
+      std::move(graph), std::move(probs), std::move(campaign), options);
+  {
+    // The publication write also takes the registry mutex so that
+    // PruneRegistryLocked/RegistrySize may read any slot's weak_ptr
+    // under g_registry_mu alone. Lock order is slot->mu, then
+    // g_registry_mu; nothing takes them in the opposite order (Acquire
+    // releases g_registry_mu before locking a slot).
+    std::lock_guard<std::mutex> registry_lock(g_registry_mu);
+    slot->store = store;
+  }
+  return store;
+}
+
+int SampleStore::RegistrySize() {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  PruneRegistryLocked();
+  int live = 0;
+  for (const auto& [key, slot] : Registry()) {
+    (void)key;
+    if (!slot->store.expired()) ++live;
+  }
+  return live;
+}
+
+// ---------------------------------------------------- snapshot + grow
+
+void SampleStore::Publish(std::shared_ptr<const MrrCollection> mrr,
+                          std::shared_ptr<const MrrCollection> holdout) {
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    mrr_history_.push_back(mrr);
+    if (holdout != nullptr) holdout_history_.push_back(holdout);
+  }
+  auto next = std::make_shared<const SampleSnapshot>(
+      SampleSnapshot{std::move(mrr), std::move(holdout)});
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  current_ = std::move(next);
+}
+
+SampleSnapshot SampleStore::snapshot() const {
+  std::shared_ptr<const SampleSnapshot> current;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    current = current_;
+  }
+  return *current;
+}
+
+bool SampleStore::CanGrow() const {
+  if (pieces_ == nullptr) return false;
+  const SampleSnapshot snap = snapshot();
+  return snap.mrr->extendable() &&
+         (snap.holdout == nullptr || snap.holdout->extendable());
+}
+
+Status SampleStore::Grow(int64_t target_theta) {
+  if (target_theta < 1) {
+    return Status::InvalidArgument("Grow target must be >= 1");
+  }
+  // Growers serialize for the whole sampling phase; the snapshot read
+  // below therefore stays current until the Publish.
+  std::lock_guard<std::mutex> grow_lock(grow_mu_);
+  const SampleSnapshot current = snapshot();
+  if (current.mrr->theta() >= target_theta) return Status::Ok();
+  if (pieces_ == nullptr || !current.mrr->extendable() ||
+      (current.holdout != nullptr && !current.holdout->extendable())) {
+    return Status::FailedPrecondition(
+        "store samples lack sampling provenance and cannot grow "
+        "(collections loaded via legacy FromParts are not extendable)");
+  }
+  // Copy-on-grow: extend copies, then publish them as the next
+  // generation. The superseded generation is only pinned by whatever
+  // snapshots are still outstanding — once the last one drops, it is
+  // freed (compaction), which live_generations() observes.
+  auto grown = std::make_shared<MrrCollection>(*current.mrr);
+  grown->Extend(*pieces_, target_theta);
+  std::shared_ptr<const MrrCollection> grown_holdout;
+  if (current.holdout != nullptr) {
+    auto h = std::make_shared<MrrCollection>(*current.holdout);
+    h->Extend(*pieces_, target_theta);
+    grown_holdout = std::move(h);
+  }
+  Publish(std::move(grown), std::move(grown_holdout));
+  return Status::Ok();
+}
+
+int SampleStore::live_generations() const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  auto expired = [](const std::weak_ptr<const MrrCollection>& w) {
+    return w.expired();
+  };
+  mrr_history_.erase(
+      std::remove_if(mrr_history_.begin(), mrr_history_.end(), expired),
+      mrr_history_.end());
+  holdout_history_.erase(std::remove_if(holdout_history_.begin(),
+                                        holdout_history_.end(), expired),
+                         holdout_history_.end());
+  return static_cast<int>(mrr_history_.size());
+}
+
+SampleStore::Stats SampleStore::GetStats() const {
+  Stats stats;
+  const SampleSnapshot snap = snapshot();
+  stats.theta = snap.mrr->theta();
+  stats.holdout_theta =
+      snap.holdout == nullptr ? 0 : snap.holdout->theta();
+  stats.shared = shared_;
+  // One locked pass over the history so the generation count and the
+  // memory sum describe the same instant.
+  std::lock_guard<std::mutex> lock(history_mu_);
+  for (const auto* history : {&mrr_history_, &holdout_history_}) {
+    for (const auto& weak : *history) {
+      if (const auto live = weak.lock()) {
+        stats.memory_bytes += live->MemoryBytes();
+        if (history == &mrr_history_) ++stats.live_generations;
+      }
+    }
+  }
+  return stats;
+}
+
+// ----------------------------------------------------- stopping rules
+
+namespace {
+
+/// Shared statistic of both rules: relative disagreement between the
+/// optimizer's in-sample estimate and the unbiased holdout estimate
+/// (mirrors AdaptiveTheta's convergence test).
+double SamplingGap(const StoppingInputs& in) {
+  const double scale =
+      std::max(1e-9, std::max(in.utility, in.holdout_utility));
+  return std::fabs(in.utility - in.holdout_utility) / scale;
+}
+
+class HoldoutGapRule final : public StoppingRule {
+ public:
+  std::string_view name() const override { return "holdout"; }
+
+  StoppingVerdict Evaluate(const StoppingInputs& in) const override {
+    StoppingVerdict verdict;
+    verdict.sampling_gap = SamplingGap(in);
+    verdict.satisfied = verdict.sampling_gap <= in.epsilon;
+    return verdict;
+  }
+};
+
+/// OPIM-C-style online bound pair (Tang et al., SIGMOD'18), adapted to
+/// MRR adoption estimates. Per-sample scores f(#covered pieces) lie in
+/// [0, 1], so a utility u over a collection of size theta corresponds
+/// to a score mass Lambda = u * theta / n and Chernoff bounds for
+/// [0,1]-valued sums apply:
+///
+///   lower(S)   = ((sqrt(Lv + 2a/9) - sqrt(a/2))^2 - a/18) * n / theta_v
+///   upper(OPT) = ((sqrt(Lu + a/2) + sqrt(a/2))^2)         * n / theta_u
+///
+/// with a = ln(2 * max_rounds / delta) (union-bounded over the
+/// adaptive loop), Lv the holdout score mass of the solved plan
+/// and Lu the in-sample score-mass *bound* on the optimum (the BAB
+/// family's reported upper bound; solvers without bounds contribute
+/// their own estimate, making the ratio a self-certification). The
+/// solve stops once lower/upper reaches (1 - 1/e - epsilon) — the
+/// paper's ε-guarantee certified online, without holdout re-solves.
+class OpimBoundsRule final : public StoppingRule {
+ public:
+  std::string_view name() const override { return "opim"; }
+
+  StoppingVerdict Evaluate(const StoppingInputs& in) const override {
+    StoppingVerdict verdict;
+    verdict.sampling_gap = SamplingGap(in);
+    if (in.num_vertices <= 0 || in.theta <= 0 || in.holdout_theta <= 0) {
+      return verdict;  // no certification possible; keep growing
+    }
+    const double n = static_cast<double>(in.num_vertices);
+    // Union-bound the failure probability across the whole adaptive
+    // loop (OPIM-C divides delta across rounds for the same reason):
+    // theta doubles each round so there are at most 63 rounds, and each
+    // round evaluates two bounds. The certificate therefore holds at
+    // confidence 1 - kDelta for the *first* round that satisfies it,
+    // not merely per evaluation.
+    constexpr double kMaxRounds = 63.0;
+    const double a = std::log(2.0 * kMaxRounds / kDelta);
+    const double lambda_v =
+        in.holdout_utility * static_cast<double>(in.holdout_theta) / n;
+    const double lambda_u = std::max(in.utility, in.upper_bound) *
+                            static_cast<double>(in.theta) / n;
+    const double sqrt_lower =
+        std::sqrt(lambda_v + 2.0 * a / 9.0) - std::sqrt(a / 2.0);
+    const double lower =
+        std::max(0.0, (sqrt_lower * sqrt_lower - a / 18.0) * n /
+                          static_cast<double>(in.holdout_theta));
+    const double sqrt_upper = std::sqrt(lambda_u + a / 2.0) +
+                              std::sqrt(a / 2.0);
+    const double upper =
+        sqrt_upper * sqrt_upper * n / static_cast<double>(in.theta);
+    if (upper <= 0.0) return verdict;
+    verdict.certified_ratio = std::min(1.0, lower / upper);
+    verdict.satisfied =
+        verdict.certified_ratio >= 1.0 - 1.0 / kE - in.epsilon;
+    return verdict;
+  }
+
+ private:
+  /// Overall failure probability of the certificate, union-bounded
+  /// over every bound evaluation the progressive loop can make.
+  static constexpr double kDelta = 0.01;
+  static constexpr double kE = 2.718281828459045;
+};
+
+}  // namespace
+
+const StoppingRule& GetStoppingRule(StoppingRuleKind kind) {
+  static const HoldoutGapRule holdout_rule;
+  static const OpimBoundsRule opim_rule;
+  switch (kind) {
+    case StoppingRuleKind::kOpimBounds:
+      return opim_rule;
+    case StoppingRuleKind::kHoldoutGap:
+    default:
+      return holdout_rule;
+  }
+}
+
+StatusOr<StoppingRuleKind> ParseStoppingRule(const std::string& name) {
+  if (name == "holdout") return StoppingRuleKind::kHoldoutGap;
+  if (name == "opim") return StoppingRuleKind::kOpimBounds;
+  return Status::InvalidArgument("unknown stopping rule '" + name +
+                                 "' (expected holdout|opim)");
+}
+
+}  // namespace oipa

@@ -1,0 +1,264 @@
+#ifndef OIPA_RRSET_SAMPLE_STORE_H_
+#define OIPA_RRSET_SAMPLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rrset/mrr_collection.h"
+#include "topic/campaign.h"
+#include "topic/edge_topic_probs.h"
+#include "topic/influence_graph.h"
+#include "util/status.h"
+
+namespace oipa {
+
+/// One published generation of a SampleStore: the in-sample MRR
+/// collection plus the (optional) holdout. Snapshots are value types —
+/// copying one is two shared_ptr bumps — and pin their generation: the
+/// collections stay valid for as long as any snapshot referencing them
+/// is alive, even after the store grows past them. Take one snapshot per
+/// solve and read it throughout; re-snapshot to see newer samples.
+struct SampleSnapshot {
+  std::shared_ptr<const MrrCollection> mrr;
+  /// Null when the store was built without a holdout.
+  std::shared_ptr<const MrrCollection> holdout;
+};
+
+/// A reference-counted, generation-published MRR sample store — the
+/// sampling half of a planning configuration, pulled out of
+/// PlanningContext so that
+///
+///  (a) superseded generations are *compacted*: growth publishes a new
+///      SampleSnapshot and drops the store's reference to the old one,
+///      so a retired generation is freed the moment the last outstanding
+///      reader snapshot goes away (live_generations() observes this),
+///  (b) stores can be *shared* across contexts: MRR samples depend only
+///      on (graph, probabilities, campaign pieces, diffusion model,
+///      seed) — not on the logistic adoption model — so N contexts that
+///      differ only in alpha/beta resolve to one store and one sampling
+///      pass through the process-wide keyed registry behind Acquire().
+///
+/// Concurrency: snapshot() is a pointer copy under a micro-mutex —
+/// readers never wait on sample generation, not even while a grower is
+/// sampling. Grow() serializes growers on a separate mutex, samples
+/// outside any reader-visible lock, and publishes by swapping the
+/// current snapshot pointer. (The publication slot would be a
+/// std::atomic<std::shared_ptr> swap, but libstdc++'s lock-bit
+/// implementation trips ThreadSanitizer, which CI runs — the mutex
+/// keeps the same no-reader-waits property with a few-ns critical
+/// section.) All methods are safe to call from any thread.
+///
+/// Sharing semantics: a store acquired by several contexts has one
+/// sample stream. A Grow() issued through one context (e.g. its
+/// progressive ε-loop) is visible to the others' *next* snapshot —
+/// their in-flight solves keep reading the generation they pinned.
+/// Because growth is bit-identical to up-front generation
+/// (MrrCollection::Extend), the shared samples are always a valid
+/// prefix-extension of what any sharer originally requested.
+class SampleStore {
+ public:
+  /// Sampling configuration of a store; mirrors the sampling slice of
+  /// ContextOptions.
+  struct Options {
+    int64_t theta = 100'000;
+    /// -1 draws `theta` holdout samples, 0 skips the holdout.
+    int64_t holdout_theta = -1;
+    uint64_t seed = 1;
+    DiffusionModel diffusion = DiffusionModel::kIndependentCascade;
+  };
+
+  /// One row of store telemetry (surfaced in oipa_cli JSON output).
+  struct Stats {
+    int64_t theta = 0;
+    /// 0 when the store has no holdout.
+    int64_t holdout_theta = 0;
+    /// Bytes held by every still-live generation (in-sample + holdout).
+    int64_t memory_bytes = 0;
+    /// In-sample generations still alive (current + pinned retired).
+    int live_generations = 0;
+    /// True when the store came out of the Acquire() registry.
+    bool shared = false;
+  };
+
+  /// Generates a private (unregistered) store over `pieces`.
+  /// `pieces` must be non-null and non-empty and must outlive the store
+  /// (they alias the social graph; see BuildPieceGraphs).
+  static std::shared_ptr<SampleStore> Create(
+      std::shared_ptr<const std::vector<InfluenceGraph>> pieces,
+      const Options& options);
+
+  /// Wraps pre-built collections (BorrowWithSamples, snapshot loads)
+  /// in a private store. `holdout` may be null. The store can grow iff
+  /// the collections carry sampling provenance and `pieces` is non-null.
+  static std::shared_ptr<SampleStore> Adopt(
+      std::shared_ptr<const std::vector<InfluenceGraph>> pieces,
+      std::shared_ptr<const MrrCollection> mrr,
+      std::shared_ptr<const MrrCollection> holdout);
+
+  /// Process-wide keyed registry: returns the live store already
+  /// serving (graph, probs, campaign pieces, diffusion, seed, theta,
+  /// holdout_theta) — keyed by graph/probs identity and campaign piece
+  /// content — or creates, registers, and returns a new one. Concurrent
+  /// Acquires of the same key serialize so exactly one sampling pass
+  /// happens; different keys sample concurrently. The registry holds
+  /// weak references: a store dies with its last owning context and a
+  /// later Acquire samples afresh.
+  static std::shared_ptr<SampleStore> Acquire(
+      std::shared_ptr<const Graph> graph,
+      std::shared_ptr<const EdgeTopicProbs> probs,
+      std::shared_ptr<const Campaign> campaign, const Options& options);
+
+  /// Number of live registered stores (test/diagnostic hook; prunes
+  /// dead registry entries as a side effect).
+  static int RegistrySize();
+
+  /// The current generation; never blocks on growers (the critical
+  /// section is one shared_ptr copy).
+  SampleSnapshot snapshot() const;
+
+  /// Current in-sample theta (== snapshot().mrr->theta()).
+  int64_t theta() const { return snapshot().mrr->theta(); }
+  bool has_holdout() const { return snapshot().holdout != nullptr; }
+
+  /// True when Grow() can extend the store: the collections carry
+  /// sampling provenance and the store knows its piece graphs.
+  bool CanGrow() const;
+
+  /// Grows the in-sample collection (and the holdout, when present) to
+  /// at least `target_theta` samples, bit-identically to collections
+  /// generated at that size up front, and publishes the result as a new
+  /// generation. No-op when already that large. Thread-safe: growers
+  /// serialize, readers keep their pinned snapshots. FailedPrecondition
+  /// when CanGrow() is false, InvalidArgument for target_theta < 1.
+  Status Grow(int64_t target_theta);
+
+  /// In-sample generations still alive: the current one plus any
+  /// retired generation pinned by an outstanding snapshot. With no
+  /// outstanding readers this is exactly 1, however often the store
+  /// grew — retired generations are compacted, not accumulated.
+  int live_generations() const;
+
+  Stats GetStats() const;
+
+  const std::shared_ptr<const std::vector<InfluenceGraph>>& pieces()
+      const {
+    return pieces_;
+  }
+  const Options& options() const { return options_; }
+  /// True when the store was handed out by Acquire().
+  bool shared() const { return shared_; }
+
+  SampleStore(const SampleStore&) = delete;
+  SampleStore& operator=(const SampleStore&) = delete;
+
+ private:
+  SampleStore() = default;
+
+  static std::shared_ptr<SampleStore> Build(
+      std::shared_ptr<const std::vector<InfluenceGraph>> pieces,
+      const Options& options, bool shared);
+
+  /// Swaps in a new generation and records it for live_generations().
+  void Publish(std::shared_ptr<const MrrCollection> mrr,
+               std::shared_ptr<const MrrCollection> holdout);
+
+  std::shared_ptr<const std::vector<InfluenceGraph>> pieces_;
+  Options options_;
+  bool shared_ = false;
+  /// Keep-alives for registry-shared stores. Graph/probs hold the
+  /// acquirer's handles (identity-keyed; non-owning for Borrow-built
+  /// contexts, whose lifetime contract covers them). The campaign is
+  /// an owned deep copy: it is content-keyed and later Acquires
+  /// compare against it, possibly after every original object died.
+  std::shared_ptr<const Graph> graph_keepalive_;
+  std::shared_ptr<const EdgeTopicProbs> probs_keepalive_;
+  std::shared_ptr<const Campaign> campaign_keepalive_;
+
+  /// Serializes growers for the whole (expensive) sampling phase.
+  std::mutex grow_mu_;
+  /// Guards only the `current_` pointer itself (see class comment) —
+  /// sampling never happens under it.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const SampleSnapshot> current_;
+  /// Every generation ever published, weakly: expired entries are
+  /// pruned on read, so the vectors stay as small as the number of
+  /// generations actually still pinned.
+  mutable std::mutex history_mu_;
+  mutable std::vector<std::weak_ptr<const MrrCollection>> mrr_history_;
+  mutable std::vector<std::weak_ptr<const MrrCollection>>
+      holdout_history_;
+
+  friend std::shared_ptr<SampleStore> MakeStoreForAcquire(
+      std::shared_ptr<const Graph> graph,
+      std::shared_ptr<const EdgeTopicProbs> probs,
+      std::shared_ptr<const Campaign> campaign,
+      const SampleStore::Options& options);
+};
+
+// ------------------------------------------------------ stopping rules
+
+/// Which rule decides when the progressive (ε)-loop may stop growing
+/// the sample store (PlanRequest::stopping).
+enum class StoppingRuleKind {
+  /// Stop when the solved plan's in-sample and holdout utility
+  /// estimates agree within epsilon (relative) — the pre-OPIM rule.
+  kHoldoutGap,
+  /// OPIM-style online bound pair: stop when a Chernoff lower bound on
+  /// the plan's holdout utility divided by a Chernoff upper bound on
+  /// the optimum (from the solver's in-sample upper bound) certifies a
+  /// (1 - 1/e - epsilon)-style ratio. No extra solves — both bounds
+  /// come from quantities the solve already produced.
+  kOpimBounds,
+};
+
+/// Everything a stopping rule may look at, gathered from one solve
+/// against one pinned snapshot.
+struct StoppingInputs {
+  /// In-sample utility estimate of the solved plan.
+  double utility = 0.0;
+  /// Solver's in-sample upper bound on the optimum (== utility for
+  /// solvers without bounds; the BAB family reports a true bound).
+  double upper_bound = 0.0;
+  /// Holdout utility estimate of the solved plan.
+  double holdout_utility = 0.0;
+  /// Sizes of the collections the estimates were computed on.
+  int64_t theta = 0;
+  int64_t holdout_theta = 0;
+  VertexId num_vertices = 0;
+  /// The request's tolerance (PlanRequest::epsilon).
+  double epsilon = 0.0;
+};
+
+/// A rule's verdict on one solve round.
+struct StoppingVerdict {
+  /// Relative in-sample/holdout disagreement (reported for every rule).
+  double sampling_gap = 0.0;
+  /// Certified lower(plan)/upper(OPT) ratio; 0 under kHoldoutGap.
+  double certified_ratio = 0.0;
+  /// True when the rule's tolerance is met and growth may stop.
+  bool satisfied = false;
+};
+
+/// Stateless stopping-rule strategy. Implementations must be safe to
+/// call concurrently.
+class StoppingRule {
+ public:
+  virtual ~StoppingRule() = default;
+  virtual std::string_view name() const = 0;
+  virtual StoppingVerdict Evaluate(const StoppingInputs& inputs) const = 0;
+};
+
+/// The process-wide rule instance for `kind` (rules are stateless).
+const StoppingRule& GetStoppingRule(StoppingRuleKind kind);
+
+/// Maps a rule name ("holdout" | "opim") to its kind (CLI parsing).
+StatusOr<StoppingRuleKind> ParseStoppingRule(const std::string& name);
+
+}  // namespace oipa
+
+#endif  // OIPA_RRSET_SAMPLE_STORE_H_

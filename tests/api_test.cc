@@ -89,7 +89,8 @@ TEST(SolverRegistryTest, RejectsNullAndDuplicateRegistration) {
     std::string_view name() const override { return "dummy"; }
     std::string_view description() const override { return "noop"; }
     StatusOr<PlanResponse> Solve(const PlanningContext&,
-                                 const PlanRequest&, int) const override {
+                                 const SampleSnapshot&, const PlanRequest&,
+                                 int) const override {
       return PlanResponse{};
     }
   };
@@ -140,15 +141,18 @@ TEST_F(ApiFixture, CreateRejectsBadInputs) {
 TEST_F(ApiFixture, BorrowWithSamplesValidatesShape) {
   Rng rng(31);
   const Campaign other = Campaign::SampleUniformPieces(3, 5, &rng);
+  // Pin the fixture's samples so the borrowed collections outlive the
+  // borrowing context no matter what the fixture's store does.
+  const SampleSnapshot snap = context_->samples();
   // context_'s MRR has 2 pieces; a 3-piece campaign cannot adopt it.
   auto r = PlanningContext::BorrowWithSamples(
       *graph_, *probs_, other, LogisticAdoptionModel(2.0, 1.0),
-      &context_->mrr());
+      snap.mrr.get());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 
   auto ok = PlanningContext::BorrowWithSamples(
       *graph_, *probs_, *campaign_, LogisticAdoptionModel(2.0, 1.0),
-      &context_->mrr(), context_->holdout());
+      snap.mrr.get(), snap.holdout.get());
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
   const auto solved = Solve(**ok, Request("bab-p", 3));
   ASSERT_TRUE(solved.ok()) << solved.status().ToString();
@@ -312,19 +316,24 @@ TEST_F(ApiFixture, SolveBatchSweepsBudgetsOverSharedSamples) {
 // ------------------------------------------- progressive (ε)-stopping
 
 TEST_F(ApiFixture, GrowSamplesIsBitIdenticalToUpFrontGeneration) {
-  // Take a reference to the current generation, grow, and check both
-  // that the old reference stays valid and that the grown store matches
-  // a context generated at the larger theta from scratch.
-  const MrrCollection& before = context_->mrr();
-  ASSERT_EQ(before.theta(), 4'000);
+  // Pin the current generation, grow, and check both that the pinned
+  // snapshot stays valid and that the grown store matches a context
+  // generated at the larger theta from scratch.
+  SampleSnapshot before = context_->samples();
+  ASSERT_EQ(before.mrr->theta(), 4'000);
   ASSERT_TRUE(context_->CanGrowSamples());
   ASSERT_TRUE(context_->GrowSamples(16'000).ok());
-  EXPECT_EQ(before.theta(), 4'000);  // retired generation still alive
-  EXPECT_EQ(context_->mrr().theta(), 16'000);
-  EXPECT_EQ(context_->holdout()->theta(), 16'000);
+  // The pinned snapshot still reads the retired generation...
+  EXPECT_EQ(before.mrr->theta(), 4'000);
+  EXPECT_EQ(context_->samples().mrr->theta(), 16'000);
+  EXPECT_EQ(context_->samples().holdout->theta(), 16'000);
+  EXPECT_EQ(context_->sample_store().live_generations(), 2);
+  // ...and releasing it compacts the store down to one generation.
+  before = SampleSnapshot{};
+  EXPECT_EQ(context_->sample_store().live_generations(), 1);
   // Growing to a smaller/equal target is a no-op.
   ASSERT_TRUE(context_->GrowSamples(8'000).ok());
-  EXPECT_EQ(context_->mrr().theta(), 16'000);
+  EXPECT_EQ(context_->sample_store().theta(), 16'000);
 
   ContextOptions big;
   big.theta = 16'000;
@@ -355,7 +364,7 @@ TEST_F(ApiFixture, ProgressiveSolveGrowsUntilGapMet) {
   request.max_theta = 64'000;
   const auto r = Solve(**ctx, request);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ((*ctx)->mrr().theta(), r->theta_used);
+  EXPECT_EQ((*ctx)->samples().mrr->theta(), r->theta_used);
   EXPECT_GE(r->theta_used, 250);
   EXPECT_GE(r->sampling_rounds, 1);
   if (r->theta_used < request.max_theta) {
@@ -430,6 +439,120 @@ TEST_F(ApiFixture, ProgressiveSolveRequiresExtendableSamples) {
   request.epsilon = 0.05;
   EXPECT_EQ(Solve(**ctx, request).status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------- shared sample store
+
+TEST_F(ApiFixture, ContextsDifferingOnlyInAdoptionModelShareOneStore) {
+  ContextOptions options;
+  options.theta = 2'000;
+  options.seed = 71;
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  auto a = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  const int64_t after_first = MrrCollection::GeneratedSampleCount();
+  EXPECT_EQ(after_first - before, 2 * 2'000);  // in-sample + holdout
+
+  // Same sampling configuration, different logistic adoption model:
+  // resolves to the same store with zero additional samples drawn.
+  auto b = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(5.0, 0.5), options);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount(), after_first);
+  EXPECT_EQ(&(*a)->sample_store(), &(*b)->sample_store());
+  EXPECT_TRUE((*a)->sample_store().GetStats().shared);
+  // The contexts also share one set of piece influence graphs.
+  EXPECT_EQ(&(*a)->pieces(), &(*b)->pieces());
+
+  // Growth issued through one sharer is visible to the other.
+  ASSERT_TRUE((*a)->GrowSamples(4'000).ok());
+  EXPECT_EQ((*b)->samples().mrr->theta(), 4'000);
+
+  // Solves against either context agree on the samples but score with
+  // their own adoption model.
+  const auto ra = Solve(**a, Request("bab-p", 3));
+  const auto rb = Solve(**b, Request("bab-p", 3));
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_GT(ra->utility, 0.0);
+  EXPECT_GT(rb->utility, 0.0);
+}
+
+TEST_F(ApiFixture, SharedStoreSolvesAreBitIdenticalToPrivateStoreSolves) {
+  ContextOptions options;
+  options.theta = 3'000;
+  options.seed = 73;
+  auto shared_ctx = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), options);
+  ASSERT_TRUE(shared_ctx.ok());
+  ContextOptions private_options = options;
+  private_options.share_samples = false;
+  auto private_ctx = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0),
+      private_options);
+  ASSERT_TRUE(private_ctx.ok());
+  EXPECT_NE(&(*shared_ctx)->sample_store(),
+            &(*private_ctx)->sample_store());
+  EXPECT_FALSE((*private_ctx)->sample_store().GetStats().shared);
+
+  for (const char* solver : {"bab-p", "tim", "greedy-sigma"}) {
+    const auto with_shared = Solve(**shared_ctx, Request(solver, 4));
+    const auto with_private = Solve(**private_ctx, Request(solver, 4));
+    ASSERT_TRUE(with_shared.ok() && with_private.ok()) << solver;
+    EXPECT_EQ(with_shared->plan.Assignments(),
+              with_private->plan.Assignments())
+        << solver;
+    EXPECT_EQ(with_shared->utility, with_private->utility) << solver;
+    EXPECT_EQ(with_shared->holdout_utility, with_private->holdout_utility)
+        << solver;
+  }
+}
+
+// ------------------------------------------- OPIM-style bound stopping
+
+TEST_F(ApiFixture, OpimBoundsStoppingCertifiesRatio) {
+  ContextOptions small;
+  small.theta = 250;  // deliberately noisy start
+  small.seed = 17;
+  auto ctx = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), small);
+  ASSERT_TRUE(ctx.ok());
+
+  PlanRequest request = Request("bab-p", 5);
+  request.epsilon = 0.05;
+  request.max_theta = 256'000;
+  request.stopping = StoppingRuleKind::kOpimBounds;
+  const auto r = Solve(**ctx, request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->certified_ratio, 0.0);
+  EXPECT_LE(r->certified_ratio, 1.0);
+  if (r->theta_used < request.max_theta) {
+    // Stopped because the bound pair certified the target ratio.
+    EXPECT_GE(r->certified_ratio,
+              1.0 - 1.0 / 2.718281828459045 - request.epsilon);
+  }
+  // The default holdout-gap rule leaves the ratio unset.
+  const auto plain = Solve(*context_, Request("bab-p", 5));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->certified_ratio, 0.0);
+}
+
+TEST_F(ApiFixture, OpimBoundsStopsNoLaterThanMaxTheta) {
+  ContextOptions small;
+  small.theta = 200;
+  small.seed = 17;
+  auto ctx = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), small);
+  ASSERT_TRUE(ctx.ok());
+  PlanRequest request = Request("bab-p", 5);
+  request.epsilon = 1e-9;  // unreachable certification target
+  request.max_theta = 800;
+  request.stopping = StoppingRuleKind::kOpimBounds;
+  const auto r = Solve(**ctx, request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->theta_used, 800);
+  EXPECT_EQ(r->sampling_rounds, 3);  // 200 -> 400 -> 800
+  EXPECT_LT(r->certified_ratio, 1.0 - 1.0 / 2.718281828459045);
 }
 
 // ------------------------------------------------------ sharded sweep

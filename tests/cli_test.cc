@@ -166,6 +166,26 @@ TEST(CliParseTest, FlagsOverrideEveryStage) {
   EXPECT_EQ(config.seed, 99u);
 }
 
+TEST(CliParseTest, StoppingAndShareSamplesFlags) {
+  CliConfig config;
+  ASSERT_TRUE(ParseCliConfig(MakeFlags({"plan"}), &config).ok());
+  EXPECT_EQ(config.stopping, "holdout");
+  EXPECT_EQ(config.stopping_rule, StoppingRuleKind::kHoldoutGap);
+  EXPECT_TRUE(config.share_samples);
+
+  ASSERT_TRUE(ParseCliConfig(MakeFlags({"plan", "--stopping=opim",
+                                        "--share_samples=false"}),
+                             &config)
+                  .ok());
+  EXPECT_EQ(config.stopping_rule, StoppingRuleKind::kOpimBounds);
+  EXPECT_FALSE(config.share_samples);
+
+  EXPECT_EQ(ParseCliConfig(MakeFlags({"plan", "--stopping=psychic"}),
+                           &config)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(CliParseTest, RejectsMissingAndUnknownSubcommand) {
   CliConfig config;
   EXPECT_EQ(ParseCliConfig(MakeFlags({}), &config).code(),
@@ -291,6 +311,34 @@ TEST(CliPipelineTest, SamplingEpsilonRunsProgressiveSolving) {
   EXPECT_NE(run.out.find("\"sampling_rounds\":"), std::string::npos);
   EXPECT_NE(run.out.find("\"sampling_gap\":"), std::string::npos);
   EXPECT_NE(run.out.find("\"holdout_utility\":"), std::string::npos);
+}
+
+TEST(CliPipelineTest, PlanReportsSampleStoreTelemetry) {
+  const CliRun run = InvokeCli(TinyArgs("plan"));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"sample_store\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"memory_bytes\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"live_generations\":1"), std::string::npos);
+  EXPECT_NE(run.out.find("\"shared\":true"), std::string::npos);
+
+  const CliRun opted_out =
+      InvokeCli(TinyArgs("plan", {"--share_samples=false"}));
+  ASSERT_EQ(opted_out.code, 0) << opted_out.err;
+  EXPECT_NE(opted_out.out.find("\"shared\":false"), std::string::npos);
+
+  const CliRun bench = InvokeCli(TinyArgs("bench", {"--k=2,3"}));
+  ASSERT_EQ(bench.code, 0) << bench.err;
+  EXPECT_NE(bench.out.find("\"sample_store\":"), std::string::npos);
+}
+
+TEST(CliPipelineTest, OpimStoppingReportsCertifiedRatio) {
+  const CliRun run = InvokeCli(TinyArgs(
+      "plan", {"--theta=300", "--sampling_epsilon=0.1",
+               "--stopping=opim", "--max_theta=64000"}));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"stopping\":\"opim\""), std::string::npos);
+  EXPECT_NE(run.out.find("\"certified_ratio\":"), std::string::npos);
+  EXPECT_NE(run.out.find("\"sampling_gap\":"), std::string::npos);
 }
 
 TEST(CliPipelineTest, SamplingEpsilonValidation) {

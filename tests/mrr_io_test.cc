@@ -181,5 +181,84 @@ TEST(MrrIoTest, FromPartsBuildsUsableIndex) {
   EXPECT_EQ(mc.SamplesContaining(0, 2)[0], 1);
 }
 
+// ------------------------------------------------ store snapshot round-trip
+
+std::shared_ptr<const std::vector<InfluenceGraph>> SharedPiecesPtr() {
+  // Non-owning alias of the process-lifetime test pieces.
+  return std::shared_ptr<const std::vector<InfluenceGraph>>(
+      std::shared_ptr<const std::vector<InfluenceGraph>>(),
+      &SharedPieces());
+}
+
+TEST(SampleStoreIoTest, StoreSnapshotRoundTripsAndKeepsGrowing) {
+  SampleStore::Options options;
+  options.theta = 600;
+  options.seed = 29;
+  auto store = SampleStore::Create(SharedPiecesPtr(), options);
+  ASSERT_TRUE(store->Grow(1'200).ok());  // stores may be saved mid-life
+  const std::string path = testing::TempDir() + "/store_snapshot.bin";
+  ASSERT_TRUE(SaveSampleStore(*store, path).ok());
+
+  auto loaded = LoadSampleStore(path, SharedPiecesPtr());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SampleSnapshot original = store->snapshot();
+  const SampleSnapshot reloaded = (*loaded)->snapshot();
+  ASSERT_EQ(reloaded.mrr->theta(), 1'200);
+  ASSERT_NE(reloaded.holdout, nullptr);
+  EXPECT_EQ(reloaded.holdout->theta(), 1'200);
+  for (int64_t i = 0; i < original.mrr->theta(); ++i) {
+    ASSERT_EQ(reloaded.mrr->root(i), original.mrr->root(i));
+    for (int j = 0; j < original.mrr->num_pieces(); ++j) {
+      const auto a = original.mrr->Set(i, j);
+      const auto b = reloaded.mrr->Set(i, j);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    }
+  }
+  // Provenance round-trips: growing the loaded store continues the
+  // exact same sample stream as growing the original.
+  ASSERT_TRUE((*loaded)->CanGrow());
+  ASSERT_TRUE((*loaded)->Grow(2'400).ok());
+  ASSERT_TRUE(store->Grow(2'400).ok());
+  const SampleSnapshot grown_a = store->snapshot();
+  const SampleSnapshot grown_b = (*loaded)->snapshot();
+  for (int64_t i = 0; i < 2'400; ++i) {
+    ASSERT_EQ(grown_a.mrr->root(i), grown_b.mrr->root(i)) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SampleStoreIoTest, LoadWithoutPiecesIsFrozen) {
+  SampleStore::Options options;
+  options.theta = 300;
+  options.holdout_theta = 0;
+  options.seed = 31;
+  auto store = SampleStore::Create(SharedPiecesPtr(), options);
+  const std::string path = testing::TempDir() + "/store_frozen.bin";
+  ASSERT_TRUE(SaveSampleStore(*store, path).ok());
+  auto loaded = LoadSampleStore(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->theta(), 300);
+  EXPECT_FALSE((*loaded)->has_holdout());
+  EXPECT_FALSE((*loaded)->CanGrow());
+  EXPECT_EQ((*loaded)->Grow(600).code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(SampleStoreIoTest, RejectsForeignAndGarbageFiles) {
+  EXPECT_FALSE(LoadSampleStore("/no/such/store.bin").ok());
+
+  // A bare collection file is not a store snapshot.
+  const MrrCollection collection = MakeCollection(100, 37);
+  const std::string path = testing::TempDir() + "/store_foreign.bin";
+  ASSERT_TRUE(SaveMrrCollection(collection, path).ok());
+  const auto as_store = LoadSampleStore(path);
+  ASSERT_FALSE(as_store.ok());
+  EXPECT_EQ(as_store.status().code(), StatusCode::kInvalidArgument);
+
+  std::ofstream(path, std::ios::binary) << "OIPASTO1 but then garbage";
+  EXPECT_FALSE(LoadSampleStore(path).ok());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace oipa

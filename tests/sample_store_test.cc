@@ -1,0 +1,303 @@
+// SampleStore subsystem tests: generation compaction, snapshot
+// pinning, the process-wide sharing registry, store snapshot
+// persistence glue, and the progressive stopping rules. Context-level
+// sharing behavior (one sampling pass across adoption models,
+// shared-vs-private bit-identity) lives in api_test.cc; this suite
+// exercises the store directly plus the concurrency contract (it runs
+// under the TSan CI leg).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "oipa/api/plan_request.h"
+#include "oipa/api/planning_context.h"
+#include "oipa/api/solver_registry.h"
+#include "rrset/sample_store.h"
+#include "topic/prob_models.h"
+#include "util/random.h"
+
+namespace oipa {
+namespace {
+
+class SampleStoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_shared<Graph>(GenerateHolmeKim(200, 4, 0.4, 7));
+    probs_ = std::make_shared<EdgeTopicProbs>(
+        AssignWeightedCascadeTopics(*graph_, 4, 2.0, 11));
+    Rng rng(13);
+    campaign_ = std::make_shared<Campaign>(
+        Campaign::SampleUniformPieces(2, 4, &rng));
+    pieces_ = std::make_shared<const std::vector<InfluenceGraph>>(
+        BuildPieceGraphs(*graph_, *probs_, *campaign_));
+  }
+
+  SampleStore::Options Options(int64_t theta, uint64_t seed = 17) const {
+    SampleStore::Options options;
+    options.theta = theta;
+    options.seed = seed;
+    return options;
+  }
+
+  std::shared_ptr<const Graph> graph_;
+  std::shared_ptr<const EdgeTopicProbs> probs_;
+  std::shared_ptr<const Campaign> campaign_;
+  std::shared_ptr<const std::vector<InfluenceGraph>> pieces_;
+};
+
+// --------------------------------------------------------- compaction
+
+TEST_F(SampleStoreFixture, GrowthWithoutReadersCompactsToOneGeneration) {
+  auto store = SampleStore::Create(pieces_, Options(500));
+  EXPECT_EQ(store->live_generations(), 1);
+  // Four growth rounds with no outstanding snapshots: every superseded
+  // generation must be freed, not retained for the store lifetime.
+  for (const int64_t target : {1'000, 2'000, 4'000, 8'000}) {
+    ASSERT_TRUE(store->Grow(target).ok());
+  }
+  EXPECT_EQ(store->theta(), 8'000);
+  EXPECT_EQ(store->live_generations(), 1);
+}
+
+TEST_F(SampleStoreFixture, OutstandingSnapshotsPinTheirGenerations) {
+  auto store = SampleStore::Create(pieces_, Options(400));
+  SampleSnapshot first = store->snapshot();
+  ASSERT_TRUE(store->Grow(800).ok());
+  SampleSnapshot second = store->snapshot();
+  ASSERT_TRUE(store->Grow(1'600).ok());
+  // Current + two pinned retired generations.
+  EXPECT_EQ(store->live_generations(), 3);
+  EXPECT_EQ(first.mrr->theta(), 400);
+  EXPECT_EQ(second.mrr->theta(), 800);
+  // Dropping the pins compacts, newest-independent of drop order.
+  first = SampleSnapshot{};
+  EXPECT_EQ(store->live_generations(), 2);
+  second = SampleSnapshot{};
+  EXPECT_EQ(store->live_generations(), 1);
+}
+
+TEST_F(SampleStoreFixture, GrowthIsBitIdenticalToUpFrontGeneration) {
+  auto store = SampleStore::Create(pieces_, Options(300));
+  ASSERT_TRUE(store->Grow(1'200).ok());
+  const SampleSnapshot snap = store->snapshot();
+  const MrrCollection fresh = MrrCollection::Generate(*pieces_, 1'200, 17);
+  ASSERT_EQ(snap.mrr->theta(), fresh.theta());
+  for (int64_t i = 0; i < fresh.theta(); ++i) {
+    ASSERT_EQ(snap.mrr->root(i), fresh.root(i)) << i;
+    for (int j = 0; j < fresh.num_pieces(); ++j) {
+      const auto a = snap.mrr->Set(i, j);
+      const auto b = fresh.Set(i, j);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << i << "/" << j;
+    }
+  }
+}
+
+TEST_F(SampleStoreFixture, StatsReportMemoryAndGenerations) {
+  auto store = SampleStore::Create(pieces_, Options(500));
+  const SampleStore::Stats before = store->GetStats();
+  EXPECT_EQ(before.theta, 500);
+  EXPECT_EQ(before.holdout_theta, 500);  // -1 resolves to theta
+  EXPECT_GT(before.memory_bytes, 0);
+  EXPECT_EQ(before.live_generations, 1);
+  EXPECT_FALSE(before.shared);
+
+  const SampleSnapshot pin = store->snapshot();
+  ASSERT_TRUE(store->Grow(2'000).ok());
+  const SampleStore::Stats after = store->GetStats();
+  EXPECT_EQ(after.theta, 2'000);
+  EXPECT_EQ(after.live_generations, 2);
+  // Live memory covers the grown generation plus the pinned one.
+  EXPECT_GT(after.memory_bytes, before.memory_bytes);
+  (void)pin;
+}
+
+TEST_F(SampleStoreFixture, AdoptWithoutPiecesCannotGrow) {
+  auto mrr = std::make_shared<const MrrCollection>(
+      MrrCollection::Generate(*pieces_, 200, 23));
+  auto store = SampleStore::Adopt(nullptr, mrr, nullptr);
+  EXPECT_FALSE(store->CanGrow());
+  EXPECT_EQ(store->Grow(400).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(store->has_holdout());
+  EXPECT_EQ(store->theta(), 200);
+}
+
+// ----------------------------------------------------------- registry
+
+TEST_F(SampleStoreFixture, AcquireSharesOneStoreAndOneSamplingPass) {
+  const SampleStore::Options options = Options(600, 31);
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  auto a = SampleStore::Acquire(graph_, probs_, campaign_, options);
+  const int64_t after_first = MrrCollection::GeneratedSampleCount();
+  EXPECT_EQ(after_first - before, 2 * 600);
+  auto b = SampleStore::Acquire(graph_, probs_, campaign_, options);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount(), after_first);
+  EXPECT_TRUE(a->shared());
+}
+
+TEST_F(SampleStoreFixture, AcquireDistinguishesSamplingConfigurations) {
+  auto base = SampleStore::Acquire(graph_, probs_, campaign_,
+                                   Options(400, 37));
+  auto other_seed = SampleStore::Acquire(graph_, probs_, campaign_,
+                                         Options(400, 38));
+  auto other_theta = SampleStore::Acquire(graph_, probs_, campaign_,
+                                          Options(800, 37));
+  SampleStore::Options lt = Options(400, 37);
+  lt.diffusion = DiffusionModel::kLinearThreshold;
+  auto other_model = SampleStore::Acquire(graph_, probs_, campaign_, lt);
+  EXPECT_NE(base.get(), other_seed.get());
+  EXPECT_NE(base.get(), other_theta.get());
+  EXPECT_NE(base.get(), other_model.get());
+}
+
+TEST_F(SampleStoreFixture, RegistryDropsDeadStores) {
+  const SampleStore::Options options = Options(300, 41);
+  auto store = SampleStore::Acquire(graph_, probs_, campaign_, options);
+  const SampleStore* old = store.get();
+  EXPECT_GE(SampleStore::RegistrySize(), 1);
+  store.reset();  // last owner: the registry's weak entry expires
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  auto fresh = SampleStore::Acquire(graph_, probs_, campaign_, options);
+  // A dead store is never resurrected — the samples are drawn again.
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount() - before, 2 * 300);
+  (void)old;  // the address may or may not be recycled; only behavior counts
+}
+
+// -------------------------------------------------------- concurrency
+
+TEST_F(SampleStoreFixture, ConcurrentAcquireYieldsOneStore) {
+  const SampleStore::Options options = Options(500, 43);
+  constexpr int kThreads = 4;
+  std::vector<std::shared_ptr<SampleStore>> stores(kThreads);
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        stores[t] =
+            SampleStore::Acquire(graph_, probs_, campaign_, options);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(stores[0].get(), stores[t].get());
+  }
+  // Exactly one sampling pass despite the racing acquires.
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount() - before, 2 * 500);
+}
+
+TEST_F(SampleStoreFixture, ConcurrentGrowSolveAcrossSharingContexts) {
+  // Two contexts differing only in the adoption model share one store;
+  // one thread grows it round by round while the other keeps solving.
+  // Under TSan this exercises the snapshot-publication path.
+  ContextOptions options;
+  options.theta = 400;
+  options.seed = 47;
+  auto a = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), options);
+  auto b = PlanningContext::Create(
+      graph_, probs_, campaign_, LogisticAdoptionModel(4.0, 0.8), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(&(*a)->sample_store(), &(*b)->sample_store());
+
+  PlanRequest request;
+  request.solver = "greedy-sigma";
+  for (VertexId v = 0; v < graph_->num_vertices(); v += 5) {
+    request.pool.push_back(v);
+  }
+  request.budgets = {3};
+
+  std::atomic<bool> failed{false};
+  std::thread grower([&] {
+    for (int64_t target = 800; target <= 6'400; target *= 2) {
+      if (!(*a)->GrowSamples(target).ok()) failed.store(true);
+    }
+  });
+  std::thread solver([&] {
+    for (int i = 0; i < 8; ++i) {
+      const auto r = Solve(**b, request);
+      if (!r.ok() || r->utility <= 0.0) failed.store(true);
+    }
+  });
+  grower.join();
+  solver.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ((*a)->samples().mrr->theta(), 6'400);
+  EXPECT_EQ((*b)->samples().mrr->theta(), 6'400);
+  // Once the threads are quiet, only the final generation survives.
+  EXPECT_EQ((*a)->sample_store().live_generations(), 1);
+}
+
+// ----------------------------------------------------- stopping rules
+
+TEST(StoppingRuleTest, ParseNames) {
+  ASSERT_TRUE(ParseStoppingRule("holdout").ok());
+  EXPECT_EQ(*ParseStoppingRule("holdout"), StoppingRuleKind::kHoldoutGap);
+  ASSERT_TRUE(ParseStoppingRule("opim").ok());
+  EXPECT_EQ(*ParseStoppingRule("opim"), StoppingRuleKind::kOpimBounds);
+  EXPECT_EQ(ParseStoppingRule("bogus").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StoppingRuleTest, HoldoutGapMatchesRelativeDisagreement) {
+  const StoppingRule& rule =
+      GetStoppingRule(StoppingRuleKind::kHoldoutGap);
+  EXPECT_EQ(rule.name(), "holdout");
+  StoppingInputs inputs;
+  inputs.utility = 100.0;
+  inputs.holdout_utility = 90.0;
+  inputs.epsilon = 0.05;
+  StoppingVerdict verdict = rule.Evaluate(inputs);
+  EXPECT_NEAR(verdict.sampling_gap, 0.1, 1e-12);
+  EXPECT_FALSE(verdict.satisfied);
+  EXPECT_EQ(verdict.certified_ratio, 0.0);
+
+  inputs.holdout_utility = 99.0;
+  verdict = rule.Evaluate(inputs);
+  EXPECT_NEAR(verdict.sampling_gap, 0.01, 1e-12);
+  EXPECT_TRUE(verdict.satisfied);
+}
+
+TEST(StoppingRuleTest, OpimRatioTightensWithTheta) {
+  const StoppingRule& rule =
+      GetStoppingRule(StoppingRuleKind::kOpimBounds);
+  EXPECT_EQ(rule.name(), "opim");
+  StoppingInputs inputs;
+  inputs.utility = 50.0;
+  inputs.upper_bound = 51.0;
+  inputs.holdout_utility = 50.0;
+  inputs.num_vertices = 300;
+  inputs.epsilon = 0.1;
+
+  double previous = -1.0;
+  for (const int64_t theta : {200, 2'000, 20'000, 200'000}) {
+    inputs.theta = theta;
+    inputs.holdout_theta = theta;
+    const StoppingVerdict verdict = rule.Evaluate(inputs);
+    EXPECT_GE(verdict.certified_ratio, previous) << theta;
+    EXPECT_LE(verdict.certified_ratio, 1.0) << theta;
+    previous = verdict.certified_ratio;
+  }
+  // Plenty of samples + a tight solver bound certify well past
+  // (1 - 1/e - eps).
+  EXPECT_TRUE(rule
+                  .Evaluate(StoppingInputs{50.0, 51.0, 50.0, 200'000,
+                                           200'000, 300, 0.1})
+                  .satisfied);
+  // Starved inputs certify nothing.
+  StoppingInputs starved = inputs;
+  starved.theta = 0;
+  EXPECT_EQ(rule.Evaluate(starved).certified_ratio, 0.0);
+  EXPECT_FALSE(rule.Evaluate(starved).satisfied);
+}
+
+}  // namespace
+}  // namespace oipa
