@@ -256,7 +256,7 @@ JsonValue SimulateJson(const Pipeline& p, const AssignmentPlan& plan,
       << " forward simulations...\n";
   const LogisticAdoptionModel model(c.alpha, c.beta);
   WallTimer timer;
-  double utility;
+  double utility = 0.0;
   if (p.learned) {
     const auto truth_pieces =
         BuildPieceGraphs(*p.dataset.graph, *p.dataset.probs, p.campaign);

@@ -173,7 +173,7 @@ Graph GenerateRetweetForest(VertexId n, double avg_degree, uint64_t seed) {
   }
   for (int64_t e = 0; e < target_edges; ++e) {
     const VertexId src = static_cast<VertexId>(rng.NextBounded(n));
-    VertexId dst;
+    VertexId dst = 0;
     if (rng.NextBernoulli(0.35)) {
       dst = static_cast<VertexId>(SampleDiscrete(celebrity_weight, &rng));
     } else {

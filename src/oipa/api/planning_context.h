@@ -65,6 +65,13 @@ struct ContextOptions {
 /// Contexts are handed out as shared_ptr<const PlanningContext>; copies
 /// of the handle are cheap and keep the samples alive for as long as any
 /// request might still read them.
+///
+/// Locking: the context itself owns no mutex — every mutable word lives
+/// in the SampleStore, whose locks are oipa::Mutex instances with their
+/// guards declared in the type system (OIPA_GUARDED_BY, checked by
+/// clang -Wthread-safety). See the locking-hierarchy table in README.md
+/// before adding any synchronized state here: new fields must either
+/// stay immutable after construction or move behind an annotated lock.
 class PlanningContext {
  public:
   /// Builds a context that shares ownership of its inputs — the safe

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -459,11 +458,11 @@ StatusOr<std::vector<PlanResponse>> SolveBatchSharded(
 
   PlanRequest worker_request = request;
   worker_request.num_threads = 1;
-  std::mutex progress_mu;
+  Mutex progress_mu;
   std::atomic<bool> stop{false};
   if (request.progress) {
     worker_request.progress = [&](const PlanProgress& p) {
-      std::lock_guard<std::mutex> lock(progress_mu);
+      MutexLock lock(&progress_mu);
       const bool keep_going = request.progress(p);
       if (!keep_going) stop.store(true, std::memory_order_relaxed);
       return keep_going;
@@ -511,6 +510,9 @@ SolverRegistry& SolverRegistry::Global() {
     auto* r = new SolverRegistry();
     auto add = [r](std::unique_ptr<Solver> solver) {
       const Status status = r->Register(std::move(solver));
+      // Startup bootstrap: a duplicate builtin name is a programmer
+      // error and there is no caller to hand a Status.
+      // lint:allow(api-check): process-init invariant, not a request path
       OIPA_CHECK(status.ok()) << status.ToString();
     };
     add(std::make_unique<BabFamilySolver>(
@@ -540,7 +542,7 @@ Status SolverRegistry::Register(std::unique_ptr<Solver> solver) {
   if (name.empty()) {
     return Status::InvalidArgument("solver name must be non-empty");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto [it, inserted] = solvers_.emplace(name, std::move(solver));
   (void)it;
   if (!inserted) {
@@ -551,7 +553,7 @@ Status SolverRegistry::Register(std::unique_ptr<Solver> solver) {
 }
 
 StatusOr<const Solver*> SolverRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = solvers_.find(name);
   if (it == solvers_.end()) {
     std::ostringstream names;
@@ -566,12 +568,12 @@ StatusOr<const Solver*> SolverRegistry::Find(const std::string& name) const {
 }
 
 bool SolverRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return solvers_.count(name) > 0;
 }
 
 std::vector<std::string> SolverRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(solvers_.size());
   for (const auto& [key, unused] : solvers_) names.push_back(key);
@@ -579,7 +581,7 @@ std::vector<std::string> SolverRegistry::Names() const {
 }
 
 std::string SolverRegistry::DescribeAll() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::ostringstream os;
   for (const auto& [key, solver] : solvers_) {
     os << key << "  (" << solver->description() << ")\n";

@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +10,8 @@
 #include "oipa/api/planning_context.h"
 #include "oipa/api/solver.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/threading.h"
 
 namespace oipa {
 
@@ -40,24 +41,26 @@ class SolverRegistry {
   /// Registers `solver` under solver->name(). FailedPrecondition if the
   /// name is already taken; InvalidArgument for a null solver or an
   /// empty name.
-  Status Register(std::unique_ptr<Solver> solver);
+  Status Register(std::unique_ptr<Solver> solver) OIPA_EXCLUDES(mu_);
 
   /// Looks a solver up by name. NotFound (message lists the registered
   /// names) when absent.
-  StatusOr<const Solver*> Find(const std::string& name) const;
+  StatusOr<const Solver*> Find(const std::string& name) const
+      OIPA_EXCLUDES(mu_);
 
-  bool Contains(const std::string& name) const;
+  bool Contains(const std::string& name) const OIPA_EXCLUDES(mu_);
 
   /// All registered names, sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const OIPA_EXCLUDES(mu_);
 
   /// "name1 (description1)\nname2 (description2)..." — one line per
   /// solver, sorted by name. Used by `oipa_cli --method=list`.
-  std::string DescribeAll() const;
+  std::string DescribeAll() const OIPA_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Solver>> solvers_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Solver>> solvers_
+      OIPA_GUARDED_BY(mu_);
 };
 
 /// Solves one request (exactly one budget) against a shared context:

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <queue>
 #include <thread>
 
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 #include "util/threading.h"
 #include "util/timer.h"
 
@@ -69,6 +68,32 @@ class PlanReplay {
  private:
   CoverageState state_;
   std::vector<Assignment> current_;
+};
+
+/// Shared state of one SolveParallel run. Lives at namespace scope (not
+/// as worker-lambda captures) so every field can name its guard in the
+/// type system: the frontier, best plan, and scalar flags are guarded
+/// by `mu`; `lower` and `stop` are additionally atomic so workers can
+/// read them between bound calls without the lock.
+struct ParallelSearchState {
+  explicit ParallelSearchState(int num_pieces) : best_plan(num_pieces) {}
+
+  Mutex mu;
+  /// Idle/termination protocol: signaled on frontier pushes, on the
+  /// last active worker going idle, and on stop requests.
+  CondVar cv;
+  std::atomic<double> lower{0.0};
+  std::atomic<int64_t> nodes_expanded{0};
+  std::atomic<bool> stop{false};
+  std::priority_queue<SearchNode, std::vector<SearchNode>, NodeCompare>
+      heap OIPA_GUARDED_BY(mu);
+  AssignmentPlan best_plan OIPA_GUARDED_BY(mu);
+  int active OIPA_GUARDED_BY(mu) = 0;
+  bool cancelled OIPA_GUARDED_BY(mu) = false;
+  bool converged OIPA_GUARDED_BY(mu) = true;
+  double pruned_upper OIPA_GUARDED_BY(mu) = 0.0;
+  int64_t total_bound_calls OIPA_GUARDED_BY(mu) = 0;
+  int64_t total_tau_evals OIPA_GUARDED_BY(mu) = 0;
 };
 
 /// Dispatches one upper-bound evaluation to the variant `options` selects.
@@ -226,8 +251,7 @@ BabResult BabSolver::SolveParallel(int num_workers) {
       options_.exact_pruning ? 1.0 / (1.0 - std::exp(-1.0)) : 1.0;
   const double gap_factor = 1.0 + options_.gap;
 
-  std::priority_queue<SearchNode, std::vector<SearchNode>, NodeCompare>
-      heap;
+  ParallelSearchState shared(mrr_->num_pieces());
 
   // Root bound on the calling thread: a deterministic first incumbent
   // before any worker races begin.
@@ -240,47 +264,40 @@ BabResult BabSolver::SolveParallel(int num_workers) {
     result.plan = PlanFromPairs(mrr_->num_pieces(), {}, root.additions);
     result.utility = root.sigma;
     const double upper = root.tau * bound_scale;
+    MutexLock lock(&shared.mu);
     if (root.first_pick.valid() && upper > root.sigma) {
-      heap.push(SearchNode{{}, {}, upper, root.first_pick});
+      shared.heap.push(SearchNode{{}, {}, upper, root.first_pick});
     }
     result.upper_bound = std::max(upper, root.sigma);
+    shared.lower.store(result.utility, std::memory_order_relaxed);
+    shared.best_plan = result.plan;
+    shared.pruned_upper = result.utility;
   }
 
-  // Shared search state. The frontier, best plan, and scalar flags are
-  // guarded by `mu`; `lower` and `stop` are additionally atomic so
-  // workers can read them between bound calls without the lock.
-  std::mutex mu;
-  std::condition_variable cv;
-  std::atomic<double> lower{result.utility};
-  std::atomic<int64_t> nodes_expanded{0};
-  std::atomic<bool> stop{false};
-  AssignmentPlan best_plan = result.plan;
-  int active = 0;
-  bool cancelled = false;
-  bool converged = true;
-  double pruned_upper = result.utility;
-  int64_t total_bound_calls = 0;
-  int64_t total_tau_evals = 0;
-
-  auto worker = [&] {
+  auto worker = [&shared, this, bound_scale, gap_factor] {
     // Thread-local solver state, replayed between plans by diffing.
     PlanReplay replay(mrr_, model_.AdoptionTable(mrr_->num_pieces()));
     BoundEvaluator evaluator(mrr_, model_, evaluator_.pools(),
                              options_.variant);
     int64_t bound_calls = 0;
 
-    std::unique_lock<std::mutex> lock(mu);
+    ReleasableMutexLock lock(&shared.mu);
     while (true) {
       // Idle/termination detection: sleep while the frontier is empty
       // but some worker is still expanding (it may refill the frontier);
       // wake to exit once every worker is idle or a stop was requested.
-      cv.wait(lock, [&] {
-        return stop.load(std::memory_order_relaxed) || !heap.empty() ||
-               active == 0;
-      });
-      if (stop.load(std::memory_order_relaxed) || heap.empty()) break;
-      SearchNode node = heap.top();
-      heap.pop();
+      // The predicate is an explicit loop (not a lambda) so the static
+      // analysis sees the guarded reads under the held lock.
+      while (!(shared.stop.load(std::memory_order_relaxed) ||
+               !shared.heap.empty() || shared.active == 0)) {
+        shared.cv.Wait(&shared.mu);
+      }
+      if (shared.stop.load(std::memory_order_relaxed) ||
+          shared.heap.empty()) {
+        break;
+      }
+      SearchNode node = shared.heap.top();
+      shared.heap.pop();
       // The incumbent may have risen since this node was pushed.
       // pruned_upper accumulates the max bound among gap-pruned nodes —
       // the frontier's top at the moment the gap was first met — which
@@ -289,40 +306,44 @@ BabResult BabSolver::SolveParallel(int num_workers) {
       // drains to upper_bound == utility, matching the sequential
       // exhausted case.
       if (node.upper <=
-          lower.load(std::memory_order_relaxed) * gap_factor) {
-        pruned_upper = std::max(pruned_upper, node.upper);
-        if (heap.empty() && active == 0) cv.notify_all();
+          shared.lower.load(std::memory_order_relaxed) * gap_factor) {
+        shared.pruned_upper = std::max(shared.pruned_upper, node.upper);
+        if (shared.heap.empty() && shared.active == 0) {
+          shared.cv.NotifyAll();
+        }
         continue;
       }
-      if (nodes_expanded.load(std::memory_order_relaxed) >=
+      if (shared.nodes_expanded.load(std::memory_order_relaxed) >=
           options_.max_nodes) {
-        heap.push(std::move(node));  // keep the frontier's bound honest
-        converged = false;
-        stop.store(true, std::memory_order_relaxed);
-        cv.notify_all();
+        // Keep the frontier's bound honest.
+        shared.heap.push(std::move(node));
+        shared.converged = false;
+        shared.stop.store(true, std::memory_order_relaxed);
+        shared.cv.NotifyAll();
         break;
       }
       if (options_.on_progress) {
-        const double incumbent = lower.load(std::memory_order_relaxed);
+        const double incumbent =
+            shared.lower.load(std::memory_order_relaxed);
         const BabProgress progress{
-            nodes_expanded.load(std::memory_order_relaxed), incumbent,
-            std::max(node.upper, incumbent)};
+            shared.nodes_expanded.load(std::memory_order_relaxed),
+            incumbent, std::max(node.upper, incumbent)};
         if (!options_.on_progress(progress)) {
-          heap.push(std::move(node));
-          converged = false;
-          cancelled = true;
-          stop.store(true, std::memory_order_relaxed);
-          cv.notify_all();
+          shared.heap.push(std::move(node));
+          shared.converged = false;
+          shared.cancelled = true;
+          shared.stop.store(true, std::memory_order_relaxed);
+          shared.cv.NotifyAll();
           break;
         }
       }
-      nodes_expanded.fetch_add(1, std::memory_order_relaxed);
-      ++active;
-      lock.unlock();
+      shared.nodes_expanded.fetch_add(1, std::memory_order_relaxed);
+      ++shared.active;
+      lock.Unlock();
 
       bool aborted = false;
       for (const bool include : {true, false}) {
-        if (stop.load(std::memory_order_relaxed)) {
+        if (shared.stop.load(std::memory_order_relaxed)) {
           aborted = true;
           break;
         }
@@ -344,34 +365,35 @@ BabResult BabSolver::SolveParallel(int num_workers) {
                              remaining, child.excluded);
         const double upper = r.tau * bound_scale;
 
-        lock.lock();
-        if (r.sigma > lower.load(std::memory_order_relaxed)) {
-          lower.store(r.sigma, std::memory_order_relaxed);
-          best_plan = PlanFromPairs(mrr_->num_pieces(), child.included,
-                                    r.additions);
+        lock.Lock();
+        if (r.sigma > shared.lower.load(std::memory_order_relaxed)) {
+          shared.lower.store(r.sigma, std::memory_order_relaxed);
+          shared.best_plan = PlanFromPairs(mrr_->num_pieces(),
+                                           child.included, r.additions);
         }
-        if (upper > lower.load(std::memory_order_relaxed) * gap_factor &&
+        if (upper > shared.lower.load(std::memory_order_relaxed) *
+                        gap_factor &&
             r.first_pick.valid() && remaining > 0) {
           child.upper = upper;
           child.branch = r.first_pick;
-          heap.push(std::move(child));
-          cv.notify_one();
+          shared.heap.push(std::move(child));
+          shared.cv.NotifyOne();
         }
-        lock.unlock();
+        lock.Unlock();
       }
 
-      lock.lock();
+      lock.Lock();
       if (aborted) {
         // The unexpanded remainder of this node's subspace was dropped;
         // fold its bound in so upper_bound stays valid.
-        pruned_upper = std::max(pruned_upper, node.upper);
+        shared.pruned_upper = std::max(shared.pruned_upper, node.upper);
       }
-      --active;
-      if (active == 0) cv.notify_all();
+      --shared.active;
+      if (shared.active == 0) shared.cv.NotifyAll();
     }
     // Every exit path above holds the lock; fold the counters in.
-    total_bound_calls += bound_calls;
-    total_tau_evals += evaluator.total_tau_evals();
+    shared.total_bound_calls += bound_calls;
+    shared.total_tau_evals += evaluator.total_tau_evals();
   };
 
   std::vector<std::thread> threads;
@@ -379,15 +401,20 @@ BabResult BabSolver::SolveParallel(int num_workers) {
   for (int t = 0; t < num_workers; ++t) threads.emplace_back(worker);
   for (std::thread& t : threads) t.join();
 
-  result.nodes_expanded = nodes_expanded.load();
-  result.bound_calls += total_bound_calls;
-  result.tau_evals = evaluator_.total_tau_evals() + total_tau_evals;
-  result.utility = lower.load();
-  result.plan = std::move(best_plan);
-  result.converged = converged;
-  result.cancelled = cancelled;
-  double upper = std::max(result.utility, pruned_upper);
-  if (!heap.empty()) upper = std::max(upper, heap.top().upper);
+  // Workers are joined; the lock is reacquired anyway so the analysis
+  // (and any future late-reader refactor) sees the guarded reads.
+  MutexLock lock(&shared.mu);
+  result.nodes_expanded = shared.nodes_expanded.load();
+  result.bound_calls += shared.total_bound_calls;
+  result.tau_evals = evaluator_.total_tau_evals() + shared.total_tau_evals;
+  result.utility = shared.lower.load();
+  result.plan = std::move(shared.best_plan);
+  result.converged = shared.converged;
+  result.cancelled = shared.cancelled;
+  double upper = std::max(result.utility, shared.pruned_upper);
+  if (!shared.heap.empty()) {
+    upper = std::max(upper, shared.heap.top().upper);
+  }
   result.upper_bound = upper;
   result.seconds = timer.Seconds();
   return result;

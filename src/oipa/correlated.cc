@@ -42,7 +42,7 @@ std::vector<int> SimulateCorrelatedCascade(
           const VertexId v = nbrs[i];
           if (active[v]) continue;
           const EdgeId e = eids[i];
-          float u_draw;
+          float u_draw = 0.0f;
           if (rng->NextDouble() < rho) {
             if (shared_u[e] < 0.0f) shared_u[e] = rng->NextFloat();
             u_draw = shared_u[e];

@@ -48,7 +48,10 @@ std::shared_ptr<SampleStore> SampleStore::Build(
                                  store->options_.holdout_theta,
                                  options.seed ^ kHoldoutSeedXor);
   }
-  store->Publish(std::move(mrr), std::move(holdout));
+  {
+    MutexLock grow_lock(&store->grow_mu_);
+    store->Publish(std::move(mrr), std::move(holdout));
+  }
   return store;
 }
 
@@ -69,7 +72,10 @@ std::shared_ptr<SampleStore> SampleStore::Adopt(
   store->options_.holdout_theta = holdout == nullptr ? 0 : holdout->theta();
   store->options_.seed = mrr->base_seed();
   store->options_.diffusion = mrr->model();
-  store->Publish(std::move(mrr), std::move(holdout));
+  {
+    MutexLock grow_lock(&store->grow_mu_);
+    store->Publish(std::move(mrr), std::move(holdout));
+  }
   return store;
 }
 
@@ -134,23 +140,31 @@ uint64_t FingerprintCampaign(const Campaign& campaign) {
   return h;
 }
 
+/// Guards the registry map and every slot's published weak_ptr.
+/// Lock order: a slot's mu first, then g_registry_mu — nothing takes
+/// them in the opposite order (Acquire releases g_registry_mu before
+/// locking a slot).
+Mutex g_registry_mu;
+
 /// Per-key creation slot: concurrent Acquires of one key serialize on
 /// the slot mutex (exactly one sampling pass), while different keys
-/// sample concurrently — the global registry mutex only guards the map.
+/// sample concurrently. The weak_ptr is published/read under
+/// g_registry_mu so that PruneRegistryLocked/RegistrySize can sweep
+/// every slot under the one registry lock.
 struct RegistrySlot {
-  std::mutex mu;
-  std::weak_ptr<SampleStore> store;
+  Mutex mu;
+  std::weak_ptr<SampleStore> store OIPA_GUARDED_BY(g_registry_mu);
 };
 
-std::mutex g_registry_mu;
-std::map<StoreKey, std::shared_ptr<RegistrySlot>>& Registry() {
-  static auto* registry = new std::map<StoreKey, std::shared_ptr<RegistrySlot>>();
+std::map<StoreKey, std::shared_ptr<RegistrySlot>>& Registry()
+    OIPA_REQUIRES(g_registry_mu) {
+  static auto* registry =
+      new std::map<StoreKey, std::shared_ptr<RegistrySlot>>();
   return *registry;
 }
 
 /// Drops slots whose store died and which no Acquire currently holds.
-/// Caller holds g_registry_mu.
-void PruneRegistryLocked() {
+void PruneRegistryLocked() OIPA_REQUIRES(g_registry_mu) {
   auto& registry = Registry();
   for (auto it = registry.begin(); it != registry.end();) {
     if (it->second.use_count() == 1 && it->second->store.expired()) {
@@ -201,7 +215,7 @@ std::shared_ptr<SampleStore> SampleStore::Acquire(
 
   std::shared_ptr<RegistrySlot> slot;
   {
-    std::lock_guard<std::mutex> lock(g_registry_mu);
+    MutexLock lock(&g_registry_mu);
     PruneRegistryLocked();
     auto& entry = Registry()[key];
     if (entry == nullptr) entry = std::make_shared<RegistrySlot>();
@@ -209,9 +223,16 @@ std::shared_ptr<SampleStore> SampleStore::Acquire(
   }
   // Sampling happens under the slot mutex only: a concurrent Acquire of
   // the same key waits for (and then shares) this pass; other keys
-  // proceed.
-  std::lock_guard<std::mutex> slot_lock(slot->mu);
-  if (std::shared_ptr<SampleStore> existing = slot->store.lock()) {
+  // proceed. The published weak_ptr itself lives under g_registry_mu
+  // (guard declared on RegistrySlot::store), so the read and the write
+  // below take it briefly — map-op-sized critical sections.
+  MutexLock slot_lock(&slot->mu);
+  std::shared_ptr<SampleStore> existing;
+  {
+    MutexLock registry_lock(&g_registry_mu);
+    existing = slot->store.lock();
+  }
+  if (existing != nullptr) {
     if (SamePieceTopics(*existing->campaign_keepalive_, *campaign)) {
       return existing;
     }
@@ -223,19 +244,14 @@ std::shared_ptr<SampleStore> SampleStore::Acquire(
   std::shared_ptr<SampleStore> store = MakeStoreForAcquire(
       std::move(graph), std::move(probs), std::move(campaign), options);
   {
-    // The publication write also takes the registry mutex so that
-    // PruneRegistryLocked/RegistrySize may read any slot's weak_ptr
-    // under g_registry_mu alone. Lock order is slot->mu, then
-    // g_registry_mu; nothing takes them in the opposite order (Acquire
-    // releases g_registry_mu before locking a slot).
-    std::lock_guard<std::mutex> registry_lock(g_registry_mu);
+    MutexLock registry_lock(&g_registry_mu);
     slot->store = store;
   }
   return store;
 }
 
 int SampleStore::RegistrySize() {
-  std::lock_guard<std::mutex> lock(g_registry_mu);
+  MutexLock lock(&g_registry_mu);
   PruneRegistryLocked();
   int live = 0;
   for (const auto& [key, slot] : Registry()) {
@@ -250,20 +266,20 @@ int SampleStore::RegistrySize() {
 void SampleStore::Publish(std::shared_ptr<const MrrCollection> mrr,
                           std::shared_ptr<const MrrCollection> holdout) {
   {
-    std::lock_guard<std::mutex> lock(history_mu_);
+    MutexLock lock(&history_mu_);
     mrr_history_.push_back(mrr);
     if (holdout != nullptr) holdout_history_.push_back(holdout);
   }
   auto next = std::make_shared<const SampleSnapshot>(
       SampleSnapshot{std::move(mrr), std::move(holdout)});
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   current_ = std::move(next);
 }
 
 SampleSnapshot SampleStore::snapshot() const {
   std::shared_ptr<const SampleSnapshot> current;
   {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    MutexLock lock(&snapshot_mu_);
     current = current_;
   }
   return *current;
@@ -282,7 +298,7 @@ Status SampleStore::Grow(int64_t target_theta) {
   }
   // Growers serialize for the whole sampling phase; the snapshot read
   // below therefore stays current until the Publish.
-  std::lock_guard<std::mutex> grow_lock(grow_mu_);
+  MutexLock grow_lock(&grow_mu_);
   const SampleSnapshot current = snapshot();
   if (current.mrr->theta() >= target_theta) return Status::Ok();
   if (pieces_ == nullptr || !current.mrr->extendable() ||
@@ -308,7 +324,7 @@ Status SampleStore::Grow(int64_t target_theta) {
 }
 
 int SampleStore::live_generations() const {
-  std::lock_guard<std::mutex> lock(history_mu_);
+  MutexLock lock(&history_mu_);
   auto expired = [](const std::weak_ptr<const MrrCollection>& w) {
     return w.expired();
   };
@@ -330,7 +346,7 @@ SampleStore::Stats SampleStore::GetStats() const {
   stats.shared = shared_;
   // One locked pass over the history so the generation count and the
   // memory sum describe the same instant.
-  std::lock_guard<std::mutex> lock(history_mu_);
+  MutexLock lock(&history_mu_);
   for (const auto* history : {&mrr_history_, &holdout_history_}) {
     for (const auto& weak : *history) {
       if (const auto live = weak.lock()) {

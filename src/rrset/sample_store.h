@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,6 +13,8 @@
 #include "topic/edge_topic_probs.h"
 #include "topic/influence_graph.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/threading.h"
 
 namespace oipa {
 
@@ -164,8 +165,11 @@ class SampleStore {
       const Options& options, bool shared);
 
   /// Swaps in a new generation and records it for live_generations().
+  /// Publication is serialized by the grower lock (the construction
+  /// paths take it too, so every generation swap is ordered).
   void Publish(std::shared_ptr<const MrrCollection> mrr,
-               std::shared_ptr<const MrrCollection> holdout);
+               std::shared_ptr<const MrrCollection> holdout)
+      OIPA_REQUIRES(grow_mu_);
 
   std::shared_ptr<const std::vector<InfluenceGraph>> pieces_;
   Options options_;
@@ -180,18 +184,23 @@ class SampleStore {
   std::shared_ptr<const Campaign> campaign_keepalive_;
 
   /// Serializes growers for the whole (expensive) sampling phase.
-  std::mutex grow_mu_;
+  /// Lock order within a store: grow_mu_ first, then snapshot_mu_ /
+  /// history_mu_ (both taken briefly inside Publish); the two
+  /// micro-mutexes are never held together with each other.
+  Mutex grow_mu_;
   /// Guards only the `current_` pointer itself (see class comment) —
   /// sampling never happens under it.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const SampleSnapshot> current_;
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const SampleSnapshot> current_
+      OIPA_GUARDED_BY(snapshot_mu_);
   /// Every generation ever published, weakly: expired entries are
   /// pruned on read, so the vectors stay as small as the number of
   /// generations actually still pinned.
-  mutable std::mutex history_mu_;
-  mutable std::vector<std::weak_ptr<const MrrCollection>> mrr_history_;
-  mutable std::vector<std::weak_ptr<const MrrCollection>>
-      holdout_history_;
+  mutable Mutex history_mu_;
+  mutable std::vector<std::weak_ptr<const MrrCollection>> mrr_history_
+      OIPA_GUARDED_BY(history_mu_);
+  mutable std::vector<std::weak_ptr<const MrrCollection>> holdout_history_
+      OIPA_GUARDED_BY(history_mu_);
 
   friend std::shared_ptr<SampleStore> MakeStoreForAcquire(
       std::shared_ptr<const Graph> graph,

@@ -81,6 +81,8 @@ struct Voidify {
                         __FILE__, __LINE__, #condition)        \
                         .stream()
 
+// NOLINTNEXTLINE(bugprone-macro-parentheses): `op` is an operator
+// token, not an expression — it cannot be parenthesized.
 #define OIPA_CHECK_OP(op, a, b) OIPA_CHECK((a)op(b))
 #define OIPA_CHECK_EQ(a, b) OIPA_CHECK_OP(==, a, b)
 #define OIPA_CHECK_NE(a, b) OIPA_CHECK_OP(!=, a, b)

@@ -69,9 +69,11 @@ class Status {
 template <typename T>
 class StatusOr {
  public:
-  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors absl
+  StatusOr(Status status)
       : status_(std::move(status)) {}
-  StatusOr(T value)  // NOLINT: implicit by design
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  StatusOr(T value)
       : status_(Status::Ok()), value_(std::move(value)) {}
 
   bool ok() const { return status_.ok(); }

@@ -1,0 +1,107 @@
+#ifndef OIPA_UTIL_THREAD_ANNOTATIONS_H_
+#define OIPA_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// These let the locking discipline live in the type system instead of
+/// in comments: fields say which mutex guards them (OIPA_GUARDED_BY),
+/// methods say which locks they need (OIPA_REQUIRES), acquire
+/// (OIPA_ACQUIRE) or must not hold (OIPA_EXCLUDES), and a clang build
+/// with -Wthread-safety (-Werror=thread-safety in CI) rejects any
+/// access that violates the declared contract — at compile time, on
+/// every path, unlike a sampled TSan run.
+///
+/// All macros expand to nothing on compilers without the capability
+/// attributes (GCC), so annotated code stays portable. Annotate with
+/// the oipa::Mutex / oipa::MutexLock / oipa::CondVar wrappers from
+/// util/threading.h — raw std::mutex cannot carry these attributes,
+/// and scripts/lint_invariants.py rejects it outside src/util/.
+///
+/// Annotation cheat-sheet for new code:
+///
+///   Mutex mu_;
+///   int counter_ OIPA_GUARDED_BY(mu_);         // field needs mu_ held
+///   void Bump() OIPA_EXCLUDES(mu_);            // takes mu_ itself
+///   void BumpLocked() OIPA_REQUIRES(mu_);      // caller holds mu_
+///
+/// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for the
+/// full semantics.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define OIPA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OIPA_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+/// Declares a class to be a capability ("mutex") the analysis tracks.
+#define OIPA_CAPABILITY(x) OIPA_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor (MutexLock).
+#define OIPA_SCOPED_CAPABILITY OIPA_THREAD_ANNOTATION(scoped_lockable)
+
+/// The field or variable is protected by the given capability: reads
+/// need the capability held (shared or exclusive), writes need it
+/// exclusive.
+#define OIPA_GUARDED_BY(x) OIPA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Like OIPA_GUARDED_BY for the data a pointer/smart-pointer points to;
+/// the pointer itself is unguarded.
+#define OIPA_PT_GUARDED_BY(x) OIPA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The calling thread must hold the given capabilities exclusively —
+/// the function reads/writes guarded data without locking itself.
+#define OIPA_REQUIRES(...) \
+  OIPA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The calling thread must hold the given capabilities at least shared.
+#define OIPA_REQUIRES_SHARED(...) \
+  OIPA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return
+/// (Mutex::Lock, and re-lock members of scoped lockers).
+#define OIPA_ACQUIRE(...) \
+  OIPA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define OIPA_ACQUIRE_SHARED(...) \
+  OIPA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (Mutex::Unlock, destructors of
+/// scoped lockers).
+#define OIPA_RELEASE(...) \
+  OIPA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define OIPA_RELEASE_SHARED(...) \
+  OIPA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and reports success
+/// with the given boolean value (Mutex::TryLock).
+#define OIPA_TRY_ACQUIRE(...) \
+  OIPA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The calling thread must NOT hold the capability — the function
+/// acquires it itself and would self-deadlock otherwise.
+#define OIPA_EXCLUDES(...) OIPA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (Mutex::AssertHeld):
+/// tells the analysis to treat it as held from here on.
+#define OIPA_ASSERT_CAPABILITY(x) \
+  OIPA_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability (accessors
+/// handing out a member mutex).
+#define OIPA_RETURN_CAPABILITY(x) OIPA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Lock-ordering declaration: this capability must be acquired after /
+/// before the listed ones (deadlock detection).
+#define OIPA_ACQUIRED_AFTER(...) \
+  OIPA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define OIPA_ACQUIRED_BEFORE(...) \
+  OIPA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis inside one function. Every use
+/// needs a comment explaining why the contract cannot be expressed.
+#define OIPA_NO_THREAD_SAFETY_ANALYSIS \
+  OIPA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // OIPA_UTIL_THREAD_ANNOTATIONS_H_

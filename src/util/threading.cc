@@ -21,6 +21,8 @@ constexpr long kMaxExplicitThreads = 1024;
 /// to auto-detection, which would hand out FEWER threads).
 int EnvNumThreads() {
   static const int value = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read exactly once, under
+    // the C++11 magic-static guard, before any worker thread exists.
     const char* s = std::getenv("OIPA_THREADS");
     if (s == nullptr || *s == '\0') return 0;
     char* end = nullptr;
@@ -32,6 +34,44 @@ int EnvNumThreads() {
 }
 
 }  // namespace
+
+void Mutex::Lock() {
+  mu_.lock();
+  owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+}
+
+void Mutex::Unlock() {
+  owner_.store(std::thread::id(), std::memory_order_relaxed);
+  mu_.unlock();
+}
+
+bool Mutex::TryLock() {
+  if (!mu_.try_lock()) return false;
+  owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  return true;
+}
+
+void Mutex::AssertHeld() const {
+  OIPA_CHECK(owner_.load(std::memory_order_relaxed) ==
+             std::this_thread::get_id())
+      << "Mutex::AssertHeld failed: calling thread does not hold the mutex";
+}
+
+void CondVar::Wait(Mutex* mu) {
+  // The wrapped condition_variable atomically releases the underlying
+  // std::mutex, so clear the owner tag first (we are about to stop
+  // holding it) and restore it after the wakeup re-acquires. Adopting
+  // and then releasing the unique_lock keeps ownership with *mu.
+  mu->owner_.store(std::thread::id(), std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+  mu->owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+}
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+
+void CondVar::NotifyAll() { cv_.notify_all(); }
 
 int GetNumThreads() {
   int n = g_num_threads.load(std::memory_order_relaxed);

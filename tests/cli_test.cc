@@ -249,6 +249,18 @@ TEST(CliDispatchTest, UnknownMethodFailsWithExitCode2) {
   EXPECT_NE(run.err.find("bab-p"), std::string::npos);
 }
 
+TEST(CliDispatchTest, UnknownStoppingRuleFailsWithExitCode2) {
+  // Mirror of the --method behavior: an unknown rule must not silently
+  // fall back to the default — exit 2 and name the valid rules.
+  const CliRun run = InvokeCli(TinyArgs("plan", {"--stopping=psychic"}));
+  EXPECT_EQ(run.code, 2);
+  EXPECT_NE(run.err.find("unknown stopping rule 'psychic'"),
+            std::string::npos);
+  EXPECT_NE(run.err.find("holdout"), std::string::npos);
+  EXPECT_NE(run.err.find("opim"), std::string::npos);
+  EXPECT_EQ(run.out.find("\"plan\""), std::string::npos);
+}
+
 // ------------------------------------------------------- JSON pipelines
 
 TEST(CliPipelineTest, GenerateEmitsDatasetShape) {

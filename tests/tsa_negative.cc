@@ -1,0 +1,78 @@
+/// Compile-time proof that the thread-safety annotations actually
+/// reject unguarded access — the static half of the lock-contract
+/// tests (the runtime half is the AssertHeld death tests in
+/// util_test.cc).
+///
+/// The thread-safety CI leg compiles this translation unit twice with
+/// clang -fsyntax-only -Wthread-safety -Werror=thread-safety:
+///
+///   1. without OIPA_TSA_NEGATIVE_TEST  -> must COMPILE (the guarded
+///      accesses below are correctly locked), and
+///   2. with -DOIPA_TSA_NEGATIVE_TEST   -> must FAIL, because each
+///      block under the define violates a declared contract.
+///
+/// If (2) ever compiles, the analysis is silently off (macros
+/// expanding to nothing under clang, a broken wrapper annotation) and
+/// every OIPA_GUARDED_BY in the codebase is decoration — so CI treats
+/// a successful negative compile as a build failure.
+///
+/// This file is intentionally not a gtest suite and is never linked
+/// into a test binary; it has no main() and is only ever parsed.
+
+#include "util/thread_annotations.h"
+#include "util/threading.h"
+
+namespace oipa {
+namespace {
+
+/// Miniature of the real pattern (ParallelSearchState, SampleStore):
+/// one mutex, one guarded field, one lock-requiring method.
+class GuardedCounter {
+ public:
+  void BumpLocked() OIPA_REQUIRES(mu_) { ++counter_; }
+
+  void Bump() OIPA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++counter_;
+  }
+
+  long Read() OIPA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return counter_;
+  }
+
+#ifdef OIPA_TSA_NEGATIVE_TEST
+  /// Unguarded write to a guarded field: -Werror=thread-safety must
+  /// reject this ("writing variable 'counter_' requires holding mutex
+  /// 'mu_' exclusively").
+  void BumpUnguarded() { ++counter_; }
+
+  /// Calling a REQUIRES method without the lock must be rejected too.
+  void BumpWithoutLock() { BumpLocked(); }
+
+  /// Double-lock of a non-reentrant capability must be rejected.
+  void DoubleLock() {
+    MutexLock outer(&mu_);
+    MutexLock inner(&mu_);  // deadlock, caught statically
+    ++counter_;
+  }
+#endif  // OIPA_TSA_NEGATIVE_TEST
+
+ private:
+  Mutex mu_;
+  long counter_ OIPA_GUARDED_BY(mu_) = 0;
+};
+
+/// Positive-path instantiation so the class is odr-used and the pass
+/// analyzes every (non-negative) member.
+long UseGuardedCounter() {
+  GuardedCounter c;
+  c.Bump();
+  return c.Read();
+}
+
+/// Anchor so -Wunused does not complain about the helper above.
+[[maybe_unused]] const long kAnchor = UseGuardedCounter();
+
+}  // namespace
+}  // namespace oipa

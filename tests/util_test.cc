@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/flags.h"
@@ -380,6 +382,146 @@ TEST(ThreadingTest, SingleThreadOverrideRunsInline) {
   });
   EXPECT_EQ(shards, 1);
   SetNumThreads(0);  // restore auto
+}
+
+// ----------------------------------------------------- Mutex / CondVar
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  Mutex mu;
+  int64_t counter = 0;  // guarded by mu (plain int64_t: races would tear)
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, int64_t{kThreads} * kIters);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  std::thread other([&mu] {
+    EXPECT_FALSE(mu.TryLock());  // held by the main thread
+  });
+  other.join();
+  mu.AssertHeld();
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());  // free again
+  mu.Unlock();
+}
+
+TEST(MutexTest, AssertHeldPassesForTheHolder) {
+  Mutex mu;
+  MutexLock lock(&mu);
+  mu.AssertHeld();  // must not abort
+}
+
+TEST(MutexDeathTest, AssertHeldAbortsWhenNeverLocked) {
+  Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+}
+
+TEST(MutexDeathTest, AssertHeldAbortsAfterUnlock) {
+  Mutex mu;
+  mu.Lock();
+  mu.Unlock();
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld");
+}
+
+TEST(MutexDeathTest, AssertHeldAbortsForANonHolderThread) {
+  // The owner tag must identify the holding *thread*, not merely a
+  // locked state: a different thread asserting on a held mutex dies.
+  EXPECT_DEATH(
+      {
+        Mutex mu;
+        mu.Lock();
+        std::thread holder_checker([&mu] { mu.AssertHeld(); });
+        holder_checker.join();
+      },
+      "AssertHeld");
+}
+
+TEST(MutexTest, ReleasableLockSurvivesUnlockRelockCycles) {
+  Mutex mu;
+  int value = 0;
+  {
+    ReleasableMutexLock lock(&mu);
+    value = 1;
+    lock.Unlock();
+    // While released, another thread can take the mutex.
+    std::thread other([&mu] { MutexLock inner(&mu); });
+    other.join();
+    lock.Lock();
+    mu.AssertHeld();
+    value = 2;
+  }  // destructor unlocks the re-taken mutex
+  ASSERT_TRUE(mu.TryLock());  // fully released on scope exit
+  mu.Unlock();
+  EXPECT_EQ(value, 2);
+}
+
+TEST(MutexTest, ReleasableLockDestructorSkipsReleasedMutex) {
+  Mutex mu;
+  {
+    ReleasableMutexLock lock(&mu);
+    lock.Unlock();
+  }  // destructor must not unlock an already-released mutex
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitReleasesAndReacquiresTheMutex) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    // Wait() re-acquired the mutex: the owner tag must say so.
+    mu.AssertHeld();
+  });
+  {
+    // The waiter releases mu while blocked, so this lock is obtainable
+    // even before the notify.
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woken = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      ++woken;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& t : waiters) t.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(woken, kWaiters);
 }
 
 }  // namespace
