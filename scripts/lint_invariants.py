@@ -7,8 +7,11 @@ Enforced rules (each failure names its rule id):
                     std lock RAII types) outside src/util/ — concurrent
                     code must use the annotated oipa::Mutex wrappers so
                     Clang Thread Safety Analysis covers it.
-  api-check         No OIPA_CHECK aborts inside src/oipa/api/ — the API
-                    layer reports failures as Status/StatusOr values.
+  api-check         No OIPA_CHECK aborts inside src/oipa/api/ or
+                    src/serve/ — the API layer reports failures as
+                    Status/StatusOr values, and the serve daemon must
+                    answer malformed wire input with a structured error
+                    response, never abort.
   unseeded-rng      No std::random_device, rand() or srand() in src/ —
                     every sample stream must be derived from an explicit
                     uint64 seed (determinism contract).
@@ -254,11 +257,14 @@ def main() -> int:
                 ("raw-sync", RAW_SYNC_RE,
                  "raw std synchronization primitive — use oipa::Mutex / "
                  "oipa::MutexLock / oipa::CondVar (util/threading.h)"))
-        if rel.startswith(os.path.join("src", "oipa", "api") + os.sep):
+        if rel.startswith(
+                os.path.join("src", "oipa", "api") + os.sep) or \
+                rel.startswith(os.path.join("src", "serve") + os.sep):
             rules.append(
                 ("api-check", API_CHECK_RE,
                  "CHECK abort in the StatusOr API layer — return a "
-                 "Status instead"))
+                 "Status instead (the serve daemon must answer bad "
+                 "wire input with an error response, never abort)"))
         scan_cxx_file(path, rel, findings, rules)
 
     for subdir in ("bench", "examples", "tests"):

@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <memory>
 #include <ostream>
@@ -18,6 +19,9 @@
 #include "oipa/api/solver_registry.h"
 #include "oipa/branch_and_bound.h"
 #include "rrset/mrr_collection.h"
+#include "serve/client.h"
+#include "serve/json_parser.h"
+#include "serve/server.h"
 #include "topic/campaign.h"
 #include "topic/influence_graph.h"
 #include "topic/prob_models.h"
@@ -32,7 +36,7 @@ namespace cli {
 namespace {
 
 constexpr const char* kCommands[] = {"generate", "learn", "plan",
-                                     "simulate", "bench"};
+                                     "simulate", "bench", "serve"};
 
 bool IsKnownCommand(const std::string& name) {
   for (const char* c : kCommands) {
@@ -79,25 +83,13 @@ int ResolvedSolverThreads(const CliConfig& c) {
   return c.threads;
 }
 
-Dataset MakeSyntheticDataset(const CliConfig& c) {
-  Dataset d;
-  d.name = "synthetic";
-  d.graph = std::make_unique<Graph>(GenerateHolmeKim(
-      static_cast<VertexId>(c.n), 4, 0.4, c.seed));
-  d.probs = std::make_unique<EdgeTopicProbs>(AssignWeightedCascadeTopics(
-      *d.graph, c.num_topics, 2.5, c.seed + 1));
-  d.num_topics = c.num_topics;
-  d.promoter_pool = SamplePromoterPool(d.graph->num_vertices(),
-                                       c.pool_fraction, c.seed + 2);
-  return d;
-}
-
 void BuildDataset(Pipeline* p, std::ostream& err) {
   const CliConfig& c = *p->config;
   err << "[oipa_cli] building dataset '" << c.dataset << "'...\n";
   WallTimer timer;
   p->dataset = c.dataset == "synthetic"
-                   ? MakeSyntheticDataset(c)
+                   ? MakeSynthetic(static_cast<VertexId>(c.n),
+                                   c.num_topics, c.pool_fraction, c.seed)
                    : MakeDatasetByName(c.dataset, c.scale, c.seed);
   p->dataset_seconds = timer.Seconds();
 }
@@ -200,6 +192,7 @@ PlanRequest MakeRequest(const CliConfig& c, std::vector<int> budgets) {
   request.max_theta = c.max_theta;
   request.stopping = c.stopping_rule;
   request.seed = c.seed;
+  if (c.deadline_ms > 0) request.deadline_ms = c.deadline_ms;
   return request;
 }
 
@@ -236,6 +229,10 @@ JsonValue PlanJson(const Pipeline& p, const PlanResponse& result) {
       .Set("sampling_rounds", result.sampling_rounds)
       .Set("sample_seconds", p.sample_seconds)
       .Set("solve_seconds", result.seconds);
+  if (p.config->deadline_ms > 0) {
+    j.Set("cancelled", result.cancelled)
+        .Set("deadline_exceeded", result.deadline_exceeded);
+  }
   if (p.config->sampling_epsilon > 0.0) {
     j.Set("holdout_utility", result.holdout_utility)
         .Set("sampling_gap", result.sampling_gap);
@@ -395,6 +392,167 @@ int RunPipeline(const CliConfig& c, std::ostream& out, std::ostream& err) {
   return EmitResult(c, result, out, err);
 }
 
+// --------------------------------------------------------------- serving
+
+/// Renders this config's plan stage as one wire-protocol request line
+/// (see src/serve/wire.h). Seed slots mirror the local pipeline's
+/// per-stage derivations, so daemon and local answers agree
+/// bit-for-bit.
+std::string WirePlanRequestLine(const CliConfig& c) {
+  JsonValue dataset = JsonValue::Object();
+  dataset.Set("name", c.dataset)
+      .Set("n", c.n)
+      .Set("topics", static_cast<int64_t>(c.num_topics))
+      .Set("scale", c.scale)
+      .Set("pool_fraction", c.pool_fraction)
+      .Set("seed", static_cast<int64_t>(c.seed))
+      .Set("ell", static_cast<int64_t>(c.ell))
+      .Set("alpha", c.alpha)
+      .Set("beta", c.beta);
+  JsonValue sampling = JsonValue::Object();
+  // BuildContext samples at seed+5 (each local pipeline stage draws
+  // from its own derived stream); the daemon uses sampling.seed as-is.
+  sampling.Set("theta", c.theta)
+      .Set("seed", static_cast<int64_t>(c.seed + 5))
+      .Set("epsilon", c.sampling_epsilon)
+      .Set("max_theta", c.max_theta)
+      .Set("stopping", c.stopping);
+  JsonValue plan = JsonValue::Object();
+  plan.Set("method", c.method);
+  JsonValue budgets = JsonValue::Array();
+  budgets.Append(static_cast<int64_t>(c.k));
+  plan.Set("budgets", std::move(budgets))
+      .Set("gap", c.gap)
+      .Set("epsilon", c.epsilon)
+      .Set("bound", c.bound)
+      .Set("max_nodes", c.max_nodes);
+  if (c.threads >= 0) {
+    plan.Set("threads", static_cast<int64_t>(c.threads));
+  }
+  if (c.deadline_ms > 0) plan.Set("deadline_ms", c.deadline_ms);
+  plan.Set("seed", static_cast<int64_t>(c.seed));
+
+  JsonValue request = JsonValue::Object();
+  request.Set("id", "oipa_cli")
+      .Set("dataset", std::move(dataset))
+      .Set("sampling", std::move(sampling))
+      .Set("plan", std::move(plan));
+  return request.Dump(-1);
+}
+
+Status SplitHostPort(const std::string& server, std::string* host,
+                     int* port) {
+  const size_t colon = server.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == server.size()) {
+    return Status::InvalidArgument("--server expects host:port, got '" +
+                                   server + "'");
+  }
+  *host = server.substr(0, colon);
+  const std::string port_text = server.substr(colon + 1);
+  int parsed = 0;
+  for (const char ch : port_text) {
+    if (ch < '0' || ch > '9' || parsed > 65535) {
+      return Status::InvalidArgument("--server port '" + port_text +
+                                     "' is not in [1, 65535]");
+    }
+    parsed = parsed * 10 + (ch - '0');
+  }
+  if (parsed < 1 || parsed > 65535) {
+    return Status::InvalidArgument("--server port '" + port_text +
+                                   "' is not in [1, 65535]");
+  }
+  *host = *host == "localhost" ? "127.0.0.1" : *host;
+  *port = parsed;
+  return Status::Ok();
+}
+
+/// `plan --server=host:port`: ship the plan stage to a running
+/// oipa_serve daemon and print its response (pretty-printed at
+/// --indent). Exit code mirrors the response's "ok" flag.
+int RunRemotePlan(const CliConfig& c, std::ostream& out,
+                  std::ostream& err) {
+  std::string host;
+  int port = 0;
+  if (const Status split = SplitHostPort(c.server, &host, &port);
+      !split.ok()) {
+    err << "oipa_cli: " << split.ToString() << "\n";
+    return 2;
+  }
+  err << "[oipa_cli] planning via oipa_serve at " << c.server << "...\n";
+  const StatusOr<std::string> response =
+      serve::RequestOverTcp(host, port, WirePlanRequestLine(c));
+  if (!response.ok()) {
+    err << "oipa_cli: " << response.status().ToString() << "\n";
+    return 1;
+  }
+  const StatusOr<JsonValue> parsed = serve::ParseJson(*response);
+  if (!parsed.ok()) {
+    err << "oipa_cli: unparsable daemon response: "
+        << parsed.status().ToString() << "\n";
+    out << *response << "\n";
+    return 1;
+  }
+  const std::string rendered = parsed->Dump(c.indent);
+  out << rendered << "\n";
+  if (!c.output.empty()) {
+    std::ofstream file(c.output);
+    file << rendered << "\n";
+    if (!file) {
+      err << "oipa_cli: cannot write --output file '" << c.output << "'\n";
+      return 1;
+    }
+    err << "[oipa_cli] wrote " << c.output << "\n";
+  }
+  const JsonValue* ok = parsed->Find("ok");
+  return ok != nullptr && ok->is_bool() && ok->bool_value() ? 0 : 1;
+}
+
+/// Signal handlers may only call the async-signal-safe
+/// PlanServer::RequestShutdown; the pointer is published before the
+/// handlers are installed and cleared after they are restored.
+serve::PlanServer* g_serve_command_server = nullptr;
+
+extern "C" void HandleServeSignal(int /*signum*/) {
+  if (g_serve_command_server != nullptr) {
+    g_serve_command_server->RequestShutdown();
+  }
+}
+
+/// `serve`: run the planning daemon in-process until SIGINT/SIGTERM,
+/// then drain in-flight solves and exit (the standalone oipa_serve
+/// binary is this loop minus the CLI flag surface).
+int RunServe(const CliConfig& c, std::ostream& out, std::ostream& err) {
+  serve::ServerOptions options;
+  options.host = c.host;
+  options.port = c.port;
+  options.workers = c.workers;
+  options.max_contexts = c.max_contexts;
+  options.store_budget_bytes = c.store_budget_mb * 1024 * 1024;
+
+  serve::PlanServer server(options);
+  if (const Status started = server.Start(); !started.ok()) {
+    err << "oipa_cli: " << started.ToString() << "\n";
+    return 1;
+  }
+  g_serve_command_server = &server;
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+
+  // The smoke harness and humans both scrape this line for the port.
+  out << "oipa_serve listening on " << options.host << ":"
+      << server.port() << std::endl;
+
+  server.Wait();
+  err << "[oipa_cli] draining...\n";
+  server.Stop();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_command_server = nullptr;
+  err << "[oipa_cli] stopped\n";
+  return 0;
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- parsing
@@ -421,7 +579,7 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   if (!IsKnownCommand(c.command)) {
     return Status::InvalidArgument("unknown subcommand '" + c.command +
                                    "' (expected generate|learn|plan|"
-                                   "simulate|bench)");
+                                   "simulate|bench|serve)");
   }
 
   c.dataset = flags.GetString("dataset", c.dataset);
@@ -467,6 +625,14 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   c.beta = flags.GetDouble("beta", c.beta);
   c.bound = flags.GetString("bound", c.bound);
   c.max_nodes = flags.GetInt("max_nodes", c.max_nodes);
+  c.deadline_ms = flags.GetInt("deadline_ms", c.deadline_ms);
+  c.server = flags.GetString("server", c.server);
+  c.host = flags.GetString("host", c.host);
+  c.port = static_cast<int>(flags.GetInt("port", c.port));
+  c.workers = static_cast<int>(flags.GetInt("workers", c.workers));
+  c.max_contexts =
+      static_cast<int>(flags.GetInt("max_contexts", c.max_contexts));
+  c.store_budget_mb = flags.GetInt("store_budget_mb", c.store_budget_mb);
   c.trials = static_cast<int>(flags.GetInt("trials", c.trials));
   c.k_sweep = flags.GetIntList("k", {c.k});
 
@@ -511,6 +677,27 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
     return Status::InvalidArgument(
         "--k accepts a list only with the bench subcommand");
   }
+  if (flags.Has("deadline_ms") && c.deadline_ms < 1) {
+    // Mirrors the request layer (PlanRequest::deadline_ms must be >= 1)
+    // but fails before the dataset/sampling pipeline runs.
+    return Status::InvalidArgument("--deadline_ms must be >= 1");
+  }
+  if (!c.server.empty() && c.command != "plan") {
+    return Status::InvalidArgument(
+        "--server is only supported with the plan subcommand");
+  }
+  if (c.port < 0 || c.port > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  if (c.workers < 1) {
+    return Status::InvalidArgument("--workers must be >= 1");
+  }
+  if (c.max_contexts < 1) {
+    return Status::InvalidArgument("--max_contexts must be >= 1");
+  }
+  if (c.store_budget_mb < 0) {
+    return Status::InvalidArgument("--store_budget_mb must be >= 0");
+  }
   OIPA_RETURN_IF_ERROR(ParseBoundVariant(c.bound, &c.variant));
   StatusOr<StoppingRuleKind> stopping = ParseStoppingRule(c.stopping);
   if (!stopping.ok()) return stopping.status();
@@ -530,6 +717,8 @@ std::string UsageString() {
      << "  plan       + sample MRR sets and solve OIPA with BAB/BAB-P\n"
      << "  simulate   + validate the plan with forward Monte-Carlo\n"
      << "  bench      plan across a budget sweep (--k=10,20,50)\n"
+     << "  serve      run the planning daemon (newline-delimited JSON\n"
+     << "             over TCP; see README.md \"Serving\")\n"
      << "\n"
      << "flags (defaults in parentheses):\n"
      << "  --dataset=synthetic|lastfm|dblp|tweet  (synthetic)\n"
@@ -567,14 +756,33 @@ std::string UsageString() {
      << "  --threads=<count>        solver worker threads; 0 = auto via\n"
      << "                           hardware/OIPA_THREADS; absent = the\n"
      << "                           deterministic sequential solver\n"
+     << "  --deadline_ms=<ms>       wall-clock budget for the solve; an\n"
+     << "                           expired deadline cancels at the next\n"
+     << "                           progress poll with partial telemetry\n"
+     << "                           (0 = none)\n"
+     << "  --server=<host:port>     plan only: send the request to a\n"
+     << "                           running oipa_serve daemon instead of\n"
+     << "                           solving locally\n"
      << "  --seed=<u64>             master RNG seed (1)\n"
      << "  --indent=<n>             JSON indent; negative = compact (2)\n"
-     << "  --output=<path>          also write the JSON result to a file\n";
+     << "  --output=<path>          also write the JSON result to a file\n"
+     << "\n"
+     << "serve flags:\n"
+     << "  --host=<addr> --port=<p> bind address (127.0.0.1:0; port 0\n"
+     << "                           picks a free port, printed on stdout)\n"
+     << "  --workers=<count>        solver worker threads (2)\n"
+     << "  --max_contexts=<count>   planning contexts kept hot (8)\n"
+     << "  --store_budget_mb=<mb>   sample-store retention budget; 0\n"
+     << "                           retains nothing (0)\n";
   return os.str();
 }
 
 int RunCommand(const CliConfig& config, std::ostream& out,
                std::ostream& err) {
+  if (config.command == "serve") return RunServe(config, out, err);
+  if (config.command == "plan" && !config.server.empty()) {
+    return RunRemotePlan(config, out, err);
+  }
   if (config.threads > 0) SetNumThreads(config.threads);
   return RunPipeline(config, out, err);
 }

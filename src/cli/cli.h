@@ -19,7 +19,7 @@ namespace cli {
 /// examples/quickstart.cpp so `oipa_cli plan` out of the box reproduces
 /// the quickstart scenario with JSON output.
 struct CliConfig {
-  /// generate | learn | plan | simulate | bench.
+  /// generate | learn | plan | simulate | bench | serve.
   std::string command;
 
   // ------------------------------------------------------ dataset stage
@@ -83,6 +83,23 @@ struct CliConfig {
   bool progressive = true;
   /// Node-expansion safety cap.
   int64_t max_nodes = 100'000;
+  /// Wall-clock budget for the solve (0 = none): an expired deadline
+  /// cancels at the solver's next progress poll and the JSON result
+  /// carries cancelled/deadline_exceeded plus partial telemetry.
+  int64_t deadline_ms = 0;
+
+  // ------------------------------------------------------ serving
+  /// `plan` only: "host:port" of a running oipa_serve daemon. When set,
+  /// the dataset/sampling/plan stages run in the daemon (sharing its
+  /// context cache) and the response JSON is printed instead.
+  std::string server;
+  /// `serve` subcommand: bind address, worker pool, and cache budgets
+  /// (mirrors the standalone oipa_serve binary's flags).
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int workers = 2;
+  int max_contexts = 8;
+  int64_t store_budget_mb = 0;
 
   // ------------------------------------------------------ validation
   /// Forward Monte-Carlo trials for `simulate`.

@@ -49,6 +49,46 @@ JsonValue& JsonValue::Append(JsonValue value) {
   return *this;
 }
 
+bool JsonValue::bool_value() const {
+  OIPA_CHECK(is_bool()) << "bool_value() on a non-bool JsonValue";
+  return bool_;
+}
+
+int64_t JsonValue::int_value() const {
+  OIPA_CHECK(is_number()) << "int_value() on a non-number JsonValue";
+  return is_int() ? int_ : static_cast<int64_t>(double_);
+}
+
+double JsonValue::double_value() const {
+  OIPA_CHECK(is_number()) << "double_value() on a non-number JsonValue";
+  return is_double() ? double_ : static_cast<double>(int_);
+}
+
+const std::string& JsonValue::string_value() const {
+  OIPA_CHECK(is_string()) << "string_value() on a non-string JsonValue";
+  return string_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  OIPA_CHECK(is_object()) << "Find() on a non-object JsonValue";
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(size_t i) const {
+  OIPA_CHECK(is_array()) << "at() on a non-array JsonValue";
+  OIPA_CHECK_LT(i, elements_.size());
+  return elements_[i];
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  OIPA_CHECK(is_object()) << "members() on a non-object JsonValue";
+  return members_;
+}
+
 size_t JsonValue::size() const {
   if (is_object()) return members_.size();
   if (is_array()) return elements_.size();

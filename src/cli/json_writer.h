@@ -35,8 +35,31 @@ class JsonValue {
   static JsonValue Array();
 
   bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == Kind::kString; }
   bool is_object() const { return kind_ == Kind::kObject; }
   bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Scalar readers (the serve wire protocol parses requests back into
+  /// JsonValue trees). Each aborts on a kind mismatch — callers gate on
+  /// the is_*() predicates first; is_number() admits both readers below
+  /// (int_value() truncates a double, double_value() widens an int).
+  bool bool_value() const;
+  int64_t int_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+
+  /// Object only: the member named `key`, or nullptr when absent.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Array only: element `i` (aborts out of range).
+  const JsonValue& at(size_t i) const;
+
+  /// Object only: members in insertion order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
 
   /// Object only: inserts (or overwrites) `key`. Returns *this so sets
   /// chain. New keys keep insertion order.

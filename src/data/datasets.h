@@ -46,6 +46,12 @@ Dataset MakeDblpLike(double scale = 0.1, uint64_t seed = 11);
 /// ~100K vertices).
 Dataset MakeTweetLike(double scale = 0.01, uint64_t seed = 13);
 
+/// Free-form synthetic dataset (the CLI's and the serve daemon's
+/// default): clustered power-law Holme-Kim graph with weighted-cascade
+/// topic probabilities and a `pool_fraction` promoter pool.
+Dataset MakeSynthetic(VertexId n, int num_topics, double pool_fraction,
+                      uint64_t seed);
+
 /// Looks up a dataset by name ("lastfm", "dblp", "tweet") at the given
 /// scale (ignored for lastfm, which is already full-scale).
 Dataset MakeDatasetByName(const std::string& name, double scale,

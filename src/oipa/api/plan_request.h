@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -108,6 +109,17 @@ struct PlanRequest {
   /// Seed for solver-internal randomness (baseline RR sampling, random
   /// heuristic). Independent of the context's sampling seed.
   uint64_t seed = 1;
+  /// Wall-clock deadline, measured from Solve()/SolveBatch() entry.
+  /// Enforced through the progress hook: the BAB family is cancelled
+  /// mid-search (per node expansion), every other solver only at its
+  /// initial snapshot and between progressive rounds / sweep budgets —
+  /// a non-polling solver already past its initial snapshot runs its
+  /// budget to completion. A missed deadline returns the incumbent with
+  /// cancelled and deadline_exceeded set, never an error. Unset
+  /// (default) = no deadline; a present value must be >= 1
+  /// (InvalidArgument otherwise). Composes with a caller progress hook:
+  /// both can cancel.
+  std::optional<int64_t> deadline_ms;
   /// Optional progress/cancellation hook (see ProgressFn).
   ProgressFn progress;
 };
@@ -156,6 +168,10 @@ struct PlanResponse {
   bool converged = true;
   /// True when the request's progress hook asked to stop.
   bool cancelled = false;
+  /// True when the cancellation was caused by PlanRequest::deadline_ms
+  /// expiring (cancelled is then also true; the partial telemetry above
+  /// still describes the work done up to the cutoff).
+  bool deadline_exceeded = false;
 };
 
 }  // namespace oipa

@@ -34,6 +34,12 @@ struct ContextOptions {
   /// sampling pass). Set false for a private store — e.g. when the
   /// context must not observe growth issued through other contexts.
   bool share_samples = true;
+  /// When non-empty, keys the registry store by this string instead of
+  /// graph/probs identity (see SampleStore::Options::source_key): a
+  /// context rebuilt from the same deterministic recipe then re-hits a
+  /// store retained under SampleStore::SetRegistryBudget(). The caller
+  /// guarantees equal source_keys imply bit-identical graph and probs.
+  std::string source_key;
 };
 
 /// The shared state of one (graph, probabilities, campaign, adoption

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <sstream>
@@ -309,6 +310,12 @@ Status ValidateRequest(const PlanningContext& context,
         "epsilon must be >= 0 (0 disables progressive solving), got " +
         std::to_string(request.epsilon));
   }
+  if (request.deadline_ms.has_value() && *request.deadline_ms < 1) {
+    return Status::InvalidArgument(
+        "deadline_ms must be >= 1 when set (got " +
+        std::to_string(*request.deadline_ms) +
+        "); leave it unset for no deadline");
+  }
   if (request.epsilon > 0.0) {
     if (request.max_theta < 1) {
       return Status::InvalidArgument(
@@ -321,12 +328,44 @@ Status ValidateRequest(const PlanningContext& context,
           "holdout collection (ContextOptions::holdout_theta != 0)");
     }
     if (!context.CanGrowSamples()) {
-      return Status::FailedPrecondition(
+      return Status::InvalidArgument(
           "progressive solving (epsilon > 0) requires extendable context "
           "samples (collections with sampling provenance)");
     }
   }
   return Status::Ok();
+}
+
+// ------------------------------------------------------------ deadlines
+
+/// Rewrites request->progress so every poll also checks a wall-clock
+/// deadline of deadline_ms from now. Cancellation granularity follows
+/// the progress contract: the BAB family polls per node expansion, the
+/// other solvers only at their initial snapshot — plus the gaps between
+/// progressive rounds and sweep budgets, where SolveOne re-polls.
+/// Returns the absolute deadline for StampDeadline.
+std::chrono::steady_clock::time_point ComposeDeadline(PlanRequest* request) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(request->deadline_ms.value());
+  const ProgressFn inner = std::move(request->progress);
+  request->progress = [deadline, inner](const PlanProgress& progress) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    return inner == nullptr || inner(progress);
+  };
+  return deadline;
+}
+
+/// Distinguishes a deadline cancellation from a caller-hook one: a
+/// response that came back cancelled after the deadline passed is
+/// stamped deadline_exceeded (the caller hook may also have fired, but
+/// past the deadline the solve was doomed either way).
+void StampDeadline(std::chrono::steady_clock::time_point deadline,
+                   PlanResponse* response) {
+  if (response->cancelled &&
+      std::chrono::steady_clock::now() >= deadline) {
+    response->deadline_exceeded = true;
+  }
 }
 
 /// Runs one budget through `solver` and stamps the uniform response
@@ -601,7 +640,15 @@ StatusOr<PlanResponse> Solve(const PlanningContext& context,
   const StatusOr<const Solver*> solver = registry.Find(request.solver);
   if (!solver.ok()) return solver.status();
   OIPA_RETURN_IF_ERROR(ValidateRequest(context, request));
-  return SolveBudget(context, request, **solver, request.budgets[0]);
+  if (!request.deadline_ms.has_value()) {
+    return SolveBudget(context, request, **solver, request.budgets[0]);
+  }
+  PlanRequest timed = request;
+  const auto deadline = ComposeDeadline(&timed);
+  StatusOr<PlanResponse> response =
+      SolveBudget(context, timed, **solver, timed.budgets[0]);
+  if (response.ok()) StampDeadline(deadline, &*response);
+  return response;
 }
 
 StatusOr<std::vector<PlanResponse>> SolveBatch(
@@ -610,19 +657,33 @@ StatusOr<std::vector<PlanResponse>> SolveBatch(
   const StatusOr<const Solver*> solver = registry.Find(request.solver);
   if (!solver.ok()) return solver.status();
   OIPA_RETURN_IF_ERROR(ValidateRequest(context, request));
-  if (request.num_threads != 1 && request.shard_budgets &&
-      request.budgets.size() > 1) {
-    return SolveBatchSharded(context, request, **solver);
-  }
-  std::vector<PlanResponse> responses;
-  responses.reserve(request.budgets.size());
-  for (const int budget : request.budgets) {
-    StatusOr<PlanResponse> response =
-        SolveBudget(context, request, **solver, budget);
-    if (!response.ok()) return response.status();
-    const bool cancelled = response->cancelled;
-    responses.push_back(*std::move(response));
-    if (cancelled) break;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  PlanRequest timed = request;
+  if (request.deadline_ms.has_value()) deadline = ComposeDeadline(&timed);
+  StatusOr<std::vector<PlanResponse>> responses = [&] {
+    if (timed.num_threads != 1 && timed.shard_budgets &&
+        timed.budgets.size() > 1) {
+      return SolveBatchSharded(context, timed, **solver);
+    }
+    std::vector<PlanResponse> out;
+    out.reserve(timed.budgets.size());
+    for (const int budget : timed.budgets) {
+      StatusOr<PlanResponse> response =
+          SolveBudget(context, timed, **solver, budget);
+      if (!response.ok()) {
+        return StatusOr<std::vector<PlanResponse>>(response.status());
+      }
+      const bool cancelled = response->cancelled;
+      out.push_back(*std::move(response));
+      if (cancelled) break;
+    }
+    return StatusOr<std::vector<PlanResponse>>(std::move(out));
+  }();
+  if (responses.ok() && deadline.has_value()) {
+    // Only the tail response can be cancelled (the sweep stops there).
+    for (PlanResponse& response : *responses) {
+      StampDeadline(*deadline, &response);
+    }
   }
   return responses;
 }

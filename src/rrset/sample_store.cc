@@ -88,21 +88,28 @@ namespace {
 /// key can never alias a recycled address of a dead object); campaign
 /// pieces are keyed by content, since equal piece topic vectors produce
 /// equal influence graphs regardless of which Campaign object carries
-/// them.
+/// them. Theta is deliberately absent — a live store at a larger theta
+/// strictly contains any smaller same-key request (prefix sharing), and
+/// a larger request grows the store in place. Only the presence of a
+/// holdout stream is keyed: stores with and without one have different
+/// generation histories and cannot substitute for each other.
 struct StoreKey {
   const void* graph = nullptr;
   const void* probs = nullptr;
+  /// Content key replacing graph/probs identity when the caller set
+  /// Options::source_key (both pointers stay null in that case, so a
+  /// source-keyed entry can never collide with an identity-keyed one).
+  std::string source;
   uint64_t campaign_fingerprint = 0;
   int diffusion = 0;
   uint64_t seed = 0;
-  int64_t theta = 0;
-  int64_t holdout_theta = 0;
+  bool has_holdout = false;
 
   bool operator<(const StoreKey& o) const {
-    return std::tie(graph, probs, campaign_fingerprint, diffusion, seed,
-                    theta, holdout_theta) <
-           std::tie(o.graph, o.probs, o.campaign_fingerprint, o.diffusion,
-                    o.seed, o.theta, o.holdout_theta);
+    return std::tie(graph, probs, source, campaign_fingerprint, diffusion,
+                    seed, has_holdout) <
+           std::tie(o.graph, o.probs, o.source, o.campaign_fingerprint,
+                    o.diffusion, o.seed, o.has_holdout);
   }
 };
 
@@ -140,20 +147,33 @@ uint64_t FingerprintCampaign(const Campaign& campaign) {
   return h;
 }
 
-/// Guards the registry map and every slot's published weak_ptr.
-/// Lock order: a slot's mu first, then g_registry_mu — nothing takes
-/// them in the opposite order (Acquire releases g_registry_mu before
-/// locking a slot).
+/// Guards the registry map, every slot's published weak_ptr, and the
+/// retention/budget bookkeeping. Lock order: a slot's mu first, then
+/// g_registry_mu — nothing takes them in the opposite order (Acquire
+/// releases g_registry_mu before locking a slot). Budget enforcement
+/// additionally takes a store's history_mu_ (inside GetStats) while
+/// holding g_registry_mu, which fixes the order g_registry_mu →
+/// history_mu_; no store method takes the registry lock, so the order
+/// cannot invert.
 Mutex g_registry_mu;
 
 /// Per-key creation slot: concurrent Acquires of one key serialize on
-/// the slot mutex (exactly one sampling pass), while different keys
-/// sample concurrently. The weak_ptr is published/read under
-/// g_registry_mu so that PruneRegistryLocked/RegistrySize can sweep
-/// every slot under the one registry lock.
+/// the slot mutex (exactly one sampling pass; prefix growth also
+/// happens under it), while different keys sample concurrently. The
+/// published weak_ptr and the pin/retention state live under
+/// g_registry_mu so that PruneRegistryLocked/RegistrySize and the
+/// budget sweep can walk every slot under the one registry lock.
 struct RegistrySlot {
   Mutex mu;
   std::weak_ptr<SampleStore> store OIPA_GUARDED_BY(g_registry_mu);
+  /// Keeps the store alive past its last pinned handle when a nonzero
+  /// registry budget is set (null otherwise): the retention the LRU
+  /// eviction sweep trades against the byte budget.
+  std::shared_ptr<SampleStore> retained OIPA_GUARDED_BY(g_registry_mu);
+  /// Outstanding pinned handles; a pinned store is never evicted.
+  int pins OIPA_GUARDED_BY(g_registry_mu) = 0;
+  /// Global use tick at the last pin/unpin — the LRU ordering.
+  uint64_t last_use OIPA_GUARDED_BY(g_registry_mu) = 0;
 };
 
 std::map<StoreKey, std::shared_ptr<RegistrySlot>>& Registry()
@@ -162,6 +182,10 @@ std::map<StoreKey, std::shared_ptr<RegistrySlot>>& Registry()
       new std::map<StoreKey, std::shared_ptr<RegistrySlot>>();
   return *registry;
 }
+
+int64_t g_budget_bytes OIPA_GUARDED_BY(g_registry_mu) = 0;
+uint64_t g_use_tick OIPA_GUARDED_BY(g_registry_mu) = 0;
+int64_t g_evictions OIPA_GUARDED_BY(g_registry_mu) = 0;
 
 /// Drops slots whose store died and which no Acquire currently holds.
 void PruneRegistryLocked() OIPA_REQUIRES(g_registry_mu) {
@@ -173,6 +197,81 @@ void PruneRegistryLocked() OIPA_REQUIRES(g_registry_mu) {
       ++it;
     }
   }
+}
+
+/// Applies the byte budget: with budget 0, drops every retained handle
+/// (no-retention mode); otherwise evicts the least-recently-used
+/// unpinned retained store until the summed MemoryBytes() of live
+/// registered stores fits the budget or nothing evictable remains
+/// (pinned stores can legitimately hold the total above budget).
+void EnforceBudgetLocked() OIPA_REQUIRES(g_registry_mu) {
+  if (g_budget_bytes <= 0) {
+    for (auto& [key, slot] : Registry()) {
+      (void)key;
+      slot->retained.reset();
+    }
+    return;
+  }
+  for (;;) {
+    int64_t total = 0;
+    RegistrySlot* victim = nullptr;
+    for (auto& [key, slot] : Registry()) {
+      (void)key;
+      const std::shared_ptr<SampleStore> live = slot->store.lock();
+      if (live == nullptr) continue;
+      total += live->GetStats().memory_bytes;
+      if (slot->retained != nullptr && slot->pins == 0 &&
+          (victim == nullptr || slot->last_use < victim->last_use)) {
+        victim = slot.get();
+      }
+    }
+    if (total <= g_budget_bytes || victim == nullptr) return;
+    victim->retained.reset();
+    ++g_evictions;
+  }
+}
+
+/// The handle Acquire returns is an aliasing shared_ptr whose control
+/// block owns one of these: the store stays pinned (and the slot's
+/// pin count raised) until the last copy of the handle dies, at which
+/// point the budget sweep may evict it.
+class PinnedHandle {
+ public:
+  PinnedHandle(std::shared_ptr<RegistrySlot> slot,
+               std::shared_ptr<SampleStore> store)
+      : slot_(std::move(slot)), store_(std::move(store)) {}
+  PinnedHandle(const PinnedHandle&) = delete;
+  PinnedHandle& operator=(const PinnedHandle&) = delete;
+
+  ~PinnedHandle() {
+    MutexLock lock(&g_registry_mu);
+    --slot_->pins;
+    slot_->last_use = ++g_use_tick;
+    EnforceBudgetLocked();
+    // store_ itself is released after this body — outside the lock —
+    // so a store whose retention was just evicted is destroyed without
+    // g_registry_mu held.
+  }
+
+  SampleStore* get() const { return store_.get(); }
+
+ private:
+  std::shared_ptr<RegistrySlot> slot_;
+  std::shared_ptr<SampleStore> store_;
+};
+
+/// Pins `store` in `slot` and wraps it in the handle described above.
+std::shared_ptr<SampleStore> PinStore(std::shared_ptr<RegistrySlot> slot,
+                                      std::shared_ptr<SampleStore> store) {
+  {
+    MutexLock lock(&g_registry_mu);
+    ++slot->pins;
+    slot->last_use = ++g_use_tick;
+    if (g_budget_bytes > 0) slot->retained = store;
+  }
+  auto holder =
+      std::make_shared<PinnedHandle>(std::move(slot), std::move(store));
+  return {holder, holder->get()};
 }
 
 }  // namespace
@@ -205,13 +304,17 @@ std::shared_ptr<SampleStore> SampleStore::Acquire(
     std::shared_ptr<const Campaign> campaign, const Options& options) {
   OIPA_CHECK(graph != nullptr && probs != nullptr && campaign != nullptr);
   StoreKey key;
-  key.graph = graph.get();
-  key.probs = probs.get();
+  if (options.source_key.empty()) {
+    key.graph = graph.get();
+    key.probs = probs.get();
+  } else {
+    key.source = options.source_key;
+  }
   key.campaign_fingerprint = FingerprintCampaign(*campaign);
   key.diffusion = static_cast<int>(options.diffusion);
   key.seed = options.seed;
-  key.theta = options.theta;
-  key.holdout_theta = ResolvedHoldoutTheta(options);
+  const int64_t want_holdout = ResolvedHoldoutTheta(options);
+  key.has_holdout = want_holdout > 0;
 
   std::shared_ptr<RegistrySlot> slot;
   {
@@ -222,10 +325,13 @@ std::shared_ptr<SampleStore> SampleStore::Acquire(
     slot = entry;
   }
   // Sampling happens under the slot mutex only: a concurrent Acquire of
-  // the same key waits for (and then shares) this pass; other keys
-  // proceed. The published weak_ptr itself lives under g_registry_mu
-  // (guard declared on RegistrySlot::store), so the read and the write
-  // below take it briefly — map-op-sized critical sections.
+  // the same key waits for (and then shares) this pass — including a
+  // prefix Grow below, so racing smaller requests see the grown store —
+  // while other keys proceed. The published weak_ptr itself lives under
+  // g_registry_mu (guard declared on RegistrySlot::store), so the read
+  // and the write below take it briefly — map-op-sized critical
+  // sections. Lock order here: slot->mu, then (briefly) g_registry_mu
+  // or the store's internal grow/snapshot locks; never the reverse.
   MutexLock slot_lock(&slot->mu);
   std::shared_ptr<SampleStore> existing;
   {
@@ -233,21 +339,63 @@ std::shared_ptr<SampleStore> SampleStore::Acquire(
     existing = slot->store.lock();
   }
   if (existing != nullptr) {
-    if (SamePieceTopics(*existing->campaign_keepalive_, *campaign)) {
-      return existing;
+    if (!SamePieceTopics(*existing->campaign_keepalive_, *campaign)) {
+      // Fingerprint collision between distinct campaigns: never share —
+      // fall through to a store that bypasses the occupied slot.
+      return MakeStoreForAcquire(std::move(graph), std::move(probs),
+                                 std::move(campaign), options);
     }
-    // Fingerprint collision between distinct campaigns: never share —
-    // fall through to a store that bypasses the occupied slot.
-    return MakeStoreForAcquire(std::move(graph), std::move(probs),
-                               std::move(campaign), options);
+    // Theta-prefix sharing: a request larger than the live store grows
+    // it in place (only the delta is sampled — bit-identical to an
+    // up-front generation at the larger size); a smaller or equal
+    // request shares as-is, zero new samples.
+    const SampleSnapshot snap = existing->snapshot();
+    const int64_t have_holdout =
+        snap.holdout == nullptr ? 0 : snap.holdout->theta();
+    if (snap.mrr->theta() < options.theta || have_holdout < want_holdout) {
+      const Status grown =
+          existing->Grow(std::max(options.theta, want_holdout));
+      if (!grown.ok()) {
+        // A registered store that cannot extend (adopted collections
+        // without provenance cannot reach this slot, but stay safe):
+        // serve the larger request from a private bypass store.
+        return MakeStoreForAcquire(std::move(graph), std::move(probs),
+                                   std::move(campaign), options);
+      }
+    }
+    return PinStore(std::move(slot), std::move(existing));
   }
   std::shared_ptr<SampleStore> store = MakeStoreForAcquire(
       std::move(graph), std::move(probs), std::move(campaign), options);
   {
     MutexLock registry_lock(&g_registry_mu);
     slot->store = store;
+    EnforceBudgetLocked();
   }
-  return store;
+  return PinStore(std::move(slot), std::move(store));
+}
+
+void SampleStore::SetRegistryBudget(int64_t bytes) {
+  MutexLock lock(&g_registry_mu);
+  g_budget_bytes = bytes < 0 ? 0 : bytes;
+  EnforceBudgetLocked();
+}
+
+SampleStore::RegistryStats SampleStore::GetRegistryStats() {
+  MutexLock lock(&g_registry_mu);
+  PruneRegistryLocked();
+  RegistryStats stats;
+  stats.budget_bytes = g_budget_bytes;
+  stats.evictions = g_evictions;
+  for (const auto& [key, slot] : Registry()) {
+    (void)key;
+    const std::shared_ptr<SampleStore> live = slot->store.lock();
+    if (live == nullptr) continue;
+    ++stats.live_stores;
+    if (slot->pins > 0) ++stats.pinned_stores;
+    stats.memory_bytes += live->GetStats().memory_bytes;
+  }
+  return stats;
 }
 
 int SampleStore::RegistrySize() {
@@ -267,8 +415,16 @@ void SampleStore::Publish(std::shared_ptr<const MrrCollection> mrr,
                           std::shared_ptr<const MrrCollection> holdout) {
   {
     MutexLock lock(&history_mu_);
-    mrr_history_.push_back(mrr);
-    if (holdout != nullptr) holdout_history_.push_back(holdout);
+    // A republished (unchanged) collection must not appear twice —
+    // live_generations()/GetStats() count history entries.
+    if (mrr_history_.empty() || mrr_history_.back().lock() != mrr) {
+      mrr_history_.push_back(mrr);
+    }
+    if (holdout != nullptr &&
+        (holdout_history_.empty() ||
+         holdout_history_.back().lock() != holdout)) {
+      holdout_history_.push_back(holdout);
+    }
   }
   auto next = std::make_shared<const SampleSnapshot>(
       SampleSnapshot{std::move(mrr), std::move(holdout)});
@@ -300,7 +456,10 @@ Status SampleStore::Grow(int64_t target_theta) {
   // below therefore stays current until the Publish.
   MutexLock grow_lock(&grow_mu_);
   const SampleSnapshot current = snapshot();
-  if (current.mrr->theta() >= target_theta) return Status::Ok();
+  const bool mrr_below = current.mrr->theta() < target_theta;
+  const bool holdout_below = current.holdout != nullptr &&
+                             current.holdout->theta() < target_theta;
+  if (!mrr_below && !holdout_below) return Status::Ok();
   if (pieces_ == nullptr || !current.mrr->extendable() ||
       (current.holdout != nullptr && !current.holdout->extendable())) {
     return Status::FailedPrecondition(
@@ -310,11 +469,17 @@ Status SampleStore::Grow(int64_t target_theta) {
   // Copy-on-grow: extend copies, then publish them as the next
   // generation. The superseded generation is only pinned by whatever
   // snapshots are still outstanding — once the last one drops, it is
-  // freed (compaction), which live_generations() observes.
-  auto grown = std::make_shared<MrrCollection>(*current.mrr);
-  grown->Extend(*pieces_, target_theta);
-  std::shared_ptr<const MrrCollection> grown_holdout;
-  if (current.holdout != nullptr) {
+  // freed (compaction), which live_generations() observes. A collection
+  // already at target (a holdout catching up to a larger in-sample
+  // stream, or vice versa) is republished untouched.
+  std::shared_ptr<const MrrCollection> grown = current.mrr;
+  if (mrr_below) {
+    auto g = std::make_shared<MrrCollection>(*current.mrr);
+    g->Extend(*pieces_, target_theta);
+    grown = std::move(g);
+  }
+  std::shared_ptr<const MrrCollection> grown_holdout = current.holdout;
+  if (holdout_below) {
     auto h = std::make_shared<MrrCollection>(*current.holdout);
     h->Extend(*pieces_, target_theta);
     grown_holdout = std::move(h);

@@ -71,6 +71,16 @@ class SampleStore {
     int64_t holdout_theta = -1;
     uint64_t seed = 1;
     DiffusionModel diffusion = DiffusionModel::kIndependentCascade;
+    /// When non-empty, the Acquire() registry keys graph and probs by
+    /// this string instead of by object identity. Callers that rebuild
+    /// bit-identical inputs from a deterministic recipe (the serve
+    /// daemon's dataset specs) use this so a rebuilt context re-hits a
+    /// store retained under SetRegistryBudget() — identity keying can
+    /// never match a fresh object. The caller asserts that equal
+    /// source_keys imply equal graph/probs content; unequal content
+    /// under one key would silently serve one dataset's samples to
+    /// another.
+    std::string source_key;
   };
 
   /// One row of store telemetry (surfaced in oipa_cli JSON output).
@@ -102,13 +112,34 @@ class SampleStore {
       std::shared_ptr<const MrrCollection> holdout);
 
   /// Process-wide keyed registry: returns the live store already
-  /// serving (graph, probs, campaign pieces, diffusion, seed, theta,
-  /// holdout_theta) — keyed by graph/probs identity and campaign piece
+  /// serving (graph, probs, campaign pieces, diffusion, seed,
+  /// has-holdout) — keyed by graph/probs identity and campaign piece
   /// content — or creates, registers, and returns a new one. Concurrent
   /// Acquires of the same key serialize so exactly one sampling pass
-  /// happens; different keys sample concurrently. The registry holds
-  /// weak references: a store dies with its last owning context and a
-  /// later Acquire samples afresh.
+  /// happens; different keys sample concurrently.
+  ///
+  /// Theta-prefix sharing: theta is deliberately NOT part of the key.
+  /// Because growth is bit-identical to up-front generation, a live
+  /// store at theta T strictly contains every same-key request with
+  /// theta <= T (it is served as-is, zero new samples), and a request
+  /// with theta > T grows the store in place — only the delta is
+  /// sampled. Callers therefore observe upward theta drift, which is
+  /// the documented sharing contract (see the class comment).
+  ///
+  /// Pinning and eviction: the returned handle pins the store in the
+  /// registry for the handle's lifetime (a pinned store is never
+  /// evicted). With a nonzero SetRegistryBudget(), the registry
+  /// additionally retains unpinned stores — a later Acquire of the same
+  /// key is a cache hit with zero sampling — and evicts the
+  /// least-recently-used unpinned store whenever the summed
+  /// MemoryBytes() of live registered stores exceeds the budget. With
+  /// the default budget of 0 nothing is retained: a store dies with its
+  /// last handle and a later Acquire samples afresh (the pre-budget
+  /// behavior). Retention keeps the store's graph/probs keep-alives
+  /// reachable past the last context, so only Create-style contexts
+  /// whose inputs are genuinely shared_ptr-owned (the serve daemon's)
+  /// should run with a nonzero budget — Borrow-built contexts pass
+  /// non-owning handles whose referents may die with the caller.
   static std::shared_ptr<SampleStore> Acquire(
       std::shared_ptr<const Graph> graph,
       std::shared_ptr<const EdgeTopicProbs> probs,
@@ -117,6 +148,26 @@ class SampleStore {
   /// Number of live registered stores (test/diagnostic hook; prunes
   /// dead registry entries as a side effect).
   static int RegistrySize();
+
+  /// Registry-wide byte budget over the summed MemoryBytes() of live
+  /// registered stores. 0 (default) disables retention entirely;
+  /// negative values clamp to 0. Lowering the budget evicts immediately.
+  static void SetRegistryBudget(int64_t bytes);
+
+  /// Registry telemetry (surfaced per-response by oipa_serve).
+  struct RegistryStats {
+    /// Registered stores still alive (pinned or retained).
+    int live_stores = 0;
+    /// Live stores currently pinned by at least one handle.
+    int pinned_stores = 0;
+    /// Summed MemoryBytes() over every live registered store.
+    int64_t memory_bytes = 0;
+    /// Current SetRegistryBudget() value (0 = no retention).
+    int64_t budget_bytes = 0;
+    /// Stores evicted under memory pressure since process start.
+    int64_t evictions = 0;
+  };
+  static RegistryStats GetRegistryStats();
 
   /// The current generation; never blocks on growers (the critical
   /// section is one shared_ptr copy).

@@ -1,0 +1,82 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace oipa {
+namespace serve {
+namespace {
+
+/// Closes the fd on every exit path.
+class FdCloser {
+ public:
+  explicit FdCloser(int fd) : fd_(fd) {}
+  FdCloser(const FdCloser&) = delete;
+  FdCloser& operator=(const FdCloser&) = delete;
+  ~FdCloser() { ::close(fd_); }
+
+ private:
+  const int fd_;
+};
+
+}  // namespace
+
+StatusOr<std::string> RequestOverTcp(const std::string& host, int port,
+                                     const std::string& line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  FdCloser closer(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparsable IPv4 host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::IoError("connect " + host + ":" +
+                           std::to_string(port) + ": " +
+                           std::strerror(errno));
+  }
+
+  const std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::IoError("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      buffer.resize(newline);
+      return buffer;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      return Status::IoError("recv: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IoError(
+          "connection closed before a full response line");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace serve
+}  // namespace oipa

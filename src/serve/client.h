@@ -1,0 +1,23 @@
+#ifndef OIPA_SERVE_CLIENT_H_
+#define OIPA_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace oipa {
+namespace serve {
+
+/// Minimal blocking client for the oipa_serve wire protocol: connects
+/// to host:port, sends `line` (one compact JSON request; the trailing
+/// newline is added here), and returns the one-line JSON response.
+/// Used by `oipa_cli plan --server=...` and the tests; IoError on
+/// connect/send failures or a connection closed before a full line
+/// arrived.
+StatusOr<std::string> RequestOverTcp(const std::string& host, int port,
+                                     const std::string& line);
+
+}  // namespace serve
+}  // namespace oipa
+
+#endif  // OIPA_SERVE_CLIENT_H_

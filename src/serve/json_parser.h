@@ -1,0 +1,25 @@
+#ifndef OIPA_SERVE_JSON_PARSER_H_
+#define OIPA_SERVE_JSON_PARSER_H_
+
+#include <string_view>
+
+#include "cli/json_writer.h"
+#include "util/status.h"
+
+namespace oipa {
+namespace serve {
+
+/// Parses one JSON document into the same JsonValue tree json_writer
+/// builds, so the serve wire protocol reads requests and writes
+/// responses through a single value type. Strict where it matters for a
+/// network-facing parser: every error is an InvalidArgument Status (the
+/// daemon never aborts on client bytes), trailing non-whitespace after
+/// the document is rejected, nesting is capped, and only valid JSON
+/// escapes are accepted. Numbers parse as integers when they are
+/// integral and fit int64, as doubles otherwise.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace serve
+}  // namespace oipa
+
+#endif  // OIPA_SERVE_JSON_PARSER_H_

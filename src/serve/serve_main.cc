@@ -1,0 +1,70 @@
+// oipa_serve: the OIPA planning daemon. See src/serve/server.h for the
+// execution model and wire.h for the protocol; README.md "Serving"
+// walks through a session. Flags (all optional):
+//
+//   oipa_serve --host=127.0.0.1 --port=7477 --workers=2
+//              --max_contexts=8 --store_budget_mb=0
+//
+// SIGINT/SIGTERM drain in-flight solves before exiting.
+
+#include <csignal>
+#include <iostream>
+
+#include "serve/server.h"
+#include "util/flags.h"
+
+namespace {
+
+// Signal handlers may only call the async-signal-safe
+// PlanServer::RequestShutdown; the pointer is published before the
+// handlers are installed and never changes afterwards.
+oipa::serve::PlanServer* g_server = nullptr;
+
+extern "C" void HandleSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oipa::FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::cout << "usage: oipa_serve [--host=127.0.0.1] [--port=0] "
+                 "[--workers=2] [--max_contexts=8] "
+                 "[--store_budget_mb=0]\n"
+                 "Newline-delimited JSON planning daemon; see README.md "
+                 "\"Serving\" for the protocol.\n";
+    return 0;
+  }
+
+  oipa::serve::ServerOptions options;
+  options.host = flags.GetString("host", options.host);
+  options.port = static_cast<int>(flags.GetInt("port", options.port));
+  options.workers =
+      static_cast<int>(flags.GetInt("workers", options.workers));
+  options.max_contexts = static_cast<int>(
+      flags.GetInt("max_contexts", options.max_contexts));
+  options.store_budget_bytes =
+      flags.GetInt("store_budget_mb", 0) * 1024 * 1024;
+
+  oipa::serve::PlanServer server(options);
+  const oipa::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "oipa_serve: " << started.ToString() << "\n";
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  // The smoke harness and humans both scrape this line for the port.
+  std::cout << "oipa_serve listening on " << options.host << ":"
+            << server.port() << std::endl;
+
+  server.Wait();
+  std::cerr << "oipa_serve: draining...\n";
+  server.Stop();
+  std::cerr << "oipa_serve: stopped\n";
+  return 0;
+}

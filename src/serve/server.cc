@@ -1,0 +1,426 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "oipa/api/solver_registry.h"
+#include "rrset/mrr_collection.h"
+#include "rrset/sample_store.h"
+
+namespace oipa {
+namespace serve {
+namespace {
+
+/// Hard cap on one request line; a client exceeding it is answered
+/// with an error and disconnected (protects the daemon from unbounded
+/// buffering, not a protocol limit a sane request ever hits).
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+bool IsBlank(const std::string& line) {
+  for (const char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlanServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+PlanServer::PlanServer(const ServerOptions& options)
+    : options_(options), cache_(options.max_contexts) {}
+
+PlanServer::~PlanServer() { Stop(); }
+
+Status PlanServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (options_.workers < 1) {
+    return Status::InvalidArgument("workers must be >= 1");
+  }
+
+  SampleStore::SetRegistryBudget(options_.store_budget_bytes);
+
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IoError("pipe: " + std::string(std::strerror(errno)));
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparsable IPv4 host '" +
+                                   options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IoError("bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::IoError("listen: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Status::IoError("getsockname: " +
+                           std::string(std::strerror(errno)));
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void PlanServer::RequestShutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    // The byte is deliberately never consumed: every poll()er of the
+    // read end (AcceptLoop, Wait) sees POLLIN from here on.
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void PlanServer::Wait() {
+  while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{wake_pipe_[0], POLLIN, 0};
+    ::poll(&pfd, 1, -1);  // EINTR (the signal itself) re-checks the flag
+  }
+}
+
+void PlanServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  RequestShutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Draining: late requests from still-open connections get an error
+  // response (ReaderLoop checks the flag), everything already queued is
+  // solved before the workers exit.
+  {
+    MutexLock lock(&mu_);
+    draining_ = true;
+  }
+  queue_cv_.NotifyAll();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  // Now unblock the readers and wait for them.
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    MutexLock lock(&mu_);
+    conns = conns_;
+    readers = std::move(readers_);
+  }
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (std::thread& reader : readers) {
+    if (reader.joinable()) reader.join();
+  }
+  {
+    MutexLock lock(&mu_);
+    conns_.clear();
+  }
+  conns.clear();  // last references: fds close here
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void PlanServer::AcceptLoop() {
+  while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    MutexLock lock(&mu_);
+    if (draining_) continue;  // conn closes via its destructor
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void PlanServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[4096];
+  bool alive = true;
+  while (alive) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos = 0;
+    while (alive && (pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (IsBlank(line)) continue;
+
+      StatusOr<WireRequest> request = ParseWireRequest(line);
+      if (!request.ok()) {
+        // Malformed input never kills the daemon or the connection —
+        // the client gets a structured error and may try again.
+        WriteLine(conn.get(), ErrorResponseLine("", request.status()));
+        continue;
+      }
+      bool rejected = false;
+      {
+        MutexLock lock(&mu_);
+        if (draining_) {
+          rejected = true;
+        } else {
+          Work work;
+          work.conn = conn;
+          work.merge_key = MergeKey(*request);
+          work.request = std::move(*request);
+          work.accepted_at = std::chrono::steady_clock::now();
+          queue_.push_back(std::move(work));
+          queue_cv_.NotifyOne();
+        }
+      }
+      if (rejected) {
+        WriteLine(conn.get(),
+                  ErrorResponseLine(
+                      request->id,
+                      Status::FailedPrecondition("server is draining")));
+      }
+    }
+    if (buffer.size() > kMaxLineBytes) {
+      WriteLine(conn.get(),
+                ErrorResponseLine(
+                    "", Status::InvalidArgument(
+                            "request line exceeds 1 MiB; disconnecting")));
+      alive = false;
+    }
+  }
+  MutexLock lock(&mu_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+               conns_.end());
+}
+
+void PlanServer::WorkerLoop() {
+  while (true) {
+    std::vector<Work> group;
+    size_t queue_depth = 0;
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !draining_) queue_cv_.Wait(&mu_);
+      if (queue_.empty()) return;  // draining and nothing left
+      queue_depth = queue_.size();
+      group.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Claim every queued batch-compatible request: same context,
+      // same solver profile, no deadline (see wire.h MergeKey).
+      // Copied, not referenced: push_back below reallocates `group`.
+      const std::string key = group.front().merge_key;
+      if (!key.empty()) {
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          if (it->merge_key == key) {
+            group.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      if (group.size() > 1) {
+        batched_requests_ += static_cast<int64_t>(group.size());
+      }
+    }
+    HandleGroup(std::move(group), queue_depth);
+  }
+}
+
+void PlanServer::HandleGroup(std::vector<Work> group,
+                             size_t queue_depth) {
+  const int64_t samples_before = MrrCollection::GeneratedSampleCount();
+
+  // The whole group shares one ContextKey(); acquire with the largest
+  // theta seen so every member's samples are covered by one store.
+  WireRequest spec = group.front().request;
+  for (const Work& work : group) {
+    spec.sampling.theta =
+        std::max(spec.sampling.theta, work.request.sampling.theta);
+  }
+  bool cache_hit = false;
+  StatusOr<std::shared_ptr<const ContextCache::Entry>> acquired =
+      cache_.Acquire(spec, &cache_hit);
+  if (!acquired.ok()) {
+    for (const Work& work : group) {
+      WriteLine(work.conn.get(),
+                ErrorResponseLine(work.request.id, acquired.status()));
+    }
+    return;
+  }
+  std::shared_ptr<const ContextCache::Entry> entry = std::move(*acquired);
+
+  // Merge the group's budget lists into one deduplicated sweep.
+  std::vector<int> budgets;
+  for (const Work& work : group) {
+    for (const int k : work.request.plan.budgets) {
+      if (std::find(budgets.begin(), budgets.end(), k) == budgets.end()) {
+        budgets.push_back(k);
+      }
+    }
+  }
+  std::sort(budgets.begin(), budgets.end());
+
+  PlanRequest plan_request = ToPlanRequest(spec, entry->pool);
+  plan_request.budgets = std::move(budgets);
+  if (spec.plan.deadline_ms.has_value()) {
+    // The deadline runs from enqueue: queue wait has already consumed
+    // part of it. An exhausted budget still dispatches with 1 ms left —
+    // the solver is cancelled at its first progress poll, which yields
+    // the partial-telemetry response the contract promises.
+    const int64_t elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - group.front().accepted_at)
+            .count();
+    plan_request.deadline_ms =
+        std::max<int64_t>(1, *spec.plan.deadline_ms - elapsed);
+  }
+
+  const StatusOr<std::vector<PlanResponse>> responses =
+      SolveBatch(*entry->context, plan_request);
+  if (!responses.ok()) {
+    for (const Work& work : group) {
+      WriteLine(work.conn.get(),
+                ErrorResponseLine(work.request.id, responses.status()));
+    }
+    return;
+  }
+  const int64_t samples_generated =
+      MrrCollection::GeneratedSampleCount() - samples_before;
+
+  std::map<int, const PlanResponse*> by_budget;
+  for (const PlanResponse& response : *responses) {
+    by_budget[response.budget] = &response;
+  }
+  // Render every response first, then drop this worker's context
+  // reference BEFORE writing: once a client has read its answer, any
+  // store pin this worker held on its behalf is provably released
+  // (responses that report pin/eviction telemetry depend on that
+  // ordering — so do clients sequencing requests against it).
+  std::vector<std::string> lines;
+  lines.reserve(group.size());
+  for (const Work& work : group) {
+    JsonValue results = JsonValue::Array();
+    bool cancelled = false;
+    for (const int k : work.request.plan.budgets) {
+      const auto it = by_budget.find(k);
+      if (it == by_budget.end()) continue;  // cannot happen; be safe
+      cancelled = cancelled || it->second->cancelled;
+      results.Append(ResultJson(*it->second));
+    }
+    lines.push_back(
+        OkResponseLine(work.request.id, std::move(results), cancelled,
+                       ServeTelemetry(*entry, cache_hit, group.size(),
+                                      queue_depth, samples_generated)));
+  }
+  entry.reset();
+  for (size_t i = 0; i < group.size(); ++i) {
+    WriteLine(group[i].conn.get(), lines[i]);
+  }
+}
+
+JsonValue PlanServer::ServeTelemetry(const ContextCache::Entry& entry,
+                                     bool cache_hit, size_t batch_size,
+                                     size_t queue_depth,
+                                     int64_t samples_generated) const {
+  JsonValue serve = JsonValue::Object();
+  serve.Set("cache_hit", cache_hit)
+      .Set("batch_size", static_cast<int64_t>(batch_size))
+      .Set("queue_depth", static_cast<int64_t>(queue_depth))
+      .Set("samples_generated", samples_generated);
+  {
+    MutexLock lock(&mu_);
+    serve.Set("batched_requests", batched_requests_);
+  }
+
+  const ContextCache::Stats cache = cache_.GetStats();
+  JsonValue cache_json = JsonValue::Object();
+  cache_json.Set("hits", cache.hits)
+      .Set("misses", cache.misses)
+      .Set("evictions", cache.evictions)
+      .Set("live_contexts", cache.live_contexts);
+  serve.Set("context_cache", std::move(cache_json));
+
+  const SampleStore::Stats store = entry.context->sample_store().GetStats();
+  JsonValue store_json = JsonValue::Object();
+  store_json.Set("theta", store.theta)
+      .Set("holdout_theta", store.holdout_theta)
+      .Set("memory_bytes", store.memory_bytes)
+      .Set("live_generations", store.live_generations)
+      .Set("shared", store.shared);
+  serve.Set("store", std::move(store_json));
+
+  const SampleStore::RegistryStats registry =
+      SampleStore::GetRegistryStats();
+  JsonValue registry_json = JsonValue::Object();
+  registry_json.Set("live_stores", registry.live_stores)
+      .Set("pinned_stores", registry.pinned_stores)
+      .Set("memory_bytes", registry.memory_bytes)
+      .Set("budget_bytes", registry.budget_bytes)
+      .Set("evictions", registry.evictions);
+  serve.Set("store_registry", std::move(registry_json));
+  return serve;
+}
+
+void PlanServer::WriteLine(Connection* conn, const std::string& line) {
+  const std::string framed = line + "\n";
+  MutexLock lock(&conn->write_mu);
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon;
+    // the write error is simply dropped with the response.
+    const ssize_t n = ::send(conn->fd, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace serve
+}  // namespace oipa

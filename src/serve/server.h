@@ -1,0 +1,156 @@
+#ifndef OIPA_SERVE_SERVER_H_
+#define OIPA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/context_cache.h"
+#include "serve/wire.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/threading.h"
+
+namespace oipa {
+namespace serve {
+
+/// Configuration of one PlanServer instance.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Solver worker threads (each handles one request group at a time).
+  int workers = 2;
+  /// ContextCache capacity.
+  int max_contexts = 8;
+  /// SampleStore registry byte budget installed at Start(); 0 keeps
+  /// the default no-retention behavior (see SampleStore::Acquire).
+  int64_t store_budget_bytes = 0;
+};
+
+/// The oipa_serve planning daemon: accepts newline-delimited JSON plan
+/// requests over TCP (see wire.h for the schema), answers each on the
+/// same connection in arrival order per connection, and never aborts
+/// on wire input — malformed requests get structured error responses.
+///
+/// Execution model: one accept thread, one reader thread per
+/// connection, and a fixed worker pool draining a FIFO work queue.
+/// When a worker dequeues a request it also claims every queued
+/// request with the same MergeKey() (same context, same solver
+/// profile, no deadline) and answers the whole group from a single
+/// SolveBatch budget sweep over the merged budget list — each response
+/// is bit-identical to solving that request alone, because the shared
+/// samples cannot grow mid-sweep for merge-eligible requests.
+///
+/// Deadlines: PlanSpec::deadline_ms is measured from the moment the
+/// reader enqueues the request, so queue wait counts against it. The
+/// remaining budget becomes PlanRequest::deadline_ms (clamped to at
+/// least 1 ms — a request already past its deadline is cancelled at
+/// the solver's first progress poll) and the solver is cut off
+/// mid-search through the progress hook; the response rows carry
+/// "cancelled"/"deadline_exceeded" plus the partial telemetry of the
+/// work done up to the cutoff.
+///
+/// Shutdown: RequestShutdown() is async-signal-safe (oipa_serve calls
+/// it from SIGINT/SIGTERM handlers). Stop() then stops accepting,
+/// answers any late requests with a FailedPrecondition error, drains
+/// every already-queued solve, and joins all threads.
+///
+/// Locking: mu_ guards the work queue, the connection table, and the
+/// drain flag; each connection carries its own write mutex so workers
+/// and its reader serialize response lines without sharing mu_. Lock
+/// order: mu_ and conn->write_mu are never held together.
+class PlanServer {
+ public:
+  explicit PlanServer(const ServerOptions& options);
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Binds, listens, and spawns the accept/worker threads. IoError on
+  /// socket failures (bad host, port in use).
+  Status Start();
+
+  /// The bound TCP port (valid after a successful Start()).
+  int port() const { return bound_port_; }
+
+  /// Flags the server for shutdown and wakes Wait()/the accept loop.
+  /// Async-signal-safe: one atomic store and one pipe write.
+  void RequestShutdown();
+
+  /// Blocks until RequestShutdown() is called (signal handlers, tests).
+  void Wait();
+
+  /// Graceful shutdown: stop accepting, drain queued solves, join all
+  /// threads, close all sockets. Idempotent; implies RequestShutdown().
+  void Stop();
+
+ private:
+  /// One client connection. The fd is closed by the destructor, i.e.
+  /// when the reader thread AND every worker still answering queued
+  /// requests for it have dropped their references.
+  struct Connection {
+    ~Connection();
+    int fd = -1;
+    /// Serializes response lines (the reader writes parse errors, any
+    /// worker writes solve responses).
+    Mutex write_mu;
+  };
+
+  /// One queued request.
+  struct Work {
+    std::shared_ptr<Connection> conn;
+    WireRequest request;
+    std::string merge_key;
+    std::chrono::steady_clock::time_point accepted_at;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  /// Answers one merge group from a single SolveBatch sweep.
+  /// `queue_depth` is the depth observed at dispatch (telemetry).
+  void HandleGroup(std::vector<Work> group, size_t queue_depth);
+  /// Telemetry block attached to every success response.
+  JsonValue ServeTelemetry(const ContextCache::Entry& entry,
+                           bool cache_hit, size_t batch_size,
+                           size_t queue_depth,
+                           int64_t samples_generated) const;
+
+  static void WriteLine(Connection* conn, const std::string& line);
+
+  const ServerOptions options_;
+  ContextCache cache_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  /// Self-pipe waking poll() in AcceptLoop()/Wait(); the payload is
+  /// never consumed, so every poller sees it.
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> shutdown_requested_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable Mutex mu_;
+  CondVar queue_cv_;
+  std::deque<Work> queue_ OIPA_GUARDED_BY(mu_);
+  bool draining_ OIPA_GUARDED_BY(mu_) = false;
+  std::vector<std::shared_ptr<Connection>> conns_ OIPA_GUARDED_BY(mu_);
+  std::vector<std::thread> readers_ OIPA_GUARDED_BY(mu_);
+  /// Requests answered as part of a multi-request batch (telemetry).
+  int64_t batched_requests_ OIPA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace serve
+}  // namespace oipa
+
+#endif  // OIPA_SERVE_SERVER_H_

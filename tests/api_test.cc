@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -195,6 +196,16 @@ TEST_F(ApiFixture, SolveRejectsMalformedRequests) {
   sweep.budgets = {2, 4};
   EXPECT_EQ(Solve(*context_, sweep).status().code(),
             StatusCode::kInvalidArgument);
+
+  // A present deadline must be >= 1 ms.
+  PlanRequest zero_deadline = Request("bab", 3);
+  zero_deadline.deadline_ms = 0;
+  EXPECT_EQ(Solve(*context_, zero_deadline).status().code(),
+            StatusCode::kInvalidArgument);
+  PlanRequest negative_deadline = Request("bab", 3);
+  negative_deadline.deadline_ms = -5;
+  EXPECT_EQ(Solve(*context_, negative_deadline).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(ApiFixture, BruteForceRejectsOversizedInstances) {
@@ -268,6 +279,39 @@ TEST_F(ApiFixture, ProgressHookCancelsTheSearch) {
   EXPECT_TRUE(r->cancelled);
   EXPECT_FALSE(r->converged);
   EXPECT_GT(r->utility, 0.0);
+}
+
+TEST_F(ApiFixture, DeadlineCancelsMidSolveWithPartialTelemetry) {
+  PlanRequest request = Request("bab", 6);
+  request.options.gap = 0.0;
+  request.options.max_nodes = 1'000'000;
+  request.deadline_ms = 1;
+  // Each poll sleeps past the deadline, so the BAB search is cut off on
+  // an early node expansion regardless of machine speed.
+  std::atomic<int> calls{0};
+  request.progress = [&](const PlanProgress&) {
+    ++calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return true;  // the caller hook never cancels — the deadline does
+  };
+  const auto r = Solve(*context_, request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->cancelled);
+  EXPECT_TRUE(r->deadline_exceeded);
+  EXPECT_FALSE(r->converged);
+  EXPECT_GE(calls.load(), 1);
+
+  // A comfortable deadline changes nothing: same plan as no deadline,
+  // deadline_exceeded stays false.
+  PlanRequest relaxed = Request("bab", 3);
+  relaxed.deadline_ms = 60'000;
+  const auto timed = Solve(*context_, relaxed);
+  const auto plain = Solve(*context_, Request("bab", 3));
+  ASSERT_TRUE(timed.ok() && plain.ok());
+  EXPECT_FALSE(timed->deadline_exceeded);
+  EXPECT_FALSE(timed->cancelled);
+  EXPECT_EQ(timed->plan.Assignments(), plain->plan.Assignments());
+  EXPECT_EQ(timed->utility, plain->utility);
 }
 
 TEST_F(ApiFixture, InitialSnapshotCanCancelAnySolver) {
@@ -354,7 +398,10 @@ TEST_F(ApiFixture, GrowSamplesIsBitIdenticalToUpFrontGeneration) {
 TEST_F(ApiFixture, ProgressiveSolveGrowsUntilGapMet) {
   ContextOptions small;
   small.theta = 250;  // deliberately noisy start
-  small.seed = 17;
+  // A sampling seed distinct from the fixture's: the registry now
+  // theta-prefix-shares stores, so seed 17 would resolve to the
+  // fixture's 4'000-sample store and skip the growth under test.
+  small.seed = 18;
   auto ctx = PlanningContext::Create(
       graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), small);
   ASSERT_TRUE(ctx.ok());
@@ -374,7 +421,7 @@ TEST_F(ApiFixture, ProgressiveSolveGrowsUntilGapMet) {
   // a context generated at the final theta up front.
   ContextOptions final_options;
   final_options.theta = r->theta_used;
-  final_options.seed = 17;
+  final_options.seed = 18;
   auto final_ctx = PlanningContext::Create(
       graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0),
       final_options);
@@ -389,7 +436,7 @@ TEST_F(ApiFixture, ProgressiveSolveGrowsUntilGapMet) {
 TEST_F(ApiFixture, ProgressiveSolveStopsAtMaxTheta) {
   ContextOptions small;
   small.theta = 200;
-  small.seed = 17;
+  small.seed = 18;  // avoid theta-prefix sharing with the fixture store
   auto ctx = PlanningContext::Create(
       graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), small);
   ASSERT_TRUE(ctx.ok());
@@ -438,7 +485,7 @@ TEST_F(ApiFixture, ProgressiveSolveRequiresExtendableSamples) {
   PlanRequest request = Request("greedy-sigma", 1);
   request.epsilon = 0.05;
   EXPECT_EQ(Solve(**ctx, request).status().code(),
-            StatusCode::kFailedPrecondition);
+            StatusCode::kInvalidArgument);
 }
 
 // ------------------------------------------------- shared sample store
@@ -513,7 +560,7 @@ TEST_F(ApiFixture, SharedStoreSolvesAreBitIdenticalToPrivateStoreSolves) {
 TEST_F(ApiFixture, OpimBoundsStoppingCertifiesRatio) {
   ContextOptions small;
   small.theta = 250;  // deliberately noisy start
-  small.seed = 17;
+  small.seed = 18;  // avoid theta-prefix sharing with the fixture store
   auto ctx = PlanningContext::Create(
       graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), small);
   ASSERT_TRUE(ctx.ok());
@@ -540,7 +587,7 @@ TEST_F(ApiFixture, OpimBoundsStoppingCertifiesRatio) {
 TEST_F(ApiFixture, OpimBoundsStopsNoLaterThanMaxTheta) {
   ContextOptions small;
   small.theta = 200;
-  small.seed = 17;
+  small.seed = 18;  // avoid theta-prefix sharing with the fixture store
   auto ctx = PlanningContext::Create(
       graph_, probs_, campaign_, LogisticAdoptionModel(2.0, 1.0), small);
   ASSERT_TRUE(ctx.ok());

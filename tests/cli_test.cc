@@ -8,6 +8,7 @@
 
 #include "cli/cli.h"
 #include "cli/json_writer.h"
+#include "serve/server.h"
 #include "util/flags.h"
 
 namespace oipa {
@@ -409,6 +410,90 @@ TEST(CliPipelineTest, LearnedPlanningPathRuns) {
   ASSERT_EQ(run.code, 0) << run.err;
   EXPECT_NE(run.out.find("\"learn\":"), std::string::npos);
   EXPECT_NE(run.out.find("\"plan\":"), std::string::npos);
+}
+
+TEST(CliParseTest, DeadlineAndServerFlags) {
+  CliConfig config;
+  ASSERT_TRUE(ParseCliConfig(
+                  MakeFlags({"plan", "--deadline_ms=250",
+                             "--server=10.0.0.8:7477"}),
+                  &config)
+                  .ok());
+  EXPECT_EQ(config.deadline_ms, 250);
+  EXPECT_EQ(config.server, "10.0.0.8:7477");
+
+  // Non-positive deadlines and --server outside `plan` fail at parse
+  // time, mirroring the request-layer validation.
+  for (const std::vector<std::string>& bad :
+       {std::vector<std::string>{"plan", "--deadline_ms=0"},
+        {"plan", "--deadline_ms=-5"},
+        {"bench", "--server=127.0.0.1:7477"},
+        {"serve", "--workers=0"},
+        {"serve", "--max_contexts=0"},
+        {"serve", "--port=70000"},
+        {"serve", "--store_budget_mb=-1"}}) {
+    CliConfig rejected;
+    EXPECT_FALSE(ParseCliConfig(MakeFlags(bad), &rejected).ok())
+        << bad.front() << " " << bad.back();
+  }
+}
+
+TEST(CliParseTest, ServeCommandParsesDaemonFlags) {
+  CliConfig config;
+  ASSERT_TRUE(ParseCliConfig(
+                  MakeFlags({"serve", "--port=7477", "--workers=3",
+                             "--max_contexts=2", "--store_budget_mb=64"}),
+                  &config)
+                  .ok());
+  EXPECT_EQ(config.command, "serve");
+  EXPECT_EQ(config.port, 7477);
+  EXPECT_EQ(config.workers, 3);
+  EXPECT_EQ(config.max_contexts, 2);
+  EXPECT_EQ(config.store_budget_mb, 64);
+}
+
+TEST(CliDispatchTest, RemotePlanRejectsMalformedServer) {
+  const CliRun run =
+      InvokeCli(TinyArgs("plan", {"--server=no-port-here"}));
+  EXPECT_EQ(run.code, 2);
+  EXPECT_NE(run.err.find("host:port"), std::string::npos);
+}
+
+TEST(CliPipelineTest, RemotePlanMatchesLocalSolve) {
+  serve::PlanServer server({});  // 127.0.0.1, free port
+  ASSERT_TRUE(server.Start().ok());
+
+  // The same tiny configuration solved locally and via the daemon must
+  // produce the identical utility: the daemon rebuilds the pipeline
+  // from the wire spec with the same seeds.
+  const CliRun local = InvokeCli(TinyArgs("plan"));
+  ASSERT_EQ(local.code, 0) << local.err;
+  const CliRun remote = InvokeCli(TinyArgs(
+      "plan",
+      {"--server=127.0.0.1:" + std::to_string(server.port())}));
+  ASSERT_EQ(remote.code, 0) << remote.err;
+  EXPECT_NE(remote.out.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(remote.out.find("\"cache_hit\":"), std::string::npos);
+
+  const std::regex utility_re("\"utility\":([0-9.eE+-]+)");
+  std::smatch local_match, remote_match;
+  ASSERT_TRUE(
+      std::regex_search(local.out, local_match, utility_re));
+  ASSERT_TRUE(
+      std::regex_search(remote.out, remote_match, utility_re));
+  EXPECT_EQ(local_match[1].str(), remote_match[1].str());
+  server.Stop();
+}
+
+TEST(CliPipelineTest, DeadlineFlagReportsCancellation) {
+  // A generous deadline leaves the tiny solve untouched but switches
+  // the cancellation telemetry on in the plan JSON.
+  const CliRun run =
+      InvokeCli(TinyArgs("plan", {"--deadline_ms=60000"}));
+  ASSERT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("\"cancelled\":false"), std::string::npos);
+  EXPECT_NE(run.out.find("\"deadline_exceeded\":false"),
+            std::string::npos);
 }
 
 TEST(CliPipelineTest, ThreadsFlagRunsTheParallelEngine) {

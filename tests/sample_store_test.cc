@@ -146,14 +146,36 @@ TEST_F(SampleStoreFixture, AcquireDistinguishesSamplingConfigurations) {
                                    Options(400, 37));
   auto other_seed = SampleStore::Acquire(graph_, probs_, campaign_,
                                          Options(400, 38));
-  auto other_theta = SampleStore::Acquire(graph_, probs_, campaign_,
-                                          Options(800, 37));
   SampleStore::Options lt = Options(400, 37);
   lt.diffusion = DiffusionModel::kLinearThreshold;
   auto other_model = SampleStore::Acquire(graph_, probs_, campaign_, lt);
   EXPECT_NE(base.get(), other_seed.get());
-  EXPECT_NE(base.get(), other_theta.get());
   EXPECT_NE(base.get(), other_model.get());
+  // Theta is NOT part of the registry key: per-sample seeding makes a
+  // larger request a strict prefix extension, so the base store is
+  // grown in place instead of duplicated.
+  auto other_theta = SampleStore::Acquire(graph_, probs_, campaign_,
+                                          Options(800, 37));
+  EXPECT_EQ(base.get(), other_theta.get());
+  EXPECT_EQ(base->theta(), 800);
+}
+
+TEST_F(SampleStoreFixture, AcquireServesSmallerThetaFromLiveStore) {
+  auto big = SampleStore::Acquire(graph_, probs_, campaign_,
+                                  Options(900, 53));
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  auto small = SampleStore::Acquire(graph_, probs_, campaign_,
+                                    Options(300, 53));
+  // The 300-sample request is a prefix of the live 900-sample store:
+  // served without drawing a single new sample.
+  EXPECT_EQ(small.get(), big.get());
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount(), before);
+  // A larger request grows the shared store by the delta only.
+  auto bigger = SampleStore::Acquire(graph_, probs_, campaign_,
+                                     Options(1'200, 53));
+  EXPECT_EQ(bigger.get(), big.get());
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount() - before,
+            2 * (1'200 - 900));
 }
 
 TEST_F(SampleStoreFixture, RegistryDropsDeadStores) {
@@ -167,6 +189,82 @@ TEST_F(SampleStoreFixture, RegistryDropsDeadStores) {
   // A dead store is never resurrected — the samples are drawn again.
   EXPECT_EQ(MrrCollection::GeneratedSampleCount() - before, 2 * 300);
   (void)old;  // the address may or may not be recycled; only behavior counts
+}
+
+// ------------------------------------------- budget retention/eviction
+
+TEST_F(SampleStoreFixture, RegistryBudgetRetainsAndEvictsLru) {
+  SampleStore::SetRegistryBudget(1'000'000'000);  // effectively unbounded
+  auto a = SampleStore::Acquire(graph_, probs_, campaign_,
+                                Options(400, 61));
+  const int64_t per_store = a->GetStats().memory_bytes;
+  ASSERT_GT(per_store, 0);
+  a.reset();
+  // Retained past the last handle: a same-key re-acquire is a cache
+  // hit — zero new samples.
+  int64_t before = MrrCollection::GeneratedSampleCount();
+  a = SampleStore::Acquire(graph_, probs_, campaign_, Options(400, 61));
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount(), before);
+
+  auto b = SampleStore::Acquire(graph_, probs_, campaign_,
+                                Options(400, 62));
+  a.reset();  // a is now least recently used
+  b.reset();
+  SampleStore::RegistrySize();  // prune side effect only
+  const SampleStore::RegistryStats retained =
+      SampleStore::GetRegistryStats();
+  EXPECT_EQ(retained.live_stores, 2);
+  EXPECT_EQ(retained.pinned_stores, 0);
+  // Both stores are live (the two sample streams differ slightly in
+  // byte size, so compare against one store, not exactly two).
+  EXPECT_GT(retained.memory_bytes, per_store);
+
+  // Shrinking the budget below two stores evicts the LRU one (a);
+  // b stays retained.
+  const int64_t evictions_before = retained.evictions;
+  SampleStore::SetRegistryBudget(per_store + per_store / 2);
+  const SampleStore::RegistryStats after =
+      SampleStore::GetRegistryStats();
+  EXPECT_EQ(after.live_stores, 1);
+  EXPECT_EQ(after.evictions, evictions_before + 1);
+  before = MrrCollection::GeneratedSampleCount();
+  b = SampleStore::Acquire(graph_, probs_, campaign_, Options(400, 62));
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount(), before);  // survivor
+  b.reset();
+  before = MrrCollection::GeneratedSampleCount();
+  a = SampleStore::Acquire(graph_, probs_, campaign_, Options(400, 61));
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount() - before,
+            2 * 400);  // the evicted store resamples from scratch
+  // Acquiring a pins it, so budget enforcement must evict b (the only
+  // unpinned retained store) to make room.
+  EXPECT_EQ(SampleStore::GetRegistryStats().evictions,
+            evictions_before + 2);
+  a.reset();
+  SampleStore::SetRegistryBudget(0);  // restore test isolation
+  EXPECT_EQ(SampleStore::GetRegistryStats().live_stores, 0);
+}
+
+TEST_F(SampleStoreFixture, PinnedStoresSurviveBudgetPressure) {
+  SampleStore::SetRegistryBudget(1);  // below any store's footprint
+  auto pinned = SampleStore::Acquire(graph_, probs_, campaign_,
+                                     Options(300, 63));
+  const SampleStore::RegistryStats stats =
+      SampleStore::GetRegistryStats();
+  EXPECT_EQ(stats.live_stores, 1);
+  EXPECT_EQ(stats.pinned_stores, 1);
+  EXPECT_EQ(stats.budget_bytes, 1);
+  // A pinned store is never evicted: the same key resolves to it with
+  // zero new sampling even though it exceeds the budget on its own.
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  auto again = SampleStore::Acquire(graph_, probs_, campaign_,
+                                    Options(300, 63));
+  EXPECT_EQ(again.get(), pinned.get());
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount(), before);
+  again.reset();
+  pinned.reset();
+  // Unpinned, it immediately falls to the 1-byte budget.
+  EXPECT_EQ(SampleStore::GetRegistryStats().live_stores, 0);
+  SampleStore::SetRegistryBudget(0);
 }
 
 // -------------------------------------------------------- concurrency

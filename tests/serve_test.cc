@@ -1,0 +1,549 @@
+// oipa_serve end-to-end tests: real TCP sockets against a PlanServer
+// in-process. Covers the wire protocol (parse errors -> structured
+// responses, never aborts), context caching, request batching,
+// deadlines, graceful drain, and the SampleStore registry budget. Runs
+// in the TSan CI leg — the concurrent-clients test is the data-race
+// probe for the whole serve subsystem.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rrset/sample_store.h"
+#include "serve/client.h"
+#include "serve/json_parser.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace oipa {
+namespace serve {
+namespace {
+
+// ------------------------------------------------------- JSON parser
+
+TEST(JsonParserTest, ParsesScalarsEscapesAndNesting) {
+  const StatusOr<JsonValue> v = ParseJson(
+      R"({"s":"a\"b\nA","i":-42,"d":2.5,"b":true,"z":null,)"
+      R"("arr":[1,[2]],"obj":{"k":"v"}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("s")->string_value(), "a\"b\nA");
+  EXPECT_EQ(v->Find("i")->int_value(), -42);
+  EXPECT_EQ(v->Find("d")->double_value(), 2.5);
+  EXPECT_TRUE(v->Find("b")->bool_value());
+  EXPECT_TRUE(v->Find("z")->is_null());
+  EXPECT_EQ(v->Find("arr")->at(1).at(0).int_value(), 2);
+  EXPECT_EQ(v->Find("obj")->Find("k")->string_value(), "v");
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+        "{\"a\":1} trailing", "01", "- 1", "nan", "{\"a\" 1}"}) {
+    const StatusOr<JsonValue> v = ParseJson(bad);
+    EXPECT_FALSE(v.ok()) << bad;
+    EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(JsonParserTest, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  const StatusOr<JsonValue> v = ParseJson(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(JsonParserTest, RoundTripsThroughJsonValueDump) {
+  const std::string text =
+      R"({"a":[1,2.5,"x"],"b":{"c":false},"d":null})";
+  const StatusOr<JsonValue> v = ParseJson(text);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Dump(-1), text);
+}
+
+// ------------------------------------------------------ wire parsing
+
+TEST(WireTest, DefaultsAndMergeKeys) {
+  const StatusOr<WireRequest> minimal = ParseWireRequest(R"({"id":"r"})");
+  ASSERT_TRUE(minimal.ok()) << minimal.status().ToString();
+  EXPECT_EQ(minimal->id, "r");
+  EXPECT_EQ(minimal->plan.method, "bab-p");
+  EXPECT_EQ(minimal->plan.budgets, std::vector<int>({10}));
+  EXPECT_FALSE(minimal->wants_holdout());
+
+  // Same context, different budgets: merge keys match.
+  const auto a = ParseWireRequest(R"({"plan":{"budgets":[4]}})");
+  const auto b = ParseWireRequest(R"({"plan":{"budgets":[8]}})");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(MergeKey(*a), MergeKey(*b));
+  EXPECT_FALSE(MergeKey(*a).empty());
+  EXPECT_EQ(ContextKey(*a), ContextKey(*b));
+
+  // Theta is not part of the context key (prefix sharing)...
+  const auto grown = ParseWireRequest(R"({"sampling":{"theta":40000}})");
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(ContextKey(*a), ContextKey(*grown));
+  // ...but the sampling seed and the solver profile are.
+  const auto seeded = ParseWireRequest(R"({"sampling":{"seed":5}})");
+  const auto other_method = ParseWireRequest(R"({"plan":{"method":"im"}})");
+  ASSERT_TRUE(seeded.ok() && other_method.ok());
+  EXPECT_NE(ContextKey(*a), ContextKey(*seeded));
+  EXPECT_NE(MergeKey(*a), MergeKey(*other_method));
+
+  // Deadlines and progressive solving disqualify batching.
+  const auto deadline =
+      ParseWireRequest(R"({"plan":{"deadline_ms":100}})");
+  const auto progressive =
+      ParseWireRequest(R"({"sampling":{"epsilon":0.05}})");
+  ASSERT_TRUE(deadline.ok() && progressive.ok());
+  EXPECT_TRUE(MergeKey(*deadline).empty());
+  EXPECT_TRUE(MergeKey(*progressive).empty());
+}
+
+TEST(WireTest, RejectsOutOfDomainFields) {
+  for (const char* bad : {
+           R"({"dataset":{"name":"imdb"}})",
+           R"({"dataset":{"n":0}})",
+           R"({"dataset":{"pool_fraction":0.0}})",
+           R"({"sampling":{"theta":0}})",
+           R"({"sampling":{"epsilon":-0.1}})",
+           R"({"sampling":{"stopping":"never"}})",
+           R"({"plan":{"budgets":[]}})",
+           R"({"plan":{"budgets":[0]}})",
+           R"({"plan":{"budgets":"many"}})",
+           R"({"plan":{"deadline_ms":0}})",
+           R"({"plan":{"deadline_ms":-5}})",
+           R"({"plan":{"threads":-1}})",
+           R"({"plan":{"epsilon":0.0}})",
+           R"({"plan":{"epsilon":1.5}})",
+           R"({"plan":{"bound":"tight"}})",
+           R"({"plan":{"max_nodes":0}})",
+           R"({"id":7})",
+           R"([1,2,3])",
+       }) {
+    const StatusOr<WireRequest> r = ParseWireRequest(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+  }
+}
+
+// ---------------------------------------------------------- fixture
+
+/// Sends `lines` on one connection, then reads until `expected`
+/// response lines arrived (responses come back in request order).
+std::vector<std::string> SendLinesAndCollect(
+    int port, const std::vector<std::string>& lines, size_t expected,
+    int delay_ms_between_lines = 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  for (const std::string& line : lines) {
+    const std::string framed = line + "\n";
+    EXPECT_EQ(::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size()));
+    if (delay_ms_between_lines > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(delay_ms_between_lines));
+    }
+  }
+  std::string buffer;
+  std::vector<std::string> responses;
+  char chunk[4096];
+  while (responses.size() < expected) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos = 0;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      responses.push_back(buffer.substr(0, pos));
+      buffer.erase(0, pos + 1);
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(responses.size(), expected);
+  return responses;
+}
+
+JsonValue Parse(const std::string& line) {
+  StatusOr<JsonValue> v = ParseJson(line);
+  EXPECT_TRUE(v.ok()) << line;
+  return v.ok() ? std::move(*v) : JsonValue();
+}
+
+/// A small request against a tiny synthetic dataset. `dataset_seed`
+/// picks the context; `extra_plan` splices extra fields into "plan".
+std::string TinyRequest(const std::string& id, int dataset_seed,
+                        const std::string& budgets,
+                        const std::string& extra_plan = "",
+                        int64_t theta = 1'500) {
+  return std::string("{\"id\":\"") + id +
+         "\",\"dataset\":{\"n\":250,\"seed\":" +
+         std::to_string(dataset_seed) +
+         "},\"sampling\":{\"theta\":" + std::to_string(theta) +
+         "},\"plan\":{\"method\":\"bab\",\"budgets\":" + budgets +
+         extra_plan + "}}";
+}
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // Tests with a nonzero store budget must not leak retention into
+    // later suites sharing the process-wide registry.
+    SampleStore::SetRegistryBudget(0);
+  }
+
+  void StartServer(ServerOptions options) {
+    options.host = "127.0.0.1";
+    options.port = 0;
+    server_ = std::make_unique<PlanServer>(options);
+    const Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  JsonValue Roundtrip(const std::string& request) {
+    const StatusOr<std::string> response =
+        RequestOverTcp("127.0.0.1", server_->port(), request);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return Parse(response.ok() ? *response : "null");
+  }
+
+  std::unique_ptr<PlanServer> server_;
+};
+
+// ----------------------------------------------------------- serving
+
+TEST_F(ServeFixture, AnswersPlanRequestsAndCachesContexts) {
+  StartServer({});
+  const JsonValue first = Roundtrip(TinyRequest("r1", 1, "[3]"));
+  ASSERT_TRUE(first.Find("ok")->bool_value()) << first.Dump(-1);
+  EXPECT_EQ(first.Find("id")->string_value(), "r1");
+  const JsonValue& results = *first.Find("results");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results.at(0).Find("k")->int_value(), 3);
+  EXPECT_GT(results.at(0).Find("utility")->double_value(), 0.0);
+  EXPECT_TRUE(results.at(0).Find("converged")->bool_value());
+  const JsonValue* serve = first.Find("serve");
+  ASSERT_NE(serve, nullptr);
+  EXPECT_FALSE(serve->Find("cache_hit")->bool_value());
+  EXPECT_GT(serve->Find("samples_generated")->int_value(), 0);
+
+  // The repeat request hits the cached context: no dataset build, no
+  // piece graphs, and zero new MRR samples (acceptance (a)).
+  const JsonValue second = Roundtrip(TinyRequest("r2", 1, "[3]"));
+  ASSERT_TRUE(second.Find("ok")->bool_value());
+  const JsonValue* serve2 = second.Find("serve");
+  EXPECT_TRUE(serve2->Find("cache_hit")->bool_value());
+  EXPECT_EQ(serve2->Find("samples_generated")->int_value(), 0);
+  // Same context + same samples => bit-identical answer.
+  EXPECT_EQ(second.Find("results")->at(0).Find("utility")->double_value(),
+            results.at(0).Find("utility")->double_value());
+  EXPECT_EQ(second.Find("results")->at(0).Find("seed_sets")->Dump(-1),
+            results.at(0).Find("seed_sets")->Dump(-1));
+
+  // A larger theta reuses the context and samples only the delta.
+  const JsonValue grown =
+      Roundtrip(TinyRequest("r3", 1, "[3]", "", /*theta=*/3'000));
+  ASSERT_TRUE(grown.Find("ok")->bool_value());
+  EXPECT_TRUE(grown.Find("serve")->Find("cache_hit")->bool_value());
+  EXPECT_EQ(grown.Find("serve")->Find("samples_generated")->int_value(),
+            3'000 - 1'500);
+  EXPECT_EQ(grown.Find("results")->at(0).Find("theta_used")->int_value(),
+            3'000);
+}
+
+TEST_F(ServeFixture, MalformedInputGetsStructuredErrorsNotAborts) {
+  StartServer({});
+  const std::vector<std::string> lines = {
+      "this is not json",
+      R"({"dataset":{"name":"imdb"}})",
+      R"({"id":"bad-solver","plan":{"method":"frobnicate"}})",
+      R"({"id":"bad-deadline","plan":{"deadline_ms":-1}})",
+      TinyRequest("still-alive", 1, "[2]"),
+  };
+  const std::vector<std::string> responses =
+      SendLinesAndCollect(server_->port(), lines, lines.size());
+  ASSERT_EQ(responses.size(), lines.size());
+
+  // Parse errors are written by the reader and solve responses by the
+  // workers, so classify by content instead of arrival order.
+  int ok_count = 0, invalid_count = 0;
+  bool saw_dataset_error = false, saw_deadline_error = false;
+  bool saw_solver_not_found = false, saw_still_alive = false;
+  for (const std::string& line : responses) {
+    const JsonValue r = Parse(line);
+    if (r.Find("ok")->bool_value()) {
+      ++ok_count;
+      saw_still_alive = r.Find("id")->string_value() == "still-alive";
+      continue;
+    }
+    const JsonValue* error = r.Find("error");
+    ASSERT_NE(error, nullptr) << line;
+    const std::string code = error->Find("code")->string_value();
+    const std::string message = error->Find("message")->string_value();
+    if (code == "InvalidArgument") ++invalid_count;
+    if (message.find("imdb") != std::string::npos) {
+      saw_dataset_error = true;
+    }
+    if (message.find("deadline_ms") != std::string::npos) {
+      saw_deadline_error = true;
+    }
+    if (code == "NotFound" &&
+        r.Find("id")->string_value() == "bad-solver") {
+      saw_solver_not_found = true;
+    }
+  }
+  // The connection survived four bad requests; the fifth one solved.
+  EXPECT_EQ(ok_count, 1);
+  EXPECT_TRUE(saw_still_alive);
+  EXPECT_EQ(invalid_count, 3);  // bad JSON, bad dataset, bad deadline
+  EXPECT_TRUE(saw_dataset_error);
+  EXPECT_TRUE(saw_deadline_error);
+  EXPECT_TRUE(saw_solver_not_found);
+}
+
+TEST_F(ServeFixture, QueuedCompatibleRequestsShareOneSweep) {
+  ServerOptions options;
+  options.workers = 1;  // forces queueing behind the blocker
+  StartServer(options);
+
+  // Occupy the single worker with an expensive different-context
+  // request (big dataset build + sampling pass) while r-a/r-b (same
+  // context, different budgets) queue up behind it.
+  std::thread blocker([&] {
+    const std::string request =
+        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":99},"
+        "\"sampling\":{\"theta\":60000},"
+        "\"plan\":{\"method\":\"bab\",\"budgets\":[8]}}";
+    const StatusOr<std::string> response =
+        RequestOverTcp("127.0.0.1", server_->port(), request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(Parse(*response).Find("ok")->bool_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const std::vector<std::string> responses = SendLinesAndCollect(
+      server_->port(),
+      {TinyRequest("r-a", 1, "[4]"), TinyRequest("r-b", 1, "[6]")}, 2);
+  blocker.join();
+  ASSERT_EQ(responses.size(), 2u);
+
+  const JsonValue a = Parse(responses[0]);
+  const JsonValue b = Parse(responses[1]);
+  ASSERT_TRUE(a.Find("ok")->bool_value() && b.Find("ok")->bool_value());
+  // Both were answered from one merged SolveBatch sweep.
+  EXPECT_EQ(a.Find("serve")->Find("batch_size")->int_value(), 2);
+  EXPECT_EQ(b.Find("serve")->Find("batch_size")->int_value(), 2);
+  ASSERT_EQ(a.Find("results")->size(), 1u);
+  ASSERT_EQ(b.Find("results")->size(), 1u);
+  EXPECT_EQ(a.Find("results")->at(0).Find("k")->int_value(), 4);
+  EXPECT_EQ(b.Find("results")->at(0).Find("k")->int_value(), 6);
+
+  // Acceptance (b): the batched answers are bit-identical to solving
+  // each request alone against the same cached context.
+  for (const auto& [id, batched] :
+       {std::pair<std::string, const JsonValue*>{"s-a", &a},
+        std::pair<std::string, const JsonValue*>{"s-b", &b}}) {
+    const std::string budgets =
+        "[" +
+        std::to_string(
+            batched->Find("results")->at(0).Find("k")->int_value()) +
+        "]";
+    const JsonValue serial = Roundtrip(TinyRequest(id, 1, budgets));
+    ASSERT_TRUE(serial.Find("ok")->bool_value());
+    const JsonValue& lhs = serial.Find("results")->at(0);
+    const JsonValue& rhs = batched->Find("results")->at(0);
+    // Everything but wall-clock time must match bit-for-bit.
+    for (const char* field :
+         {"seed_sets", "utility", "holdout_utility", "upper_bound",
+          "converged", "nodes_expanded", "bound_calls", "theta_used"}) {
+      EXPECT_EQ(lhs.Find(field)->Dump(-1), rhs.Find(field)->Dump(-1))
+          << id << "." << field;
+    }
+  }
+}
+
+TEST_F(ServeFixture, DeadlineCancelsWithPartialTelemetry) {
+  StartServer({});
+  // Warm the context so the deadline bites mid-solve, not mid-build.
+  ASSERT_TRUE(
+      Roundtrip(TinyRequest("warm", 1, "[2]")).Find("ok")->bool_value());
+
+  // The sample growth to theta=40000 alone outlasts the 1 ms deadline
+  // (measured from enqueue), so the solve is dispatched with the
+  // clamped 1 ms remainder and cancels at its first progress poll.
+  const JsonValue r = Roundtrip(TinyRequest(
+      "hurry", 1, "[8]", ",\"deadline_ms\":1,\"gap\":0.0", 40'000));
+  ASSERT_TRUE(r.Find("ok")->bool_value()) << r.Dump(-1);
+  EXPECT_TRUE(r.Find("cancelled")->bool_value());
+  const JsonValue& row = r.Find("results")->at(0);
+  EXPECT_TRUE(row.Find("cancelled")->bool_value());
+  EXPECT_TRUE(row.Find("deadline_exceeded")->bool_value());
+  EXPECT_FALSE(row.Find("converged")->bool_value());
+  // Partial telemetry still describes the work done up to the cutoff.
+  EXPECT_GE(row.Find("theta_used")->int_value(), 1'500);
+
+  // A comfortable deadline leaves the solve untouched.
+  const JsonValue relaxed = Roundtrip(
+      TinyRequest("calm", 1, "[2]", ",\"deadline_ms\":60000"));
+  ASSERT_TRUE(relaxed.Find("ok")->bool_value());
+  EXPECT_FALSE(relaxed.Find("cancelled")->bool_value());
+  EXPECT_FALSE(relaxed.Find("results")
+                   ->at(0)
+                   .Find("deadline_exceeded")
+                   ->bool_value());
+}
+
+TEST_F(ServeFixture, StoreBudgetRetainsAndEvictsAcrossContexts) {
+  ServerOptions options;
+  options.max_contexts = 1;  // every new context evicts the previous
+  options.store_budget_bytes = 2 * 1024 * 1024;
+  StartServer(options);
+
+  // Context A, then context B. max_contexts=1 evicts A's context, but
+  // the 2 MiB budget retains A's (now unpinned) sample store.
+  const JsonValue a1 = Roundtrip(TinyRequest("a1", 1, "[2]"));
+  ASSERT_TRUE(a1.Find("ok")->bool_value());
+  const JsonValue b1 = Roundtrip(TinyRequest("b1", 2, "[2]"));
+  ASSERT_TRUE(b1.Find("ok")->bool_value());
+  const JsonValue* registry = b1.Find("serve")->Find("store_registry");
+  EXPECT_EQ(registry->Find("live_stores")->int_value(), 2);
+  EXPECT_EQ(registry->Find("pinned_stores")->int_value(), 1);
+  EXPECT_EQ(registry->Find("evictions")->int_value(), 0);
+
+  // Re-requesting A rebuilds the context (cache_hit false) but finds
+  // A's retained store in the registry: zero new samples.
+  const JsonValue a2 = Roundtrip(TinyRequest("a2", 1, "[2]"));
+  ASSERT_TRUE(a2.Find("ok")->bool_value());
+  EXPECT_FALSE(a2.Find("serve")->Find("cache_hit")->bool_value());
+  EXPECT_EQ(a2.Find("serve")->Find("samples_generated")->int_value(), 0);
+  EXPECT_EQ(a2.Find("results")->at(0).Find("utility")->double_value(),
+            a1.Find("results")->at(0).Find("utility")->double_value());
+
+  // Acceptance (d): drop the budget below two stores — the LRU
+  // unpinned store (B's) is evicted; re-requesting B resamples.
+  const int64_t store_bytes = a2.Find("serve")
+                                  ->Find("store")
+                                  ->Find("memory_bytes")
+                                  ->int_value();
+  SampleStore::SetRegistryBudget(store_bytes + store_bytes / 2);
+  const JsonValue b2 = Roundtrip(TinyRequest("b2", 2, "[2]"));
+  ASSERT_TRUE(b2.Find("ok")->bool_value());
+  const JsonValue* registry2 = b2.Find("serve")->Find("store_registry");
+  EXPECT_GE(registry2->Find("evictions")->int_value(), 1);
+  EXPECT_GT(b2.Find("serve")->Find("samples_generated")->int_value(), 0);
+  EXPECT_LE(registry2->Find("live_stores")->int_value(), 2);
+  // Evicted-and-resampled is still deterministic per the sampling seed.
+  EXPECT_EQ(b2.Find("results")->at(0).Find("utility")->double_value(),
+            b1.Find("results")->at(0).Find("utility")->double_value());
+}
+
+TEST_F(ServeFixture, ConcurrentClientsWithMixedContexts) {
+  ServerOptions options;
+  options.workers = 3;
+  StartServer(options);
+  constexpr int kClients = 8;
+  std::vector<std::string> responses(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        // Two contexts interleaved across clients, varying budgets.
+        const std::string request = TinyRequest(
+            "c" + std::to_string(i), 1 + (i % 2),
+            "[" + std::to_string(2 + i / 2) + "]");
+        const StatusOr<std::string> response =
+            RequestOverTcp("127.0.0.1", server_->port(), request);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        responses[i] = *response;
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  for (int i = 0; i < kClients; ++i) {
+    const JsonValue r = Parse(responses[i]);
+    EXPECT_TRUE(r.Find("ok")->bool_value()) << responses[i];
+    EXPECT_EQ(r.Find("id")->string_value(), "c" + std::to_string(i));
+    EXPECT_GT(
+        r.Find("results")->at(0).Find("utility")->double_value(), 0.0);
+  }
+  // Eight requests, two distinct contexts: exactly two misses total,
+  // observed from a follow-up request sent after every client joined
+  // (in-flight responses may snapshot the cache mid-build).
+  const JsonValue after = Roundtrip(TinyRequest("after", 1, "[2]"));
+  ASSERT_TRUE(after.Find("ok")->bool_value());
+  const JsonValue* cache = after.Find("serve")->Find("context_cache");
+  EXPECT_EQ(cache->Find("misses")->int_value(), 2);
+  EXPECT_EQ(cache->Find("live_contexts")->int_value(), 2);
+  // Hits count group acquires, not requests — concurrent compatible
+  // requests merge into batches — so only the follow-up is guaranteed.
+  EXPECT_GE(cache->Find("hits")->int_value(), 1);
+}
+
+TEST_F(ServeFixture, GracefulShutdownDrainsQueuedSolves) {
+  ServerOptions options;
+  options.workers = 1;
+  StartServer(options);
+
+  // Three requests on one connection; the single worker is busy with
+  // the first while the other two sit in the queue.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::string burst = TinyRequest("q1", 1, "[3]", "", 20'000) + "\n" +
+                      TinyRequest("q2", 1, "[4]") + "\n" +
+                      TinyRequest("q3", 2, "[3]") + "\n";
+  ASSERT_EQ(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Stop() drains: every accepted request is still answered.
+  server_->Stop();
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  std::vector<std::string> responses;
+  size_t pos = 0;
+  while ((pos = buffer.find('\n')) != std::string::npos) {
+    responses.push_back(buffer.substr(0, pos));
+    buffer.erase(0, pos + 1);
+  }
+  ASSERT_EQ(responses.size(), 3u) << buffer;
+  for (const std::string& line : responses) {
+    const JsonValue r = Parse(line);
+    EXPECT_TRUE(r.Find("ok")->bool_value()) << line;
+  }
+
+  // The listener is gone: new connections are refused.
+  const StatusOr<std::string> refused = RequestOverTcp(
+      "127.0.0.1", server_->port(), TinyRequest("late", 1, "[2]"));
+  EXPECT_FALSE(refused.ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace oipa
