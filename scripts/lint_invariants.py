@@ -7,11 +7,12 @@ Enforced rules (each failure names its rule id):
                     std lock RAII types) outside src/util/ — concurrent
                     code must use the annotated oipa::Mutex wrappers so
                     Clang Thread Safety Analysis covers it.
-  api-check         No OIPA_CHECK aborts inside src/oipa/api/ or
-                    src/serve/ — the API layer reports failures as
-                    Status/StatusOr values, and the serve daemon must
-                    answer malformed wire input with a structured error
-                    response, never abort.
+  api-check         No OIPA_CHECK aborts inside src/oipa/api/,
+                    src/serve/, or src/util/fault_injector.h — the API
+                    layer reports failures as Status/StatusOr values,
+                    the serve daemon must answer malformed wire input
+                    with a structured error response (never abort), and
+                    injected faults must surface as Status values.
   unseeded-rng      No std::random_device, rand() or srand() in src/ —
                     every sample stream must be derived from an explicit
                     uint64 seed (determinism contract).
@@ -259,7 +260,8 @@ def main() -> int:
                  "oipa::MutexLock / oipa::CondVar (util/threading.h)"))
         if rel.startswith(
                 os.path.join("src", "oipa", "api") + os.sep) or \
-                rel.startswith(os.path.join("src", "serve") + os.sep):
+                rel.startswith(os.path.join("src", "serve") + os.sep) or \
+                rel == os.path.join("src", "util", "fault_injector.h"):
             rules.append(
                 ("api-check", API_CHECK_RE,
                  "CHECK abort in the StatusOr API layer — return a "

@@ -17,7 +17,19 @@ checklist, and asserts on the response JSON:
   plus: malformed input gets a structured error response and the
       connection stays usable.
 
+With --chaos the script instead runs the robustness acceptance drill:
+a 200-request mix is answered twice — once fault-free, once with
+deterministic faults armed on socket I/O, store growth, and snapshot
+saves ($OIPA_FAULTS) — and every request of the faulted run must
+eventually return the bit-identical answer through client-side
+retries, with zero daemon aborts; an overload burst against a depth-1
+queue must yield structured resource_exhausted rejections carrying
+retry_after_ms; and a kill -9 followed by a restart on the same
+--checkpoint_dir must re-serve a cached-context request with
+samples_generated == 0.
+
 Usage: python3 scripts/serve_smoke.py [--binary build/oipa_serve]
+                                      [--chaos]
 Exit status: 0 all scenarios pass, 1 otherwise.
 """
 
@@ -84,12 +96,240 @@ def plan_request(request_id: str, dataset_seed: int, budgets: list[int],
     }
 
 
+def start_daemon(binary: str, flags: list[str],
+                 faults: str | None = None,
+                 faults_seed: int = 7) -> tuple[subprocess.Popen, int]:
+    """Launches the daemon and scrapes the bound port off its banner.
+    `faults` arms $OIPA_FAULTS for this daemon only."""
+    env = dict(os.environ)
+    env.pop("OIPA_FAULTS", None)
+    env.pop("OIPA_FAULTS_SEED", None)
+    if faults is not None:
+        env["OIPA_FAULTS"] = faults
+        env["OIPA_FAULTS_SEED"] = str(faults_seed)
+    daemon = subprocess.Popen(
+        [binary, "--port=0"] + flags,
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env=env)
+    banner = daemon.stdout.readline()
+    match = re.search(r"listening on [^:]+:(\d+)", banner)
+    if not match:
+        daemon.kill()
+        daemon.wait()
+        raise RuntimeError(f"no listening banner (got {banner!r})")
+    return daemon, int(match.group(1))
+
+
+# Every per-result field that must be deterministic. solve_seconds is
+# wall-clock and the serve block is telemetry; everything else must be
+# bit-identical between a fault-free and a faulted (but retried) run.
+ANSWER_FIELDS = ("k", "seed_sets", "utility", "holdout_utility",
+                 "upper_bound", "converged", "nodes_expanded",
+                 "bound_calls", "theta_used")
+
+
+def answer_key(response: dict) -> list[list]:
+    """The bit-comparable part of a response."""
+    return [[r.get(f) for f in ANSWER_FIELDS]
+            for r in response["results"]]
+
+
+def request_with_retry(port: int, payload: dict,
+                       retries: int = 15) -> dict:
+    """The resilient-client loop: transport failures and injected
+    faults back off and retry; overload rejections honor the daemon's
+    retry_after_ms hint; any other structured error IS the answer."""
+    delay = 0.02
+    for _ in range(retries + 1):
+        try:
+            response = request(port, payload)
+        except (OSError, RuntimeError, json.JSONDecodeError):
+            # Severed connection / dropped response / refused accept.
+            time.sleep(delay)
+            delay = min(delay * 2, 0.5)
+            continue
+        if response.get("ok") is True:
+            return response
+        error = response.get("error", {})
+        if error.get("code") == "resource_exhausted":
+            time.sleep(error.get("retry_after_ms", 50) / 1000.0)
+            continue
+        if "injected fault" in error.get("message", ""):
+            time.sleep(delay)
+            delay = min(delay * 2, 0.5)
+            continue
+        return response
+    raise RuntimeError(
+        f"request {payload.get('id')} still failing after {retries} retries")
+
+
+def chaos_request_mix() -> list[dict]:
+    """200 requests over 4 contexts with growing theta and cycling
+    budgets — every (seed, theta, budget) combination repeats, so the
+    faulted run's answers can be checked against the fault-free run."""
+    mix = []
+    for i in range(200):
+        seed = 1 + i % 4
+        theta = 1_500 + 500 * ((i // 4) % 3)
+        budgets = [[2], [3], [4]][(i // 12) % 3]
+        mix.append(plan_request(
+            f"x{i}", seed, budgets, theta=theta))
+    return mix
+
+
+def run_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    serve_flags = ["--workers=2", "--max_contexts=4",
+                   "--store_budget_mb=8"]
+    mix = chaos_request_mix()
+
+    print("chaos (1/4): fault-free baseline run (200 requests)")
+    daemon, port = start_daemon(args.binary, serve_flags)
+    baseline: dict[str, list[list]] = {}
+    try:
+        for payload in mix:
+            response = request_with_retry(port, payload)
+            check_quiet(response.get("ok") is True,
+                        f"baseline {payload['id']} solves")
+            baseline[payload["id"]] = answer_key(response)
+        daemon.send_signal(signal.SIGTERM)
+        check(daemon.wait(timeout=60) == 0, "baseline daemon exits 0")
+    finally:
+        kill_if_alive(daemon)
+    check(len(baseline) == len(mix), "baseline answered all 200")
+
+    print("chaos (2/4): same 200 requests with faults armed")
+    faults = ("serve.accept=0.01,serve.read=0.01,serve.write=0.02,"
+              "store.grow=0.01,io.save=0.05")
+    with tempfile.TemporaryDirectory(prefix="oipa_chaos_ckpt_") as ckpt:
+        daemon, port = start_daemon(
+            args.binary,
+            serve_flags + [f"--checkpoint_dir={ckpt}",
+                           "--checkpoint_interval_ms=100"],
+            faults=faults)
+        mismatches = 0
+        answered = 0
+        try:
+            for payload in mix:
+                response = request_with_retry(port, payload)
+                if response.get("ok") is not True:
+                    continue  # a genuine error would fail the count below
+                answered += 1
+                if answer_key(response) != baseline[payload["id"]]:
+                    mismatches += 1
+            health = request_with_retry(port, {"id": "h", "type": "health"})
+            injected = health["health"]["faults_injected"]
+            print(f"  faults injected during the run: {injected}")
+            check(injected > 0, "faults actually fired")
+            check(daemon.poll() is None, "daemon survived every fault")
+            daemon.send_signal(signal.SIGTERM)
+            check(daemon.wait(timeout=60) == 0,
+                  "faulted daemon drains and exits 0")
+        finally:
+            kill_if_alive(daemon)
+        check(answered == len(mix),
+              f"all 200 requests eventually answered ({answered}/200)")
+        check(mismatches == 0,
+              f"every answer bit-identical to the fault-free run "
+              f"({mismatches} mismatches)")
+
+    print("chaos (3/4): overload burst against a depth-1 queue")
+    daemon, port = start_daemon(
+        args.binary, ["--workers=1", "--max_queue_depth=1",
+                      "--max_contexts=4"])
+    try:
+        blocker_responses: list[dict] = []
+        blocker = threading.Thread(
+            target=lambda: blocker_responses.extend(request_lines(
+                port, [json.dumps(plan_request(
+                    "blocker", 99, [8], theta=500_000, n=20_000))])))
+        blocker.start()
+        time.sleep(0.15)
+        burst = request_lines(port, [
+            json.dumps(plan_request(f"o{i}", 1 + i, [2], theta=1_500))
+            for i in range(5)
+        ])
+        blocker.join()
+        check(blocker_responses[0].get("ok") is True, "blocker solves")
+        rejections = [r for r in burst if r.get("ok") is False]
+        check(len(rejections) >= 1, "burst produced overload rejections")
+        check(all(r["error"]["code"] == "resource_exhausted"
+                  and r["error"]["retry_after_ms"] >= 1
+                  for r in rejections),
+              "rejections carry resource_exhausted + retry_after_ms")
+        daemon.send_signal(signal.SIGTERM)
+        check(daemon.wait(timeout=60) == 0, "overloaded daemon exits 0")
+    finally:
+        kill_if_alive(daemon)
+
+    print("chaos (4/4): kill -9, restart, recover from checkpoints")
+    with tempfile.TemporaryDirectory(prefix="oipa_ckpt_") as ckpt:
+        flags = ["--workers=1", "--max_contexts=2",
+                 f"--checkpoint_dir={ckpt}",
+                 "--checkpoint_interval_ms=100"]
+        daemon, port = start_daemon(args.binary, flags)
+        try:
+            first = request_with_retry(port, plan_request("k1", 1, [3],
+                                                          theta=1_500))
+            check(first.get("ok") is True, "pre-kill request solves")
+            manifest = os.path.join(ckpt, "manifest.json")
+            deadline = time.time() + 10
+            while not os.path.exists(manifest) and time.time() < deadline:
+                time.sleep(0.05)
+            check(os.path.exists(manifest),
+                  "periodic checkpoint wrote a manifest")
+            daemon.kill()  # SIGKILL: no drain, no final checkpoint
+            daemon.wait()
+        finally:
+            kill_if_alive(daemon)
+
+        daemon, port = start_daemon(args.binary, flags)
+        try:
+            second = request_with_retry(port, plan_request("k2", 1, [3],
+                                                           theta=1_500))
+            check(second.get("ok") is True, "post-restart request solves")
+            check(second["serve"]["samples_generated"] == 0,
+                  "restart re-serves the context with ZERO regenerated "
+                  "samples")
+            check(answer_key(second) == answer_key(first),
+                  "recovered answer is bit-identical")
+            daemon.send_signal(signal.SIGTERM)
+            check(daemon.wait(timeout=60) == 0, "restarted daemon exits 0")
+        finally:
+            kill_if_alive(daemon)
+
+    if FAILURES:
+        print(f"serve_smoke --chaos: {len(FAILURES)} failure(s)")
+        return 1
+    print("serve_smoke --chaos: all scenarios passed")
+    return 0
+
+
+def check_quiet(condition: bool, message: str) -> None:
+    """check() without the per-line output (for 200-request loops)."""
+    if not condition:
+        print(f"  [FAIL] {message}")
+        FAILURES.append(message)
+
+
+def kill_if_alive(daemon: subprocess.Popen) -> None:
+    if daemon.poll() is None:
+        daemon.kill()
+        daemon.wait()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", default=os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         "build", "oipa_serve"))
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the robustness drill instead of the "
+                             "functional scenarios")
     args = parser.parse_args()
+    if args.chaos:
+        return run_chaos(args)
 
     daemon = subprocess.Popen(
         [args.binary, "--port=0", "--workers=1", "--max_contexts=2",

@@ -480,8 +480,13 @@ int RunRemotePlan(const CliConfig& c, std::ostream& out,
     return 2;
   }
   err << "[oipa_cli] planning via oipa_serve at " << c.server << "...\n";
-  const StatusOr<std::string> response =
-      serve::RequestOverTcp(host, port, WirePlanRequestLine(c));
+  serve::ClientOptions client_options;
+  client_options.retries = c.retries;
+  client_options.read_timeout_ms = static_cast<int>(c.timeout_ms);
+  // Determinism contract: the retry schedule derives from --seed.
+  client_options.jitter_seed = c.seed;
+  const StatusOr<std::string> response = serve::RequestOverTcp(
+      host, port, WirePlanRequestLine(c), client_options);
   if (!response.ok()) {
     err << "oipa_cli: " << response.status().ToString() << "\n";
     return 1;
@@ -627,6 +632,8 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   c.max_nodes = flags.GetInt("max_nodes", c.max_nodes);
   c.deadline_ms = flags.GetInt("deadline_ms", c.deadline_ms);
   c.server = flags.GetString("server", c.server);
+  c.retries = static_cast<int>(flags.GetInt("retries", c.retries));
+  c.timeout_ms = flags.GetInt("timeout_ms", c.timeout_ms);
   c.host = flags.GetString("host", c.host);
   c.port = static_cast<int>(flags.GetInt("port", c.port));
   c.workers = static_cast<int>(flags.GetInt("workers", c.workers));
@@ -685,6 +692,12 @@ Status ParseCliConfig(const FlagParser& flags, CliConfig* config) {
   if (!c.server.empty() && c.command != "plan") {
     return Status::InvalidArgument(
         "--server is only supported with the plan subcommand");
+  }
+  if (c.retries < 0) {
+    return Status::InvalidArgument("--retries must be >= 0");
+  }
+  if (c.timeout_ms < 1) {
+    return Status::InvalidArgument("--timeout_ms must be >= 1");
   }
   if (c.port < 0 || c.port > 65535) {
     return Status::InvalidArgument("--port must be in [0, 65535]");
@@ -763,6 +776,13 @@ std::string UsageString() {
      << "  --server=<host:port>     plan only: send the request to a\n"
      << "                           running oipa_serve daemon instead of\n"
      << "                           solving locally\n"
+     << "  --retries=<count>        --server only: extra attempts on\n"
+     << "                           transport errors or overload\n"
+     << "                           rejections, with jittered back-off\n"
+     << "                           honoring retry_after_ms (2)\n"
+     << "  --timeout_ms=<ms>        --server only: per-read response\n"
+     << "                           budget; a dead daemon errors instead\n"
+     << "                           of hanging (120000)\n"
      << "  --seed=<u64>             master RNG seed (1)\n"
      << "  --indent=<n>             JSON indent; negative = compact (2)\n"
      << "  --output=<path>          also write the JSON result to a file\n"

@@ -93,6 +93,13 @@ struct CliConfig {
   /// the dataset/sampling/plan stages run in the daemon (sharing its
   /// context cache) and the response JSON is printed instead.
   std::string server;
+  /// `plan --server` resilience: extra attempts after the first on
+  /// transport errors and overload rejections (exponential back-off
+  /// with seeded jitter, honoring the daemon's retry_after_ms hint).
+  int retries = 2;
+  /// `plan --server` per-recv() read budget; a dead daemon surfaces as
+  /// a DeadlineExceeded error instead of a hang.
+  int64_t timeout_ms = 120'000;
   /// `serve` subcommand: bind address, worker pool, and cache budgets
   /// (mirrors the standalone oipa_serve binary's flags).
   std::string host = "127.0.0.1";

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "oipa/adoption.h"
+#include "util/fault_injector.h"
 
 namespace oipa {
 
@@ -80,6 +81,11 @@ StatusOr<std::shared_ptr<const PlanningContext>> PlanningContext::Build(
     // skips BuildPieceGraphs along with the sampling pass.
     ctx->store_ = SampleStore::Acquire(ctx->graph_, ctx->probs_,
                                        ctx->campaign_, StoreOptions(options));
+    if (ctx->store_ == nullptr) {
+      // Only fault injection makes Acquire fail (util/fault_injector.h,
+      // site "store.acquire"); surface it as a transient error.
+      return InjectedFault("store.acquire");
+    }
     ctx->pieces_ = ctx->store_->pieces();
   } else {
     ctx->pieces_ = std::make_shared<const std::vector<InfluenceGraph>>(

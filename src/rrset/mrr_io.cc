@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/fault_injector.h"
+
 namespace oipa {
 
 namespace {
@@ -143,6 +145,7 @@ StatusOr<MrrCollection> ReadCollectionBlob(std::ifstream& in,
 
 Status SaveMrrCollection(const MrrCollection& mrr,
                          const std::string& path) {
+  if (FaultInjector::ShouldFail("io.save")) return InjectedFault("io.save");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   WriteCollectionBlob(out, mrr);
@@ -151,12 +154,14 @@ Status SaveMrrCollection(const MrrCollection& mrr,
 }
 
 StatusOr<MrrCollection> LoadMrrCollection(const std::string& path) {
+  if (FaultInjector::ShouldFail("io.load")) return InjectedFault("io.load");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   return ReadCollectionBlob(in, path);
 }
 
 Status SaveSampleStore(const SampleStore& store, const std::string& path) {
+  if (FaultInjector::ShouldFail("io.save")) return InjectedFault("io.save");
   // One snapshot for the whole write: both collections come from the
   // same generation even if the store grows mid-save.
   const SampleSnapshot snap = store.snapshot();
@@ -173,6 +178,7 @@ Status SaveSampleStore(const SampleStore& store, const std::string& path) {
 StatusOr<std::shared_ptr<SampleStore>> LoadSampleStore(
     const std::string& path,
     std::shared_ptr<const std::vector<InfluenceGraph>> pieces) {
+  if (FaultInjector::ShouldFail("io.load")) return InjectedFault("io.load");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   uint64_t magic = 0;

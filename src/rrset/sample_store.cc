@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace oipa {
@@ -186,6 +187,16 @@ std::map<StoreKey, std::shared_ptr<RegistrySlot>>& Registry()
 int64_t g_budget_bytes OIPA_GUARDED_BY(g_registry_mu) = 0;
 uint64_t g_use_tick OIPA_GUARDED_BY(g_registry_mu) = 0;
 int64_t g_evictions OIPA_GUARDED_BY(g_registry_mu) = 0;
+int64_t g_recovered_stores OIPA_GUARDED_BY(g_registry_mu) = 0;
+
+/// Recovery snapshots parked by OfferRecoveredSnapshot, keyed by
+/// source_key and consumed lazily by the first matching source-keyed
+/// Acquire (see SampleStore::BuildFromRecovered).
+std::map<std::string, SampleSnapshot>& RecoveryMap()
+    OIPA_REQUIRES(g_registry_mu) {
+  static auto* parked = new std::map<std::string, SampleSnapshot>();
+  return *parked;
+}
 
 /// Drops slots whose store died and which no Acquire currently holds.
 void PruneRegistryLocked() OIPA_REQUIRES(g_registry_mu) {
@@ -276,6 +287,104 @@ std::shared_ptr<SampleStore> PinStore(std::shared_ptr<RegistrySlot> slot,
 
 }  // namespace
 
+std::shared_ptr<SampleStore> SampleStore::BuildFromRecovered(
+    std::shared_ptr<const std::vector<InfluenceGraph>> pieces,
+    const Options& options) {
+  SampleSnapshot parked;
+  {
+    MutexLock lock(&g_registry_mu);
+    auto it = RecoveryMap().find(options.source_key);
+    if (it == RecoveryMap().end()) return nullptr;
+    parked = it->second;
+  }
+  // Provenance gate: a parked snapshot only substitutes for fresh
+  // generation when it demonstrably came from this exact sampling
+  // configuration — otherwise fall back to sampling from scratch (a
+  // wrong checkpoint must cost cold-start time, never correctness).
+  // The entry stays parked on mismatch: a differently-configured
+  // request under the same key (e.g. with vs without holdout) is not
+  // evidence the snapshot is bad.
+  const int64_t want_holdout = ResolvedHoldoutTheta(options);
+  const bool usable =
+      parked.mrr != nullptr && parked.mrr->extendable() &&
+      parked.mrr->base_seed() == options.seed &&
+      parked.mrr->model() == options.diffusion &&
+      parked.mrr->num_pieces() == static_cast<int>(pieces->size()) &&
+      parked.mrr->num_vertices() ==
+          pieces->front().graph().num_vertices() &&
+      (want_holdout > 0) == (parked.holdout != nullptr) &&
+      (parked.holdout == nullptr ||
+       (parked.holdout->extendable() &&
+        parked.holdout->base_seed() == (options.seed ^ kHoldoutSeedXor) &&
+        parked.holdout->model() == options.diffusion &&
+        parked.holdout->num_pieces() == parked.mrr->num_pieces() &&
+        parked.holdout->num_vertices() == parked.mrr->num_vertices()));
+  if (!usable) return nullptr;
+  std::shared_ptr<SampleStore> store(new SampleStore());
+  store->pieces_ = std::move(pieces);
+  store->options_ = options;
+  store->options_.theta = parked.mrr->theta();
+  store->options_.holdout_theta =
+      parked.holdout == nullptr ? 0 : parked.holdout->theta();
+  store->shared_ = true;
+  {
+    MutexLock grow_lock(&store->grow_mu_);
+    store->Publish(parked.mrr, parked.holdout);
+  }
+  // A request past the checkpointed sizes resumes the sample stream
+  // (growth is bit-identical to up-front generation); only the delta
+  // is sampled. A recovered store that cannot grow that far is useless
+  // for this request — discard it and sample afresh.
+  const int64_t have_holdout =
+      parked.holdout == nullptr ? 0 : parked.holdout->theta();
+  if (parked.mrr->theta() < options.theta || have_holdout < want_holdout) {
+    if (!store->Grow(std::max(options.theta, want_holdout)).ok()) {
+      return nullptr;
+    }
+  }
+  MutexLock lock(&g_registry_mu);
+  RecoveryMap().erase(options.source_key);
+  ++g_recovered_stores;
+  return store;
+}
+
+Status SampleStore::OfferRecoveredSnapshot(
+    const std::string& source_key,
+    std::shared_ptr<const MrrCollection> mrr,
+    std::shared_ptr<const MrrCollection> holdout) {
+  if (source_key.empty()) {
+    return Status::InvalidArgument(
+        "recovery snapshots need a non-empty source_key");
+  }
+  if (mrr == nullptr) {
+    return Status::InvalidArgument(
+        "recovery snapshot for '" + source_key + "' has no collection");
+  }
+  MutexLock lock(&g_registry_mu);
+  RecoveryMap()[source_key] =
+      SampleSnapshot{std::move(mrr), std::move(holdout)};
+  return Status::Ok();
+}
+
+void SampleStore::ClearRecoveredSnapshots() {
+  MutexLock lock(&g_registry_mu);
+  RecoveryMap().clear();
+}
+
+std::vector<std::shared_ptr<SampleStore>>
+SampleStore::RegistryStoresForCheckpoint() {
+  MutexLock lock(&g_registry_mu);
+  std::vector<std::shared_ptr<SampleStore>> out;
+  for (const auto& [key, slot] : Registry()) {
+    (void)key;
+    std::shared_ptr<SampleStore> live = slot->store.lock();
+    if (live != nullptr && !live->options().source_key.empty()) {
+      out.push_back(std::move(live));
+    }
+  }
+  return out;
+}
+
 /// Out-of-line so the store's private constructor stays private: builds
 /// the registered store, including its piece graphs and keep-alives.
 std::shared_ptr<SampleStore> MakeStoreForAcquire(
@@ -285,8 +394,13 @@ std::shared_ptr<SampleStore> MakeStoreForAcquire(
     const SampleStore::Options& options) {
   auto pieces = std::make_shared<const std::vector<InfluenceGraph>>(
       BuildPieceGraphs(*graph, *probs, *campaign));
-  std::shared_ptr<SampleStore> store =
-      SampleStore::Build(std::move(pieces), options, /*shared=*/true);
+  std::shared_ptr<SampleStore> store;
+  if (!options.source_key.empty()) {
+    store = SampleStore::BuildFromRecovered(pieces, options);
+  }
+  if (store == nullptr) {
+    store = SampleStore::Build(std::move(pieces), options, /*shared=*/true);
+  }
   // The campaign keep-alive is an owned deep copy, never the caller's
   // pointer: campaigns are keyed by content, so a later Acquire may
   // compare against it after the original (possibly Borrow-aliased,
@@ -303,6 +417,7 @@ std::shared_ptr<SampleStore> SampleStore::Acquire(
     std::shared_ptr<const EdgeTopicProbs> probs,
     std::shared_ptr<const Campaign> campaign, const Options& options) {
   OIPA_CHECK(graph != nullptr && probs != nullptr && campaign != nullptr);
+  if (FaultInjector::ShouldFail("store.acquire")) return nullptr;
   StoreKey key;
   if (options.source_key.empty()) {
     key.graph = graph.get();
@@ -387,6 +502,7 @@ SampleStore::RegistryStats SampleStore::GetRegistryStats() {
   RegistryStats stats;
   stats.budget_bytes = g_budget_bytes;
   stats.evictions = g_evictions;
+  stats.recovered_stores = g_recovered_stores;
   for (const auto& [key, slot] : Registry()) {
     (void)key;
     const std::shared_ptr<SampleStore> live = slot->store.lock();
@@ -451,6 +567,9 @@ bool SampleStore::CanGrow() const {
 Status SampleStore::Grow(int64_t target_theta) {
   if (target_theta < 1) {
     return Status::InvalidArgument("Grow target must be >= 1");
+  }
+  if (FaultInjector::ShouldFail("store.grow")) {
+    return InjectedFault("store.grow");
   }
   // Growers serialize for the whole sampling phase; the snapshot read
   // below therefore stays current until the Publish.

@@ -140,10 +140,40 @@ class SampleStore {
   /// whose inputs are genuinely shared_ptr-owned (the serve daemon's)
   /// should run with a nonzero budget — Borrow-built contexts pass
   /// non-owning handles whose referents may die with the caller.
+  ///
+  /// Fault injection: returns null when the "store.acquire" site fires
+  /// (util/fault_injector.h). Callers on fallible paths must treat a
+  /// null handle as a transient internal error; with the injector
+  /// disabled (production) Acquire never returns null.
   static std::shared_ptr<SampleStore> Acquire(
       std::shared_ptr<const Graph> graph,
       std::shared_ptr<const EdgeTopicProbs> probs,
       std::shared_ptr<const Campaign> campaign, const Options& options);
+
+  /// Crash-recovery seam: parks a loaded snapshot (LoadSampleStore)
+  /// under `source_key` so the *next* source-keyed Acquire of that key
+  /// resumes the persisted sample stream instead of sampling from
+  /// scratch. The snapshot is consumed lazily, on first matching
+  /// Acquire, and only when its provenance matches the request (seed,
+  /// diffusion model, holdout presence, piece count, vertex count,
+  /// extendable) — a mismatch falls back to fresh generation, so a
+  /// stale or foreign checkpoint can degrade only to the cold-start
+  /// cost, never to wrong samples. `holdout` may be null. Re-offering a
+  /// key replaces the parked snapshot.
+  static Status OfferRecoveredSnapshot(
+      const std::string& source_key,
+      std::shared_ptr<const MrrCollection> mrr,
+      std::shared_ptr<const MrrCollection> holdout);
+
+  /// Drops every parked (not-yet-consumed) recovery snapshot.
+  static void ClearRecoveredSnapshots();
+
+  /// Registered live stores that carry a source_key — the stores a
+  /// serving checkpointer can persist and later recover by key. The
+  /// returned references keep the stores alive but do not pin them
+  /// (eviction bookkeeping is untouched).
+  static std::vector<std::shared_ptr<SampleStore>>
+  RegistryStoresForCheckpoint();
 
   /// Number of live registered stores (test/diagnostic hook; prunes
   /// dead registry entries as a side effect).
@@ -166,6 +196,10 @@ class SampleStore {
     int64_t budget_bytes = 0;
     /// Stores evicted under memory pressure since process start.
     int64_t evictions = 0;
+    /// Acquires satisfied from a recovered (checkpointed) snapshot
+    /// since process start — each one resumed a persisted sample
+    /// stream with zero regenerated samples.
+    int64_t recovered_stores = 0;
   };
   static RegistryStats GetRegistryStats();
 
@@ -214,6 +248,13 @@ class SampleStore {
   static std::shared_ptr<SampleStore> Build(
       std::shared_ptr<const std::vector<InfluenceGraph>> pieces,
       const Options& options, bool shared);
+
+  /// Consumes a parked recovery snapshot for options.source_key, or
+  /// returns null when none is parked or the provenance does not match
+  /// (see OfferRecoveredSnapshot).
+  static std::shared_ptr<SampleStore> BuildFromRecovered(
+      std::shared_ptr<const std::vector<InfluenceGraph>> pieces,
+      const Options& options);
 
   /// Swaps in a new generation and records it for live_generations().
   /// Publication is serialized by the grower lock (the construction

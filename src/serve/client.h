@@ -1,6 +1,7 @@
 #ifndef OIPA_SERVE_CLIENT_H_
 #define OIPA_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "util/status.h"
@@ -8,12 +9,49 @@
 namespace oipa {
 namespace serve {
 
+/// Resilience knobs for RequestOverTcp. The defaults suit a healthy
+/// local daemon; `oipa_cli plan --server=...` exposes retries and the
+/// timeouts as flags.
+struct ClientOptions {
+  /// TCP connect budget. DeadlineExceeded when the daemon's host is
+  /// unreachable or its accept queue never answers.
+  int connect_timeout_ms = 5'000;
+  /// Budget for each recv() while reading the response line (solves can
+  /// legitimately take a while; this bounds a *silent* daemon, not a
+  /// slow one that is still streaming).
+  int read_timeout_ms = 120'000;
+  /// Additional attempts after the first (so retries = 2 means at most
+  /// 3 connects). Retried: transport errors (connect/send/recv, early
+  /// close) and ResourceExhausted overload rejections. Not retried:
+  /// any other structured response — it IS the answer.
+  int retries = 2;
+  /// Exponential back-off between attempts: the n-th wait is
+  /// backoff_initial_ms << n, capped at backoff_max_ms, with uniform
+  /// jitter in [0.5, 1.0] of that — unless the rejection carried
+  /// error.retry_after_ms, which takes precedence (plus jitter).
+  int backoff_initial_ms = 50;
+  int backoff_max_ms = 2'000;
+  /// Seeds the back-off jitter (determinism contract: equal seeds give
+  /// equal retry schedules).
+  uint64_t jitter_seed = 1;
+};
+
 /// Minimal blocking client for the oipa_serve wire protocol: connects
 /// to host:port, sends `line` (one compact JSON request; the trailing
 /// newline is added here), and returns the one-line JSON response.
-/// Used by `oipa_cli plan --server=...` and the tests; IoError on
-/// connect/send failures or a connection closed before a full line
-/// arrived.
+/// Used by `oipa_cli plan --server=...` and the tests.
+///
+/// Failure mapping: DeadlineExceeded when the connect or read budget
+/// expires (a dead or wedged daemon never hangs the caller), IoError on
+/// other transport failures, ResourceExhausted when the daemon's
+/// overload rejection survived every retry. Overload rejections are
+/// retried honoring the daemon's error.retry_after_ms hint; transport
+/// errors are retried with exponential back-off and seeded jitter.
+StatusOr<std::string> RequestOverTcp(const std::string& host, int port,
+                                     const std::string& line,
+                                     const ClientOptions& options);
+
+/// Default-options overload (source compatibility).
 StatusOr<std::string> RequestOverTcp(const std::string& host, int port,
                                      const std::string& line);
 

@@ -4,13 +4,19 @@
 //
 //   oipa_serve --host=127.0.0.1 --port=7477 --workers=2
 //              --max_contexts=8 --store_budget_mb=0
+//              --max_queue_depth=256 --max_inflight_per_conn=32
+//              --write_timeout_ms=5000
+//              --checkpoint_dir= --checkpoint_interval_ms=30000
 //
-// SIGINT/SIGTERM drain in-flight solves before exiting.
+// SIGINT/SIGTERM drain in-flight solves before exiting. Fault
+// injection (chaos testing) is armed via $OIPA_FAULTS /
+// $OIPA_FAULTS_SEED — see src/util/fault_injector.h.
 
 #include <csignal>
 #include <iostream>
 
 #include "serve/server.h"
+#include "util/fault_injector.h"
 #include "util/flags.h"
 
 namespace {
@@ -31,10 +37,21 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::cout << "usage: oipa_serve [--host=127.0.0.1] [--port=0] "
                  "[--workers=2] [--max_contexts=8] "
-                 "[--store_budget_mb=0]\n"
+                 "[--store_budget_mb=0] [--max_queue_depth=256] "
+                 "[--max_inflight_per_conn=32] [--write_timeout_ms=5000] "
+                 "[--checkpoint_dir=] [--checkpoint_interval_ms=30000]\n"
                  "Newline-delimited JSON planning daemon; see README.md "
-                 "\"Serving\" for the protocol.\n";
+                 "\"Serving\" for the protocol and \"Robustness\" for "
+                 "overload, fault-injection, and checkpoint behavior.\n";
     return 0;
+  }
+
+  // Chaos testing: $OIPA_FAULTS arms deterministic fault injection
+  // before any sockets or stores exist. A bad spec is a startup error.
+  const oipa::Status faults = oipa::FaultInjector::ConfigureFromEnv();
+  if (!faults.ok()) {
+    std::cerr << "oipa_serve: " << faults.ToString() << "\n";
+    return 1;
   }
 
   oipa::serve::ServerOptions options;
@@ -46,6 +63,16 @@ int main(int argc, char** argv) {
       flags.GetInt("max_contexts", options.max_contexts));
   options.store_budget_bytes =
       flags.GetInt("store_budget_mb", 0) * 1024 * 1024;
+  options.max_queue_depth = static_cast<int>(
+      flags.GetInt("max_queue_depth", options.max_queue_depth));
+  options.max_inflight_per_conn = static_cast<int>(flags.GetInt(
+      "max_inflight_per_conn", options.max_inflight_per_conn));
+  options.write_timeout_ms = static_cast<int>(
+      flags.GetInt("write_timeout_ms", options.write_timeout_ms));
+  options.checkpoint_dir =
+      flags.GetString("checkpoint_dir", options.checkpoint_dir);
+  options.checkpoint_interval_ms = static_cast<int>(flags.GetInt(
+      "checkpoint_interval_ms", options.checkpoint_interval_ms));
 
   oipa::serve::PlanServer server(options);
   const oipa::Status started = server.Start();

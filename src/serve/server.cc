@@ -4,17 +4,24 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <utility>
 
 #include "oipa/api/solver_registry.h"
 #include "rrset/mrr_collection.h"
+#include "rrset/mrr_io.h"
 #include "rrset/sample_store.h"
+#include "serve/json_parser.h"
+#include "util/fault_injector.h"
 
 namespace oipa {
 namespace serve {
@@ -30,6 +37,44 @@ bool IsBlank(const std::string& line) {
     if (c != ' ' && c != '\t' && c != '\r') return false;
   }
   return true;
+}
+
+/// Checkpoint file for a source-keyed store: the key itself can be
+/// long and holds filesystem-hostile characters, so the name is an
+/// FNV-1a hash of it (the manifest maps names back to keys).
+std::string CheckpointFileName(const std::string& source_key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : source_key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "store_%016llx.oipasto",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Atomic-rename write: the manifest (and each snapshot) is either the
+/// old complete file or the new complete file, never a torn one — a
+/// kill -9 mid-checkpoint leaves a loadable directory.
+Status WriteFileAtomically(const std::string& path,
+                           const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    out << contents;
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write failure on " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -48,8 +93,35 @@ Status PlanServer::Start() {
   if (options_.workers < 1) {
     return Status::InvalidArgument("workers must be >= 1");
   }
+  if (options_.max_contexts < 1) {
+    return Status::InvalidArgument("max_contexts must be >= 1");
+  }
+  if (options_.store_budget_bytes < 0) {
+    return Status::InvalidArgument("store_budget_bytes must be >= 0");
+  }
+  if (options_.max_queue_depth < 1) {
+    return Status::InvalidArgument("max_queue_depth must be >= 1");
+  }
+  if (options_.max_inflight_per_conn < 1) {
+    return Status::InvalidArgument("max_inflight_per_conn must be >= 1");
+  }
+  if (options_.write_timeout_ms < 1) {
+    return Status::InvalidArgument("write_timeout_ms must be >= 1");
+  }
+  if (options_.checkpoint_interval_ms < 1) {
+    return Status::InvalidArgument("checkpoint_interval_ms must be >= 1");
+  }
 
   SampleStore::SetRegistryBudget(options_.store_budget_bytes);
+
+  if (!options_.checkpoint_dir.empty()) {
+    if (::mkdir(options_.checkpoint_dir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      return Status::IoError("mkdir " + options_.checkpoint_dir + ": " +
+                             std::strerror(errno));
+    }
+    RecoverCheckpoints();
+  }
 
   if (::pipe(wake_pipe_) != 0) {
     return Status::IoError("pipe: " + std::string(std::strerror(errno)));
@@ -94,6 +166,9 @@ Status PlanServer::Start() {
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (!options_.checkpoint_dir.empty()) {
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
   return Status::Ok();
 }
 
@@ -119,6 +194,7 @@ void PlanServer::Stop() {
   stopped_ = true;
   RequestShutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
 
   // Draining: late requests from still-open connections get an error
   // response (ReaderLoop checks the flag), everything already queued is
@@ -130,6 +206,11 @@ void PlanServer::Stop() {
   queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+
+  // Final checkpoint after the drain: every store is at its terminal
+  // size, so a graceful shutdown persists exactly what a restart needs
+  // (the checkpoint thread was joined above — see CheckpointNow).
+  CheckpointNow();
 
   // Now unblock the readers and wait for them.
   std::vector<std::shared_ptr<Connection>> conns;
@@ -175,6 +256,19 @@ void PlanServer::AcceptLoop() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (FaultInjector::ShouldFail("serve.accept")) {
+      // Simulated accept failure: the client sees an immediate close
+      // and retries; the daemon carries on.
+      ::close(fd);
+      continue;
+    }
+    // Slow-client guard: a peer that stops reading can stall send()
+    // for at most write_timeout_ms before WriteLine severs it.
+    timeval write_timeout{};
+    write_timeout.tv_sec = options_.write_timeout_ms / 1000;
+    write_timeout.tv_usec = (options_.write_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &write_timeout,
+                 sizeof(write_timeout));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     MutexLock lock(&mu_);
@@ -189,6 +283,7 @@ void PlanServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   char chunk[4096];
   bool alive = true;
   while (alive) {
+    if (FaultInjector::ShouldFail("serve.read")) break;
     const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
@@ -205,11 +300,37 @@ void PlanServer::ReaderLoop(std::shared_ptr<Connection> conn) {
         WriteLine(conn.get(), ErrorResponseLine("", request.status()));
         continue;
       }
-      bool rejected = false;
+      if (request->type == "health") {
+        // Answered right here, bypassing the work queue: health stays
+        // responsive precisely when the queue is full.
+        WriteLine(conn.get(), HealthResponseLine(request->id));
+        continue;
+      }
+      // Admission control. Rejections carry error.retry_after_ms so a
+      // well-behaved client backs off instead of hammering.
+      Status rejection = Status::Ok();
+      int64_t retry_after_ms = -1;
       {
         MutexLock lock(&mu_);
         if (draining_) {
-          rejected = true;
+          rejection = Status::FailedPrecondition("server is draining");
+        } else if (queue_.size() >=
+                   static_cast<size_t>(options_.max_queue_depth)) {
+          retry_after_ms = RetryAfterMs(queue_.size());
+          rejection = Status::ResourceExhausted(
+              "work queue is full (" +
+              std::to_string(options_.max_queue_depth) + " requests)");
+          counters_.rejected_queue_full.fetch_add(
+              1, std::memory_order_relaxed);
+        } else if (conn->inflight.load(std::memory_order_relaxed) >=
+                   options_.max_inflight_per_conn) {
+          retry_after_ms = RetryAfterMs(queue_.size());
+          rejection = Status::ResourceExhausted(
+              "connection has " +
+              std::to_string(options_.max_inflight_per_conn) +
+              " requests in flight");
+          counters_.rejected_inflight.fetch_add(1,
+                                                std::memory_order_relaxed);
         } else {
           Work work;
           work.conn = conn;
@@ -217,14 +338,14 @@ void PlanServer::ReaderLoop(std::shared_ptr<Connection> conn) {
           work.request = std::move(*request);
           work.accepted_at = std::chrono::steady_clock::now();
           queue_.push_back(std::move(work));
+          conn->inflight.fetch_add(1, std::memory_order_relaxed);
+          counters_.accepted.fetch_add(1, std::memory_order_relaxed);
           queue_cv_.NotifyOne();
         }
       }
-      if (rejected) {
-        WriteLine(conn.get(),
-                  ErrorResponseLine(
-                      request->id,
-                      Status::FailedPrecondition("server is draining")));
+      if (!rejection.ok()) {
+        WriteLine(conn.get(), ErrorResponseLine(request->id, rejection,
+                                                retry_after_ms));
       }
     }
     if (buffer.size() > kMaxLineBytes) {
@@ -291,6 +412,7 @@ void PlanServer::HandleGroup(std::vector<Work> group,
     for (const Work& work : group) {
       WriteLine(work.conn.get(),
                 ErrorResponseLine(work.request.id, acquired.status()));
+      work.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
     }
     return;
   }
@@ -328,6 +450,7 @@ void PlanServer::HandleGroup(std::vector<Work> group,
     for (const Work& work : group) {
       WriteLine(work.conn.get(),
                 ErrorResponseLine(work.request.id, responses.status()));
+      work.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
     }
     return;
   }
@@ -362,6 +485,7 @@ void PlanServer::HandleGroup(std::vector<Work> group,
   entry.reset();
   for (size_t i = 0; i < group.size(); ++i) {
     WriteLine(group[i].conn.get(), lines[i]);
+    group[i].conn->inflight.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -403,22 +527,209 @@ JsonValue PlanServer::ServeTelemetry(const ContextCache::Entry& entry,
       .Set("pinned_stores", registry.pinned_stores)
       .Set("memory_bytes", registry.memory_bytes)
       .Set("budget_bytes", registry.budget_bytes)
-      .Set("evictions", registry.evictions);
+      .Set("evictions", registry.evictions)
+      .Set("recovered_stores", registry.recovered_stores);
   serve.Set("store_registry", std::move(registry_json));
   return serve;
+}
+
+std::string PlanServer::HealthResponseLine(const std::string& id) const {
+  JsonValue health = JsonValue::Object();
+  {
+    MutexLock lock(&mu_);
+    health.Set("queue_depth", static_cast<int64_t>(queue_.size()))
+        .Set("draining", draining_)
+        .Set("batched_requests", batched_requests_);
+  }
+  health.Set("workers", static_cast<int64_t>(options_.workers))
+      .Set("max_queue_depth",
+           static_cast<int64_t>(options_.max_queue_depth))
+      .Set("accepted", counters_.accepted.load(std::memory_order_relaxed))
+      .Set("rejected_queue_full",
+           counters_.rejected_queue_full.load(std::memory_order_relaxed))
+      .Set("rejected_inflight",
+           counters_.rejected_inflight.load(std::memory_order_relaxed))
+      .Set("write_timeouts",
+           counters_.write_timeouts.load(std::memory_order_relaxed))
+      .Set("write_failures",
+           counters_.write_failures.load(std::memory_order_relaxed))
+      .Set("checkpoint_saves",
+           counters_.checkpoint_saves.load(std::memory_order_relaxed))
+      .Set("checkpoint_failures",
+           counters_.checkpoint_failures.load(std::memory_order_relaxed))
+      .Set("recovered_snapshots",
+           counters_.recovered_snapshots.load(std::memory_order_relaxed))
+      .Set("faults_injected", FaultInjector::InjectedCount());
+
+  const ContextCache::Stats cache = cache_.GetStats();
+  JsonValue cache_json = JsonValue::Object();
+  cache_json.Set("hits", cache.hits)
+      .Set("misses", cache.misses)
+      .Set("evictions", cache.evictions)
+      .Set("live_contexts", cache.live_contexts);
+  health.Set("context_cache", std::move(cache_json));
+
+  const SampleStore::RegistryStats registry =
+      SampleStore::GetRegistryStats();
+  JsonValue registry_json = JsonValue::Object();
+  registry_json.Set("live_stores", registry.live_stores)
+      .Set("pinned_stores", registry.pinned_stores)
+      .Set("memory_bytes", registry.memory_bytes)
+      .Set("budget_bytes", registry.budget_bytes)
+      .Set("evictions", registry.evictions)
+      .Set("recovered_stores", registry.recovered_stores);
+  health.Set("store_registry", std::move(registry_json));
+
+  JsonValue j = JsonValue::Object();
+  j.Set("id", id).Set("ok", true).Set("health", std::move(health));
+  return j.Dump(-1);
+}
+
+int64_t PlanServer::RetryAfterMs(size_t queue_depth) const {
+  // Deterministic, roughly proportional to the backlog per worker: a
+  // queue of one per worker suggests ~50 ms, deeper backlogs scale up.
+  // Clients add their own jitter (see serve/client.h) so a fixed hint
+  // does not synchronize retries.
+  const int64_t per_worker = static_cast<int64_t>(queue_depth) /
+                             std::max(1, options_.workers);
+  return std::min<int64_t>(2000, 25 * (1 + per_worker));
 }
 
 void PlanServer::WriteLine(Connection* conn, const std::string& line) {
   const std::string framed = line + "\n";
   MutexLock lock(&conn->write_mu);
+  if (FaultInjector::ShouldFail("serve.write")) {
+    // Simulated undeliverable response: sever the connection so the
+    // client observes a clean drop (and retries) rather than a torn or
+    // silently missing line on a live socket.
+    counters_.write_failures.fetch_add(1, std::memory_order_relaxed);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    return;
+  }
   size_t sent = 0;
   while (sent < framed.size()) {
-    // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon;
-    // the write error is simply dropped with the response.
+    // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon.
     const ssize_t n = ::send(conn->fd, framed.data() + sent,
                              framed.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;
+    if (n <= 0) {
+      // SO_SNDTIMEO expiry surfaces as EAGAIN: the peer stopped reading
+      // for write_timeout_ms. Either way the line cannot be completed —
+      // sever the connection instead of pinning this worker on it (a
+      // partial response is useless to the client anyway).
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        counters_.write_timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+      counters_.write_failures.fetch_add(1, std::memory_order_relaxed);
+      ::shutdown(conn->fd, SHUT_RDWR);
+      return;
+    }
     sent += static_cast<size_t>(n);
+  }
+}
+
+void PlanServer::CheckpointLoop() {
+  // oipa::CondVar has no timed wait, so the loop polls the wake pipe
+  // with the interval as timeout: shutdown (which writes a never-
+  // consumed byte) wakes it immediately, otherwise it ticks on time.
+  while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, options_.checkpoint_interval_ms);
+    if (rc < 0 && errno != EINTR) return;
+    if (shutdown_requested_.load(std::memory_order_acquire)) return;
+    if (rc == 0) CheckpointNow();  // interval elapsed
+  }
+}
+
+void PlanServer::CheckpointNow() {
+  if (options_.checkpoint_dir.empty()) return;
+  bool manifest_dirty = false;
+  for (const std::shared_ptr<SampleStore>& store :
+       SampleStore::RegistryStoresForCheckpoint()) {
+    const std::string& key = store->options().source_key;
+    const SampleSnapshot snap = store->snapshot();
+    const std::pair<int64_t, int64_t> sizes = {
+        snap.mrr->theta(),
+        snap.holdout == nullptr ? 0 : snap.holdout->theta()};
+    const auto it = checkpointed_.find(key);
+    if (it != checkpointed_.end() && it->second == sizes) continue;
+
+    const std::string path =
+        options_.checkpoint_dir + "/" + CheckpointFileName(key);
+    // SaveSampleStore writes in place, so land on a temp name and
+    // rename — a crash mid-save never corrupts the previous snapshot.
+    const std::string tmp = path + ".tmp";
+    Status saved = SaveSampleStore(*store, tmp);
+    if (saved.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+      saved = Status::IoError("rename " + tmp + ": " +
+                              std::strerror(errno));
+    }
+    if (!saved.ok()) {
+      std::remove(tmp.c_str());
+      counters_.checkpoint_failures.fetch_add(1,
+                                              std::memory_order_relaxed);
+      continue;
+    }
+    counters_.checkpoint_saves.fetch_add(1, std::memory_order_relaxed);
+    manifest_dirty = manifest_dirty || it == checkpointed_.end();
+    checkpointed_[key] = sizes;
+  }
+  if (!manifest_dirty) return;
+
+  // The manifest maps snapshot files back to their source keys (the
+  // file names are hashes). Written last: every file it references
+  // already exists.
+  JsonValue stores = JsonValue::Array();
+  for (const auto& [key, sizes] : checkpointed_) {
+    JsonValue row = JsonValue::Object();
+    row.Set("file", CheckpointFileName(key)).Set("source_key", key);
+    stores.Append(std::move(row));
+  }
+  JsonValue manifest = JsonValue::Object();
+  manifest.Set("stores", std::move(stores));
+  const Status wrote = WriteFileAtomically(
+      options_.checkpoint_dir + "/manifest.json", manifest.Dump(2));
+  if (!wrote.ok()) {
+    counters_.checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PlanServer::RecoverCheckpoints() {
+  std::string manifest_text;
+  {
+    std::ifstream in(options_.checkpoint_dir + "/manifest.json",
+                     std::ios::binary);
+    if (!in) return;  // no manifest: nothing to recover
+    manifest_text.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+  }
+  const StatusOr<JsonValue> manifest = ParseJson(manifest_text);
+  if (!manifest.ok() || !manifest->is_object()) return;
+  const JsonValue* stores = manifest->Find("stores");
+  if (stores == nullptr || !stores->is_array()) return;
+
+  for (size_t i = 0; i < stores->size(); ++i) {
+    const JsonValue& row = stores->at(i);
+    if (!row.is_object()) continue;
+    const JsonValue* file = row.Find("file");
+    const JsonValue* key = row.Find("source_key");
+    if (file == nullptr || !file->is_string() || key == nullptr ||
+        !key->is_string()) {
+      continue;
+    }
+    // Loaded frozen (no piece graphs yet); the parked snapshot becomes
+    // growable when Acquire rebuilds the store around its own pieces.
+    StatusOr<std::shared_ptr<SampleStore>> loaded =
+        LoadSampleStore(options_.checkpoint_dir + "/" +
+                        file->string_value());
+    if (!loaded.ok()) continue;  // corrupt/unreadable: skip, resample
+    const SampleSnapshot snap = (*loaded)->snapshot();
+    const Status offered = SampleStore::OfferRecoveredSnapshot(
+        key->string_value(), snap.mrr, snap.holdout);
+    if (!offered.ok()) continue;
+    counters_.recovered_snapshots.fetch_add(1, std::memory_order_relaxed);
+    checkpointed_[key->string_value()] = {
+        snap.mrr->theta(),
+        snap.holdout == nullptr ? 0 : snap.holdout->theta()};
   }
 }
 

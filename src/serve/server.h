@@ -5,9 +5,11 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/context_cache.h"
@@ -31,6 +33,24 @@ struct ServerOptions {
   /// SampleStore registry byte budget installed at Start(); 0 keeps
   /// the default no-retention behavior (see SampleStore::Acquire).
   int64_t store_budget_bytes = 0;
+  /// Work-queue cap: a request arriving while this many are already
+  /// queued is rejected with a ResourceExhausted error carrying
+  /// error.retry_after_ms, instead of queueing without bound.
+  int max_queue_depth = 256;
+  /// Per-connection cap on requests queued or solving at once; excess
+  /// requests on that connection are rejected with ResourceExhausted
+  /// (one greedy pipeliner cannot fill the whole queue).
+  int max_inflight_per_conn = 32;
+  /// Response-write timeout (SO_SNDTIMEO). A client that stops reading
+  /// for this long has its connection severed instead of pinning the
+  /// writing worker; the undeliverable response is dropped.
+  int write_timeout_ms = 5000;
+  /// When non-empty, registry-resident sample stores (those with a
+  /// source_key) are checkpointed here every checkpoint_interval_ms
+  /// and on Stop(), and recovered at Start() — a restarted daemon
+  /// resumes persisted sample streams with zero regenerated samples.
+  std::string checkpoint_dir;
+  int checkpoint_interval_ms = 30'000;
 };
 
 /// The oipa_serve planning daemon: accepts newline-delimited JSON plan
@@ -101,6 +121,10 @@ class PlanServer {
     /// Serializes response lines (the reader writes parse errors, any
     /// worker writes solve responses).
     Mutex write_mu;
+    /// Requests from this connection queued or solving right now;
+    /// incremented at enqueue (under mu_), decremented after the
+    /// response write. Atomic so workers decrement without mu_.
+    std::atomic<int> inflight{0};
   };
 
   /// One queued request.
@@ -122,8 +146,27 @@ class PlanServer {
                            bool cache_hit, size_t batch_size,
                            size_t queue_depth,
                            int64_t samples_generated) const;
+  /// Answers a {"type":"health"} request (reader thread, no queueing).
+  std::string HealthResponseLine(const std::string& id) const;
+  /// Deterministic client back-off hint for an overload rejection at
+  /// the given queue depth.
+  int64_t RetryAfterMs(size_t queue_depth) const;
 
-  static void WriteLine(Connection* conn, const std::string& line);
+  /// Periodic checkpointing (own thread; wakes every
+  /// checkpoint_interval_ms or on shutdown via the wake pipe).
+  void CheckpointLoop();
+  /// Saves every source-keyed registry store whose size changed since
+  /// its last checkpoint, then rewrites the manifest. Never throws or
+  /// aborts — failures count into checkpoint_failures. Only called
+  /// from the checkpoint thread and from Stop() after joining it, so
+  /// checkpointed_ needs no lock.
+  void CheckpointNow();
+  /// Parks every decodable checkpoint under its source_key (see
+  /// SampleStore::OfferRecoveredSnapshot); corrupt or unreadable files
+  /// are skipped. Called from Start() before the daemon goes live.
+  void RecoverCheckpoints();
+
+  void WriteLine(Connection* conn, const std::string& line);
 
   const ServerOptions options_;
   ContextCache cache_;
@@ -139,6 +182,7 @@ class PlanServer {
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
+  std::thread checkpoint_thread_;
 
   mutable Mutex mu_;
   CondVar queue_cv_;
@@ -148,6 +192,25 @@ class PlanServer {
   std::vector<std::thread> readers_ OIPA_GUARDED_BY(mu_);
   /// Requests answered as part of a multi-request batch (telemetry).
   int64_t batched_requests_ OIPA_GUARDED_BY(mu_) = 0;
+
+  /// Robustness telemetry, reported by {"type":"health"}. Atomics:
+  /// bumped from reader/worker/checkpoint threads without mu_.
+  struct Counters {
+    std::atomic<int64_t> accepted{0};
+    std::atomic<int64_t> rejected_queue_full{0};
+    std::atomic<int64_t> rejected_inflight{0};
+    std::atomic<int64_t> write_timeouts{0};
+    std::atomic<int64_t> write_failures{0};
+    std::atomic<int64_t> checkpoint_saves{0};
+    std::atomic<int64_t> checkpoint_failures{0};
+    std::atomic<int64_t> recovered_snapshots{0};
+  };
+  mutable Counters counters_;
+
+  /// (in-sample theta, holdout theta) at each store's last successful
+  /// checkpoint, keyed by source_key — unchanged stores are skipped.
+  /// Single-threaded by construction (see CheckpointNow).
+  std::map<std::string, std::pair<int64_t, int64_t>> checkpointed_;
 };
 
 }  // namespace serve

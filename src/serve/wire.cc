@@ -208,6 +208,12 @@ StatusOr<WireRequest> ParseWireRequest(std::string_view line) {
 
   WireRequest request;
   OIPA_RETURN_IF_ERROR(ReadString(*root, "id", &request.id));
+  OIPA_RETURN_IF_ERROR(ReadString(*root, "type", &request.type));
+  if (request.type == "health") return request;
+  if (request.type != "plan") {
+    return Status::InvalidArgument("unknown request type '" + request.type +
+                                   "' (expected plan|health)");
+  }
 
   const JsonValue* section = nullptr;
   OIPA_RETURN_IF_ERROR(ReadSection(*root, "dataset", &section));
@@ -319,11 +325,18 @@ std::string OkResponseLine(const std::string& id, JsonValue results,
   return j.Dump(-1);
 }
 
-std::string ErrorResponseLine(const std::string& id,
-                              const Status& status) {
+std::string ErrorResponseLine(const std::string& id, const Status& status,
+                              int64_t retry_after_ms) {
   JsonValue error = JsonValue::Object();
-  error.Set("code", StatusCodeName(status.code()))
+  // Overload rejections use the documented wire name
+  // "resource_exhausted" (clients key their back-off on it); every
+  // other code keeps its StatusCodeName.
+  error
+      .Set("code", status.code() == StatusCode::kResourceExhausted
+                       ? "resource_exhausted"
+                       : StatusCodeName(status.code()))
       .Set("message", status.message());
+  if (retry_after_ms >= 0) error.Set("retry_after_ms", retry_after_ms);
   JsonValue j = JsonValue::Object();
   j.Set("id", id).Set("ok", false).Set("error", std::move(error));
   return j.Dump(-1);

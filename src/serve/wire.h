@@ -107,6 +107,10 @@ struct PlanSpec {
 /// One parsed and validated wire request.
 struct WireRequest {
   std::string id;
+  /// "plan" (default) solves; "health" reports daemon health — it is
+  /// answered directly by the reader thread, bypassing the work queue,
+  /// so it stays responsive under overload.
+  std::string type = "plan";
   DatasetSpec dataset;
   SamplingSpec sampling;
   PlanSpec plan;
@@ -155,9 +159,11 @@ JsonValue ResultJson(const PlanResponse& response);
 std::string OkResponseLine(const std::string& id, JsonValue results,
                            bool cancelled, JsonValue serve);
 
-/// Serializes a structured error response.
-std::string ErrorResponseLine(const std::string& id,
-                              const Status& status);
+/// Serializes a structured error response. A non-negative
+/// `retry_after_ms` adds error.retry_after_ms — overload rejections
+/// (ResourceExhausted) use it to tell clients when to back off until.
+std::string ErrorResponseLine(const std::string& id, const Status& status,
+                              int64_t retry_after_ms = -1);
 
 }  // namespace serve
 }  // namespace oipa

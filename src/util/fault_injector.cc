@@ -1,0 +1,171 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "util/random.h"
+#include "util/threading.h"
+
+namespace oipa {
+namespace {
+
+/// One armed site: either a probability rule or a fire-on-Nth-call rule.
+struct SiteRule {
+  double probability = 0.0;  ///< Used when nth_call == 0.
+  int64_t nth_call = 0;      ///< 1-based ordinal; 0 means probabilistic.
+  int64_t calls = 0;
+  int64_t injected = 0;
+};
+
+struct InjectorState {
+  Mutex mu;
+  std::map<std::string, SiteRule> rules OIPA_GUARDED_BY(mu);
+  uint64_t seed OIPA_GUARDED_BY(mu) = 0;
+  int64_t total_injected OIPA_GUARDED_BY(mu) = 0;
+};
+
+InjectorState& State() {
+  static InjectorState* state = new InjectorState;  // leaked: process-global
+  return *state;
+}
+
+/// FNV-1a over the site name; mixed with the seed and call index below.
+uint64_t HashSite(const std::string& site) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Pure decision function: (seed, site, call index) -> uniform [0,1).
+double DecisionDraw(uint64_t seed, const std::string& site, int64_t call) {
+  uint64_t state = seed ^ HashSite(site) ^
+                   (static_cast<uint64_t>(call) * 0x9e3779b97f4a7c15ULL);
+  return static_cast<double>(SplitMix64Next(&state) >> 11) * 0x1.0p-53;
+}
+
+Status ParseEntry(const std::string& entry,
+                  std::map<std::string, SiteRule>* rules) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+    return Status::InvalidArgument(
+        "fault spec entry '" + entry + "' is not site=probability or site=@N");
+  }
+  const std::string site = entry.substr(0, eq);
+  const std::string value = entry.substr(eq + 1);
+  SiteRule rule;
+  if (value[0] == '@') {
+    char* end = nullptr;
+    const long long nth = std::strtoll(value.c_str() + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || nth < 1) {
+      return Status::InvalidArgument(
+          "fault spec entry '" + entry + "': @N needs an integer N >= 1");
+    }
+    rule.nth_call = nth;
+  } else {
+    char* end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !(p >= 0.0) || !(p <= 1.0)) {
+      return Status::InvalidArgument(
+          "fault spec entry '" + entry + "': probability must be in [0,1]");
+    }
+    rule.probability = p;
+  }
+  (*rules)[site] = rule;
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::enabled_{false};
+
+Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  std::map<std::string, SiteRule> rules;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    if (!entry.empty()) {
+      OIPA_RETURN_IF_ERROR(ParseEntry(entry, &rules));
+    }
+    pos = comma + 1;
+  }
+  InjectorState& state = State();
+  MutexLock lock(&state.mu);
+  state.rules = std::move(rules);
+  state.seed = seed;
+  state.total_injected = 0;
+  enabled_.store(!state.rules.empty(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status FaultInjector::ConfigureFromEnv() {
+  const char* spec = std::getenv("OIPA_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::Ok();
+  uint64_t seed = 1;
+  if (const char* seed_env = std::getenv("OIPA_FAULTS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(seed_env, &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(
+          std::string("OIPA_FAULTS_SEED is not an integer: ") + seed_env);
+    }
+    seed = parsed;
+  }
+  return Configure(spec, seed);
+}
+
+void FaultInjector::Disable() {
+  InjectorState& state = State();
+  MutexLock lock(&state.mu);
+  state.rules.clear();
+  state.total_injected = 0;
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFailSlow(const char* site) {
+  InjectorState& state = State();
+  MutexLock lock(&state.mu);
+  auto it = state.rules.find(site);
+  if (it == state.rules.end()) return false;
+  SiteRule& rule = it->second;
+  ++rule.calls;
+  bool fire;
+  if (rule.nth_call > 0) {
+    fire = rule.calls == rule.nth_call;
+  } else {
+    fire = DecisionDraw(state.seed, it->first, rule.calls) < rule.probability;
+  }
+  if (fire) {
+    ++rule.injected;
+    ++state.total_injected;
+  }
+  return fire;
+}
+
+int64_t FaultInjector::InjectedCount() {
+  InjectorState& state = State();
+  MutexLock lock(&state.mu);
+  return state.total_injected;
+}
+
+std::vector<FaultInjector::SiteStats> FaultInjector::GetSiteStats() {
+  InjectorState& state = State();
+  MutexLock lock(&state.mu);
+  std::vector<SiteStats> out;
+  out.reserve(state.rules.size());
+  for (const auto& [site, rule] : state.rules) {
+    out.push_back({site, rule.calls, rule.injected});
+  }
+  return out;
+}
+
+Status InjectedFault(const char* site) {
+  return Status::Internal(std::string("injected fault at ") + site);
+}
+
+}  // namespace oipa

@@ -8,6 +8,7 @@
 #include "rrset/mrr_io.h"
 #include "topic/campaign.h"
 #include "topic/prob_models.h"
+#include "util/fault_injector.h"
 #include "util/random.h"
 
 namespace oipa {
@@ -257,6 +258,35 @@ TEST(SampleStoreIoTest, RejectsForeignAndGarbageFiles) {
 
   std::ofstream(path, std::ios::binary) << "OIPASTO1 but then garbage";
   EXPECT_FALSE(LoadSampleStore(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(MrrIoTest, InjectedIoFaultsSurfaceAsStatusesNotAborts) {
+  const MrrCollection collection = MakeCollection(100, 41);
+  const std::string path = testing::TempDir() + "/mrr_faulted.bin";
+  ASSERT_TRUE(SaveMrrCollection(collection, path).ok());
+
+  // Every io entry point refuses deterministically while armed and
+  // recovers the moment the injector is disabled. The on-disk file is
+  // untouched by a faulted save (the fault fires before any write).
+  ASSERT_TRUE(FaultInjector::Configure("io.save=1.0,io.load=1.0", 1).ok());
+  const Status save = SaveMrrCollection(collection, path);
+  EXPECT_EQ(save.code(), StatusCode::kInternal);
+  EXPECT_NE(save.message().find("io.save"), std::string::npos);
+  EXPECT_EQ(LoadMrrCollection(path).status().code(),
+            StatusCode::kInternal);
+
+  auto store = SampleStore::Adopt(
+      nullptr, std::make_shared<const MrrCollection>(MakeCollection(50, 43)),
+      nullptr);
+  const std::string store_path = testing::TempDir() + "/store_faulted.bin";
+  EXPECT_EQ(SaveSampleStore(*store, store_path).code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(LoadSampleStore(path).status().code(), StatusCode::kInternal);
+  EXPECT_GE(FaultInjector::InjectedCount(), 4);
+
+  FaultInjector::Disable();
+  EXPECT_TRUE(LoadMrrCollection(path).ok());
   std::remove(path.c_str());
 }
 

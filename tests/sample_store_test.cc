@@ -397,5 +397,124 @@ TEST(StoppingRuleTest, OpimRatioTightensWithTheta) {
   EXPECT_FALSE(rule.Evaluate(starved).satisfied);
 }
 
+// ------------------------------------------------------ crash recovery
+
+class RecoveryFixture : public SampleStoreFixture {
+ protected:
+  void TearDown() override {
+    SampleStore::ClearRecoveredSnapshots();
+    SampleStore::SetRegistryBudget(0);
+  }
+
+  SampleStore::Options KeyedOptions(int64_t theta, uint64_t seed,
+                                    const std::string& key) const {
+    SampleStore::Options options = Options(theta, seed);
+    options.source_key = key;
+    return options;
+  }
+};
+
+TEST_F(RecoveryFixture, RecoveredSnapshotResumesWithoutResampling) {
+  const SampleStore::Options options =
+      KeyedOptions(500, 71, "recovery/a");
+  auto original = SampleStore::Acquire(graph_, probs_, campaign_, options);
+  ASSERT_NE(original, nullptr);
+  const SampleSnapshot saved = original->snapshot();
+  original.reset();  // dead store: the registry entry expires
+
+  ASSERT_TRUE(SampleStore::OfferRecoveredSnapshot("recovery/a", saved.mrr,
+                                                  saved.holdout)
+                  .ok());
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  const int64_t recovered_before =
+      SampleStore::GetRegistryStats().recovered_stores;
+  auto recovered =
+      SampleStore::Acquire(graph_, probs_, campaign_, options);
+  ASSERT_NE(recovered, nullptr);
+  // The tentpole invariant: a same-configuration re-acquire is served
+  // entirely from the parked snapshot — zero regenerated samples.
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount(), before);
+  EXPECT_EQ(recovered->theta(), 500);
+  EXPECT_EQ(SampleStore::GetRegistryStats().recovered_stores,
+            recovered_before + 1);
+
+  // Growth after recovery continues the exact sample stream (the
+  // provenance round-trips), matching up-front generation bit-for-bit.
+  ASSERT_TRUE(recovered->Grow(1'000).ok());
+  const SampleSnapshot snap = recovered->snapshot();
+  const MrrCollection fresh = MrrCollection::Generate(*pieces_, 1'000, 71);
+  ASSERT_EQ(snap.mrr->theta(), fresh.theta());
+  for (int64_t i = 0; i < fresh.theta(); ++i) {
+    ASSERT_EQ(snap.mrr->root(i), fresh.root(i)) << i;
+  }
+}
+
+TEST_F(RecoveryFixture, SmallerRecoveredSnapshotGrowsOnlyTheDelta) {
+  const SampleStore::Options small =
+      KeyedOptions(300, 73, "recovery/delta");
+  auto original = SampleStore::Acquire(graph_, probs_, campaign_, small);
+  const SampleSnapshot saved = original->snapshot();
+  original.reset();
+
+  ASSERT_TRUE(SampleStore::OfferRecoveredSnapshot(
+                  "recovery/delta", saved.mrr, saved.holdout)
+                  .ok());
+  // Re-acquire at a larger theta: recovery seeds the first 300 samples
+  // and only the extension is drawn (2x: in-sample + holdout).
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  auto recovered = SampleStore::Acquire(
+      graph_, probs_, campaign_, KeyedOptions(900, 73, "recovery/delta"));
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->theta(), 900);
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount() - before,
+            2 * (900 - 300));
+}
+
+TEST_F(RecoveryFixture, MismatchedProvenanceIsIgnoredAndResampled) {
+  const SampleStore::Options options =
+      KeyedOptions(400, 79, "recovery/mismatch");
+  auto original = SampleStore::Acquire(graph_, probs_, campaign_, options);
+  const SampleSnapshot saved = original->snapshot();
+  original.reset();
+  ASSERT_TRUE(SampleStore::OfferRecoveredSnapshot(
+                  "recovery/mismatch", saved.mrr, saved.holdout)
+                  .ok());
+
+  // Same key, different sampling seed: the snapshot's provenance no
+  // longer matches, so it must NOT be adopted — correctness beats
+  // recovery, and the store resamples from scratch.
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  auto fresh = SampleStore::Acquire(
+      graph_, probs_, campaign_,
+      KeyedOptions(400, 80, "recovery/mismatch"));
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount() - before, 2 * 400);
+}
+
+TEST_F(RecoveryFixture, OfferValidatesItsArguments) {
+  const MrrCollection mrr = MrrCollection::Generate(*pieces_, 50, 83);
+  auto shared = std::make_shared<const MrrCollection>(mrr);
+  EXPECT_EQ(SampleStore::OfferRecoveredSnapshot("", shared, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      SampleStore::OfferRecoveredSnapshot("key", nullptr, nullptr).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(RecoveryFixture, ClearDropsParkedSnapshots) {
+  const SampleStore::Options options =
+      KeyedOptions(200, 89, "recovery/cleared");
+  auto original = SampleStore::Acquire(graph_, probs_, campaign_, options);
+  const SampleSnapshot saved = original->snapshot();
+  original.reset();
+  ASSERT_TRUE(SampleStore::OfferRecoveredSnapshot(
+                  "recovery/cleared", saved.mrr, saved.holdout)
+                  .ok());
+  SampleStore::ClearRecoveredSnapshots();
+  const int64_t before = MrrCollection::GeneratedSampleCount();
+  auto fresh = SampleStore::Acquire(graph_, probs_, campaign_, options);
+  EXPECT_EQ(MrrCollection::GeneratedSampleCount() - before, 2 * 200);
+}
+
 }  // namespace
 }  // namespace oipa

@@ -22,6 +22,7 @@
 #include "serve/json_parser.h"
 #include "serve/server.h"
 #include "serve/wire.h"
+#include "util/fault_injector.h"
 
 namespace oipa {
 namespace serve {
@@ -128,6 +129,7 @@ TEST(WireTest, RejectsOutOfDomainFields) {
            R"({"plan":{"bound":"tight"}})",
            R"({"plan":{"max_nodes":0}})",
            R"({"id":7})",
+           R"({"type":"stats"})",
            R"([1,2,3])",
        }) {
     const StatusOr<WireRequest> r = ParseWireRequest(bad);
@@ -202,7 +204,10 @@ class ServeFixture : public ::testing::Test {
  protected:
   void TearDown() override {
     // Tests with a nonzero store budget must not leak retention into
-    // later suites sharing the process-wide registry.
+    // later suites sharing the process-wide registry; chaos tests must
+    // not leak armed faults or parked recovery snapshots either.
+    FaultInjector::Disable();
+    SampleStore::ClearRecoveredSnapshots();
     SampleStore::SetRegistryBudget(0);
   }
 
@@ -539,9 +544,377 @@ TEST_F(ServeFixture, GracefulShutdownDrainsQueuedSolves) {
   }
 
   // The listener is gone: new connections are refused.
-  const StatusOr<std::string> refused = RequestOverTcp(
-      "127.0.0.1", server_->port(), TinyRequest("late", 1, "[2]"));
+  ClientOptions no_retry;
+  no_retry.retries = 0;
+  const StatusOr<std::string> refused =
+      RequestOverTcp("127.0.0.1", server_->port(),
+                     TinyRequest("late", 1, "[2]"), no_retry);
   EXPECT_FALSE(refused.ok());
+}
+
+// -------------------------------------------------------- robustness
+
+/// Asserts two "results" arrays describe bit-identical answers —
+/// everything but wall-clock time (solve_seconds) must match.
+void ExpectSameResults(const JsonValue& lhs, const JsonValue& rhs) {
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    for (const char* field :
+         {"seed_sets", "utility", "holdout_utility", "upper_bound",
+          "converged", "nodes_expanded", "bound_calls", "theta_used"}) {
+      EXPECT_EQ(lhs.at(i).Find(field)->Dump(-1),
+                rhs.at(i).Find(field)->Dump(-1))
+          << i << "." << field;
+    }
+  }
+}
+
+TEST(ServeOptionsTest, StartRejectsInvalidOptions) {
+  const auto expect_invalid = [](ServerOptions options) {
+    PlanServer server(options);
+    const Status started = server.Start();
+    EXPECT_FALSE(started.ok());
+    EXPECT_EQ(started.code(), StatusCode::kInvalidArgument);
+  };
+  ServerOptions options;
+  options.workers = 0;
+  expect_invalid(options);
+  options = {};
+  options.max_contexts = 0;
+  expect_invalid(options);
+  options = {};
+  options.store_budget_bytes = -1;
+  expect_invalid(options);
+  options = {};
+  options.max_queue_depth = 0;
+  expect_invalid(options);
+  options = {};
+  options.max_inflight_per_conn = 0;
+  expect_invalid(options);
+  options = {};
+  options.write_timeout_ms = 0;
+  expect_invalid(options);
+  options = {};
+  options.checkpoint_interval_ms = 0;
+  expect_invalid(options);
+}
+
+TEST(ServeClientTest, SilentDaemonTimesOutInsteadOfHanging) {
+  // A listener that never accepts: the kernel completes the handshake
+  // from the backlog, so connect and send succeed — only the read can
+  // detect the silence.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  ClientOptions options;
+  options.read_timeout_ms = 100;
+  options.retries = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const StatusOr<std::string> response =
+      RequestOverTcp("127.0.0.1", port, R"({"id":"void"})", options);
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed.count(), 10'000);  // bounded, not a hang
+  ::close(listener);
+
+  // With the listener gone the same call fails fast with a transport
+  // error (connection refused), still without hanging.
+  ClientOptions quick = options;
+  quick.connect_timeout_ms = 1'000;
+  const StatusOr<std::string> refused =
+      RequestOverTcp("127.0.0.1", port, R"({"id":"void"})", quick);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServeFixture, OverloadRejectionsCarryRetryAfterMs) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 1;
+  StartServer(options);
+
+  // Occupy the single worker so the queue backs up behind it.
+  std::thread blocker([&] {
+    const std::string request =
+        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":99},"
+        "\"sampling\":{\"theta\":60000},"
+        "\"plan\":{\"method\":\"bab\",\"budgets\":[8]}}";
+    const StatusOr<std::string> response =
+        RequestOverTcp("127.0.0.1", server_->port(), request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(Parse(*response).Find("ok")->bool_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Three distinct-context requests: the first fills the depth-1
+  // queue, the rest must be rejected with a structured back-off hint.
+  const std::vector<std::string> responses = SendLinesAndCollect(
+      server_->port(),
+      {TinyRequest("f1", 1, "[2]"), TinyRequest("f2", 2, "[2]"),
+       TinyRequest("f3", 3, "[2]")},
+      3);
+  blocker.join();
+  ASSERT_EQ(responses.size(), 3u);
+
+  int ok_count = 0, rejected_count = 0;
+  for (const std::string& line : responses) {
+    const JsonValue r = Parse(line);
+    if (r.Find("ok")->bool_value()) {
+      ++ok_count;
+      continue;
+    }
+    const JsonValue* error = r.Find("error");
+    ASSERT_NE(error, nullptr) << line;
+    EXPECT_EQ(error->Find("code")->string_value(), "resource_exhausted")
+        << line;
+    const JsonValue* retry = error->Find("retry_after_ms");
+    ASSERT_NE(retry, nullptr) << line;
+    EXPECT_GE(retry->int_value(), 1);
+    ++rejected_count;
+  }
+  EXPECT_EQ(ok_count, 1);
+  EXPECT_EQ(rejected_count, 2);
+
+  // Once the backlog clears, the daemon serves normally again.
+  const JsonValue after = Roundtrip(TinyRequest("after", 1, "[2]"));
+  EXPECT_TRUE(after.Find("ok")->bool_value());
+}
+
+TEST_F(ServeFixture, PerConnectionInflightCapRejectsGreedyPipeliner) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_inflight_per_conn = 1;
+  StartServer(options);
+  std::thread blocker([&] {
+    const std::string request =
+        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":99},"
+        "\"sampling\":{\"theta\":60000},"
+        "\"plan\":{\"method\":\"bab\",\"budgets\":[8]}}";
+    const StatusOr<std::string> response =
+        RequestOverTcp("127.0.0.1", server_->port(), request);
+    ASSERT_TRUE(response.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // One connection pipelines three requests; with the cap at 1 only
+  // the first may occupy the queue — the global queue stays available
+  // to other connections.
+  const std::vector<std::string> responses = SendLinesAndCollect(
+      server_->port(),
+      {TinyRequest("p1", 1, "[2]"), TinyRequest("p2", 2, "[2]"),
+       TinyRequest("p3", 3, "[2]")},
+      3);
+  blocker.join();
+  int ok_count = 0, rejected_count = 0;
+  for (const std::string& line : responses) {
+    const JsonValue r = Parse(line);
+    if (r.Find("ok")->bool_value()) {
+      ++ok_count;
+    } else {
+      EXPECT_EQ(r.Find("error")->Find("code")->string_value(),
+                "resource_exhausted")
+          << line;
+      ++rejected_count;
+    }
+  }
+  EXPECT_EQ(ok_count, 1);
+  EXPECT_EQ(rejected_count, 2);
+}
+
+TEST_F(ServeFixture, HealthBypassesTheQueueAndReportsCounters) {
+  ServerOptions options;
+  options.workers = 1;
+  StartServer(options);
+  std::thread blocker([&] {
+    const std::string request =
+        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":99},"
+        "\"sampling\":{\"theta\":60000},"
+        "\"plan\":{\"method\":\"bab\",\"budgets\":[8]}}";
+    const StatusOr<std::string> response =
+        RequestOverTcp("127.0.0.1", server_->port(), request);
+    ASSERT_TRUE(response.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The health probe is answered by the reader thread while the only
+  // worker is busy — it cannot be stuck behind the solve.
+  const std::vector<std::string> responses = SendLinesAndCollect(
+      server_->port(), {R"({"id":"h1","type":"health"})"}, 1);
+  ASSERT_EQ(responses.size(), 1u);
+  const JsonValue r = Parse(responses[0]);
+  ASSERT_TRUE(r.Find("ok")->bool_value()) << responses[0];
+  EXPECT_EQ(r.Find("id")->string_value(), "h1");
+  const JsonValue* health = r.Find("health");
+  ASSERT_NE(health, nullptr);
+  EXPECT_EQ(health->Find("workers")->int_value(), 1);
+  EXPECT_GE(health->Find("queue_depth")->int_value(), 0);
+  EXPECT_FALSE(health->Find("draining")->bool_value());
+  EXPECT_GE(health->Find("accepted")->int_value(), 1);
+  for (const char* counter :
+       {"rejected_queue_full", "rejected_inflight", "write_timeouts",
+        "write_failures", "checkpoint_saves", "checkpoint_failures",
+        "recovered_snapshots", "faults_injected"}) {
+    ASSERT_NE(health->Find(counter), nullptr) << counter;
+    EXPECT_GE(health->Find(counter)->int_value(), 0) << counter;
+  }
+  ASSERT_NE(health->Find("context_cache"), nullptr);
+  ASSERT_NE(health->Find("store_registry"), nullptr);
+  blocker.join();
+}
+
+TEST_F(ServeFixture, HalfClosedAndAbortedConnectionsDoNotWedgeWorkers) {
+  StartServer({});
+
+  // Half-close: the client sends its request and shuts down the write
+  // side. The reader sees EOF, but the queued request still resolves
+  // and the response is delivered on the surviving read side.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string framed = TinyRequest("half", 1, "[2]") + "\n";
+    ASSERT_EQ(::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size()));
+    ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+    std::string buffer;
+    char chunk[4096];
+    while (buffer.find('\n') == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    ASSERT_NE(buffer.find('\n'), std::string::npos);
+    const JsonValue r = Parse(buffer.substr(0, buffer.find('\n')));
+    EXPECT_TRUE(r.Find("ok")->bool_value());
+    EXPECT_EQ(r.Find("id")->string_value(), "half");
+  }
+
+  // Abrupt hangup: the request is accepted but the client vanishes
+  // before the answer. The worker's write fails without SIGPIPE or a
+  // wedge; nothing leaks.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string framed = TinyRequest("gone", 2, "[2]") + "\n";
+    ASSERT_EQ(::send(fd, framed.data(), framed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(framed.size()));
+    ::close(fd);
+  }
+
+  // The daemon keeps serving, and the drain completes instead of
+  // hanging on the dead connection (a wedged worker would time this
+  // test out).
+  const JsonValue alive = Roundtrip(TinyRequest("alive", 1, "[2]"));
+  EXPECT_TRUE(alive.Find("ok")->bool_value());
+  server_->Stop();
+}
+
+TEST_F(ServeFixture, InjectedFaultsAreSurvivedAndRetriedAnswersMatch) {
+  StartServer({});
+  const JsonValue baseline = Roundtrip(TinyRequest("base", 1, "[3]"));
+  ASSERT_TRUE(baseline.Find("ok")->bool_value());
+
+  // Drop the daemon's 2nd response write on the floor (connection
+  // severed). The resilient client retries on the dropped line; the
+  // retried answer must be bit-identical to the fault-free baseline.
+  ASSERT_TRUE(FaultInjector::Configure("serve.write=@2", 9).ok());
+  ClientOptions resilient;
+  resilient.retries = 3;
+  resilient.backoff_initial_ms = 5;
+  for (int i = 0; i < 3; ++i) {
+    const StatusOr<std::string> response = RequestOverTcp(
+        "127.0.0.1", server_->port(),
+        TinyRequest("c" + std::to_string(i), 1, "[3]"), resilient);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const JsonValue r = Parse(*response);
+    ASSERT_TRUE(r.Find("ok")->bool_value()) << *response;
+    ExpectSameResults(*r.Find("results"), *baseline.Find("results"));
+  }
+  EXPECT_GE(FaultInjector::InjectedCount(), 1);
+
+  // A read fault kills the connection before the request is parsed;
+  // the retry lands on a fresh connection and succeeds.
+  ASSERT_TRUE(FaultInjector::Configure("serve.read=@1", 9).ok());
+  const StatusOr<std::string> after_read_fault = RequestOverTcp(
+      "127.0.0.1", server_->port(), TinyRequest("rr", 1, "[3]"),
+      resilient);
+  ASSERT_TRUE(after_read_fault.ok())
+      << after_read_fault.status().ToString();
+  ExpectSameResults(*Parse(*after_read_fault).Find("results"),
+                    *baseline.Find("results"));
+  EXPECT_GE(FaultInjector::InjectedCount(), 1);
+  FaultInjector::Disable();
+}
+
+TEST_F(ServeFixture, CheckpointedStoreIsRecoveredAfterRestart) {
+  const std::string dir = testing::TempDir() + "/serve_ckpt";
+  ServerOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_interval_ms = 60'000;  // rely on the Stop() pass
+
+  StartServer(options);
+  const JsonValue first = Roundtrip(TinyRequest("r1", 1, "[3]"));
+  ASSERT_TRUE(first.Find("ok")->bool_value()) << first.Dump(-1);
+  server_->Stop();  // graceful shutdown writes the final checkpoint
+  // Destroying the server releases the context cache; with no registry
+  // budget the sample store dies with it — a restart must genuinely
+  // recover from disk, not from process memory.
+  server_.reset();
+
+  StartServer(options);
+  const JsonValue second = Roundtrip(TinyRequest("r2", 1, "[3]"));
+  ASSERT_TRUE(second.Find("ok")->bool_value()) << second.Dump(-1);
+  // The tentpole acceptance: the restarted daemon answers the cached
+  // context bit-identically with ZERO regenerated samples.
+  EXPECT_EQ(second.Find("serve")->Find("samples_generated")->int_value(),
+            0);
+  ExpectSameResults(*second.Find("results"), *first.Find("results"));
+  EXPECT_GE(second.Find("serve")
+                ->Find("store_registry")
+                ->Find("recovered_stores")
+                ->int_value(),
+            1);
+
+  const std::vector<std::string> health_lines = SendLinesAndCollect(
+      server_->port(), {R"({"id":"h","type":"health"})"}, 1);
+  ASSERT_EQ(health_lines.size(), 1u);
+  const JsonValue health = Parse(health_lines[0]);
+  EXPECT_GE(health.Find("health")
+                ->Find("recovered_snapshots")
+                ->int_value(),
+            1);
+  EXPECT_GE(
+      health.Find("health")->Find("checkpoint_saves")->int_value(), 0);
 }
 
 }  // namespace
