@@ -1,15 +1,19 @@
 // Parallel branch-and-bound scaling bench: runs the same budget sweep
-// through SolveBatch at 1/2/4/8 worker threads (BAB and BAB-P) and
-// reports per-thread-count runtimes, parallel speedups, and the
-// single-thread throughput CI gates on (scripts/check_perf_regression.py
-// compares tau_evals_per_sec against the committed baseline).
+// through SolveBatch at 1..32 worker threads (BAB and BAB-P) and
+// reports per-thread-count runtimes, parallel speedups, scaling
+// efficiency (speedup / threads), and the single-thread throughput CI
+// gates on (scripts/check_perf_regression.py compares
+// tau_evals_per_sec and the per-thread-count efficiency map against
+// the committed baseline).
 //
 // The defaults (tight gap, 4000-node cap) are deliberately heavier than
 // the figure benches so the frontier stays populated and bound calls
-// dominate — the regime the parallel engine targets.
+// dominate — the regime the work-stealing engine targets. Counts above
+// the machine's cores still run (workers oversubscribe), so the 16/32
+// legs double as a contention stress on small CI runners.
 //
 // Flags: --dataset=lastfm --theta=30000 --ell=3 --k=10,20,40
-//        --threads=1,2,4,8 --gap=0.0001 --max_nodes=4000
+//        --threads=1,2,4,8,16,32 --gap=0.0001 --max_nodes=4000
 //        --output=BENCH_parallel.json
 
 #include <cstdio>
@@ -31,7 +35,7 @@ int main(int argc, char** argv) {
   const int ell = static_cast<int>(flags.GetInt("ell", 3));
   const std::vector<int64_t> ks = flags.GetIntList("k", {10, 20, 40});
   const std::vector<int64_t> thread_counts =
-      flags.GetIntList("threads", {1, 2, 4, 8});
+      flags.GetIntList("threads", {1, 2, 4, 8, 16, 32});
   const std::string output =
       flags.GetString("output", "BENCH_parallel.json");
   BabOptions base;
@@ -117,14 +121,18 @@ int main(int argc, char** argv) {
       }
     }
     JsonValue runs = JsonValue::Array();
+    JsonValue efficiency = JsonValue::Object();
     for (Run& run : measured) {
       const double speedup =
           run.total_seconds > 0.0 && single_thread_seconds > 0.0
               ? single_thread_seconds / run.total_seconds
               : 0.0;
+      // Scaling efficiency: perfect work stealing would hold this at
+      // 1.0; the baseline gates a conservative floor per thread count.
+      const double eff = speedup / static_cast<double>(run.threads);
       std::printf("%-6s threads=%d  total=%.3fs  speedup=%.2fx  "
-                  "tau_evals=%lld\n",
-                  method, run.threads, run.total_seconds, speedup,
+                  "efficiency=%.2f  tau_evals=%lld\n",
+                  method, run.threads, run.total_seconds, speedup, eff,
                   static_cast<long long>(run.total_tau_evals));
       JsonValue row = JsonValue::Object();
       row.Set("threads", run.threads)
@@ -132,11 +140,16 @@ int main(int argc, char** argv) {
           .Set("total_tau_evals", run.total_tau_evals)
           .Set("total_nodes_expanded", run.total_nodes)
           .Set("speedup_vs_1_thread", speedup)
+          .Set("efficiency", eff)
           .Set("per_k", std::move(run.per_k));
       runs.Append(std::move(row));
+      if (run.threads > 1) {
+        efficiency.Set(std::to_string(run.threads), eff);
+      }
     }
     JsonValue entry = JsonValue::Object();
     entry.Set("single_thread", std::move(single_thread))
+        .Set("efficiency", std::move(efficiency))
         .Set("runs", std::move(runs));
     methods.Set(method, std::move(entry));
   }

@@ -1,20 +1,27 @@
 // Incremental sampling engine bench: measures MRR generation and
-// in-place growth throughput (samples/sec), verifies that growing a
-// collection costs the same per-sample as generating it, and runs
-// adaptive theta selection to demonstrate that every sample is drawn at
-// most once per collection (the total-samples counter equals
-// 2 * final theta — one train + one test collection — where the old
-// regenerate-per-round scheme paid 2 * sum of all round sizes).
+// in-place growth throughput (samples/sec) at several worker-thread
+// counts, verifies that growing a collection costs the same per-sample
+// as generating it, spot-checks that the threaded collections are
+// bit-identical to the single-threaded ones (the PerSampleSeed
+// determinism contract), and runs adaptive theta selection to
+// demonstrate that every sample is drawn at most once per collection
+// (the total-samples counter equals 2 * final theta — one train + one
+// test collection — where the old regenerate-per-round scheme paid
+// 2 * sum of all round sizes).
 //
 // Emits BENCH_sampling.json (uploaded by CI next to the other bench
-// trajectories).
+// trajectories). The single-threaded samples_per_sec legs are the ones
+// scripts/check_perf_regression.py gates against the baseline.
 //
 // Flags: --dataset=lastfm --ell=3 --theta=20000 --extend_rounds=3
+//        --sampling_threads=1,4,16
 //        --adaptive_initial=2000 --adaptive_max=128000
 //        --output=BENCH_sampling.json
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +32,30 @@
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/timer.h"
+
+namespace {
+
+/// Order-sensitive FNV-1a over every root and membership of the
+/// collection: two collections hash equal iff they hold the same
+/// samples in the same posting order — the property the parallel
+/// generation path promises at any thread count.
+uint64_t Fingerprint(const oipa::MrrCollection& mrr) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  };
+  for (int64_t i = 0; i < mrr.theta(); ++i) {
+    mix(static_cast<uint64_t>(mrr.root(i)));
+    for (int piece = 0; piece < mrr.num_pieces(); ++piece) {
+      for (const oipa::VertexId v : mrr.Set(i, piece)) {
+        mix(static_cast<uint64_t>(v));
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace oipa;
@@ -50,48 +81,91 @@ int main(int argc, char** argv) {
   JsonValue result = JsonValue::Object();
   result.Set("dataset", dataset).Set("ell", ell).Set("theta", theta);
 
+  const std::vector<int64_t> sampling_threads =
+      flags.GetIntList("sampling_threads", {1, 4, 16});
+
   // ------------------------------------------------ generation throughput
   {
-    WallTimer timer;
-    const MrrCollection fresh =
-        MrrCollection::Generate(env.pieces, theta, 29);
-    const double seconds = timer.Seconds();
-    JsonValue j = JsonValue::Object();
-    j.Set("samples", theta)
-        .Set("seconds", seconds)
-        .Set("samples_per_sec", theta / seconds)
-        .Set("memberships", fresh.TotalSize())
-        .Set("memory_bytes", fresh.MemoryBytes());
-    std::printf("generate: %lld samples in %.3fs (%.0f samples/s)\n",
-                static_cast<long long>(theta), seconds, theta / seconds);
-    result.Set("generate", std::move(j));
+    JsonValue by_threads = JsonValue::Array();
+    uint64_t single_thread_hash = 0;
+    for (const int64_t threads64 : sampling_threads) {
+      const int threads = static_cast<int>(threads64);
+      WallTimer timer;
+      const MrrCollection fresh = MrrCollection::Generate(
+          env.pieces, theta, 29, DiffusionModel::kIndependentCascade,
+          threads);
+      const double seconds = timer.Seconds();
+      const uint64_t hash = Fingerprint(fresh);
+      if (threads == 1) single_thread_hash = hash;
+      // PerSampleSeed determinism: any thread count must reproduce the
+      // single-threaded collection bit for bit.
+      if (single_thread_hash != 0) {
+        OIPA_CHECK_EQ(hash, single_thread_hash)
+            << "parallel generation diverged at " << threads
+            << " threads";
+      }
+      JsonValue j = JsonValue::Object();
+      j.Set("threads", threads)
+          .Set("samples", theta)
+          .Set("seconds", seconds)
+          .Set("samples_per_sec", theta / seconds)
+          .Set("memberships", fresh.TotalSize())
+          .Set("memory_bytes", fresh.MemoryBytes());
+      std::printf(
+          "generate[threads=%d]: %lld samples in %.3fs (%.0f samples/s)\n",
+          threads, static_cast<long long>(theta), seconds,
+          theta / seconds);
+      // The gated scalar throughput keeps its historical flat shape.
+      if (threads == 1) {
+        result.Set("generate", j);
+      }
+      by_threads.Append(std::move(j));
+    }
+    result.Set("generate_by_threads", std::move(by_threads));
   }
 
   // ----------------------------------------------------- growth throughput
   {
-    MrrCollection grown =
-        MrrCollection::Generate(env.pieces, theta / 2, 29);
-    WallTimer timer;
-    int64_t grown_samples = 0;
-    int64_t target = theta;
-    for (int r = 0; r < extend_rounds; ++r, target *= 2) {
-      grown_samples += target - grown.theta();
-      grown.Extend(env.pieces, target);
+    JsonValue by_threads = JsonValue::Array();
+    uint64_t single_thread_hash = 0;
+    for (const int64_t threads64 : sampling_threads) {
+      const int threads = static_cast<int>(threads64);
+      MrrCollection grown = MrrCollection::Generate(
+          env.pieces, theta / 2, 29, DiffusionModel::kIndependentCascade,
+          threads);
+      WallTimer timer;
+      int64_t grown_samples = 0;
+      int64_t target = theta;
+      for (int r = 0; r < extend_rounds; ++r, target *= 2) {
+        grown_samples += target - grown.theta();
+        grown.Extend(env.pieces, target, threads);
+      }
+      const double seconds = timer.Seconds();
+      const uint64_t hash = Fingerprint(grown);
+      if (threads == 1) single_thread_hash = hash;
+      if (single_thread_hash != 0) {
+        OIPA_CHECK_EQ(hash, single_thread_hash)
+            << "parallel growth diverged at " << threads << " threads";
+      }
+      JsonValue j = JsonValue::Object();
+      j.Set("threads", threads)
+          .Set("rounds", extend_rounds)
+          .Set("samples", grown_samples)
+          .Set("final_theta", grown.theta())
+          .Set("index_segments", grown.num_index_segments())
+          .Set("seconds", seconds)
+          .Set("samples_per_sec", grown_samples / seconds);
+      std::printf(
+          "extend[threads=%d]: %lld samples across %d rounds in %.3fs "
+          "(%.0f samples/s, %d index segments)\n",
+          threads, static_cast<long long>(grown_samples), extend_rounds,
+          seconds, grown_samples / seconds, grown.num_index_segments());
+      if (threads == 1) {
+        result.Set("extend", j);
+      }
+      by_threads.Append(std::move(j));
     }
-    const double seconds = timer.Seconds();
-    JsonValue j = JsonValue::Object();
-    j.Set("rounds", extend_rounds)
-        .Set("samples", grown_samples)
-        .Set("final_theta", grown.theta())
-        .Set("index_segments", grown.num_index_segments())
-        .Set("seconds", seconds)
-        .Set("samples_per_sec", grown_samples / seconds);
-    std::printf(
-        "extend: %lld samples across %d rounds in %.3fs "
-        "(%.0f samples/s, %d index segments)\n",
-        static_cast<long long>(grown_samples), extend_rounds, seconds,
-        grown_samples / seconds, grown.num_index_segments());
-    result.Set("extend", std::move(j));
+    result.Set("extend_by_threads", std::move(by_threads));
   }
 
   // --------------------------------------------------------- adaptive theta

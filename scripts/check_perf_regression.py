@@ -7,7 +7,13 @@ Two baseline formats are supported:
    `single_thread.tau_evals_per_sec` in the fresh bench JSON against the
    baseline's `tau_evals_per_sec`. Throughput is tau evaluations per
    second — the bound evaluator's unit of work — which is far more
-   stable across runs than wall seconds of the whole sweep.
+   stable across runs than wall seconds of the whole sweep. A method
+   baseline may also carry a `scaling_efficiency` map from thread count
+   (as a string key) to the minimum speedup/threads ratio; each entry is
+   compared against `methods.<m>.efficiency.<count>` in the bench JSON,
+   gating the work-stealing engine's parallel scaling, not just its
+   scalar speed. Keep those floors conservative — CI runners have few
+   cores and efficiency above the core count is mostly noise.
 
 2. `metrics` (bench_sampling and future benches): a flat map from a
    dotted path into the bench JSON (e.g. "generate.samples_per_sec") to
@@ -39,6 +45,11 @@ def lookup(tree, dotted_path):
     return node if isinstance(node, (int, float)) else None
 
 
+def fmt(value):
+    """Readable at both scales: 9,540,275 tau_evals/s and 0.052 efficiency."""
+    return f"{value:,.0f}" if value >= 1000 else f"{value:.3f}"
+
+
 def check(name, got, want, tolerance, failures):
     if got is None:
         failures.append(f"{name}: missing from bench output")
@@ -49,11 +60,11 @@ def check(name, got, want, tolerance, failures):
     floor = want * (1.0 - tolerance)
     verdict = "OK" if got >= floor else "REGRESSION"
     print(
-        f"{name}: {got:,.0f} "
-        f"(baseline {want:,.0f}, floor {floor:,.0f}) {verdict}"
+        f"{name}: {fmt(got)} "
+        f"(baseline {fmt(want)}, floor {fmt(floor)}) {verdict}"
     )
     if got < floor:
-        failures.append(f"{name}: {got:,.0f} < floor {floor:,.0f}")
+        failures.append(f"{name}: {fmt(got)} < floor {fmt(floor)}")
 
 
 def main() -> int:
@@ -93,6 +104,22 @@ def main() -> int:
             )
             continue
         check(f"{method} tau_evals/s", got, want, args.tolerance, failures)
+
+        for count, floor in expected.get("scaling_efficiency", {}).items():
+            if not isinstance(floor, (int, float)) or floor <= 0:
+                failures.append(
+                    f"{method} efficiency@{count}: non-numeric baseline "
+                    f"{floor!r}"
+                )
+                continue
+            measured = entry.get("efficiency", {}).get(count)
+            check(
+                f"{method} efficiency@{count} threads",
+                measured,
+                floor,
+                args.tolerance,
+                failures,
+            )
 
     for path, want in baseline.get("metrics", {}).items():
         if not isinstance(want, (int, float)) or not want:

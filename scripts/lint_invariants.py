@@ -23,6 +23,12 @@ Enforced rules (each failure names its rule id):
                     gated against a bench/BASELINE_*.json via
                     check_perf_regression.py (an ungated bench is a
                     regression trap).
+  lock-hierarchy    Every oipa::Mutex declared in src/ (outside
+                    src/util/) is documented in README.md's "Locking
+                    hierarchy" table — a mutex nobody wrote an ordering
+                    rule for is where the next deadlock hides. Matching
+                    is by declared name, so renaming a lock without
+                    updating the table also fails.
 
 Suppressions: a finding may be waived with a comment on the same line
 or the line directly above it:
@@ -199,6 +205,58 @@ def check_test_registration(root: str, findings: Findings) -> None:
                 "the test-suite list)")
 
 
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:oipa::)?Mutex\s+(?P<name>[A-Za-z_]\w*)\s*[;{=]")
+
+
+def check_lock_hierarchy(root: str, findings: Findings) -> None:
+    """Every Mutex declared outside src/util must appear (by name) in the
+    README's Locking hierarchy section."""
+    readme_path = os.path.join(root, "README.md")
+    if not os.path.isfile(readme_path):
+        return
+    with open(readme_path, encoding="utf-8") as f:
+        readme_lines = f.read().splitlines()
+    section: list[str] = []
+    in_section = False
+    for line in readme_lines:
+        if "Locking hierarchy" in line:
+            in_section = True
+        elif in_section and (line.startswith("## ") or
+                             (line.startswith("**") and section)):
+            break
+        if in_section:
+            section.append(line)
+    section_text = "\n".join(section)
+    if not section_text:
+        findings.error(
+            "lock-hierarchy", "README.md",
+            'no "Locking hierarchy" section found — document lock '
+            "ordering before adding mutexes")
+        return
+    for path in iter_cxx_files(root, "src"):
+        rel = os.path.relpath(path, root)
+        if rel.startswith(os.path.join("src", "util") + os.sep):
+            continue
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        for idx, line in enumerate(lines):
+            m = MUTEX_DECL_RE.match(line)
+            if not m:
+                continue
+            name = m.group("name")
+            if re.search(rf"\b{re.escape(name)}\b", section_text):
+                continue
+            where = f"{rel}:{idx + 1}"
+            if waived("lock-hierarchy", lines, idx, where, findings):
+                continue
+            findings.error(
+                "lock-hierarchy", where,
+                f"Mutex '{name}' is not documented in README.md's "
+                "Locking hierarchy table — add a row (lock, what it "
+                "guards, ordering constraints)")
+
+
 def check_bench_baselines(root: str, findings: Findings) -> None:
     ci_path = os.path.join(root, ".github", "workflows", "ci.yml")
     if not os.path.isfile(ci_path):
@@ -282,6 +340,7 @@ def main() -> int:
 
     check_test_registration(root, findings)
     check_bench_baselines(root, findings)
+    check_lock_hierarchy(root, findings)
     count_suppressions(root, findings)
 
     for line in findings.bad_suppressions:

@@ -83,6 +83,16 @@ int ResolvedSolverThreads(const CliConfig& c) {
   return c.threads;
 }
 
+/// Effective sampling worker count: --threads=N (N > 0) pins sample
+/// generation to N workers too; flag absent or 0 leaves sampling on
+/// the GetNumThreads() auto path (which also honors OIPA_THREADS).
+/// Unlike the solver, an absent flag does not force 1: samples are
+/// bit-identical at any thread count, so there is no determinism to
+/// protect by staying sequential.
+int ResolvedSamplingThreads(const CliConfig& c) {
+  return c.threads > 0 ? c.threads : 0;
+}
+
 void BuildDataset(Pipeline* p, std::ostream& err) {
   const CliConfig& c = *p->config;
   err << "[oipa_cli] building dataset '" << c.dataset << "'...\n";
@@ -165,6 +175,7 @@ Status BuildContext(Pipeline* p, std::ostream& err) {
   // against.
   options.holdout_theta = c.sampling_epsilon > 0.0 ? -1 : 0;
   options.seed = c.seed + 5;
+  options.sampling_threads = ResolvedSamplingThreads(c);
   options.share_samples = c.share_samples;
   WallTimer timer;
   auto context = PlanningContext::Borrow(
@@ -301,11 +312,12 @@ JsonValue ConfigJson(const CliConfig& c) {
       .Set("share_samples", c.share_samples)
       .Set("learn", c.learn)
       .Set("threads", ResolvedSolverThreads(c))
-      // MRR sampling always parallelizes via GetNumThreads() (already
-      // reflecting an explicit --threads through SetNumThreads), so the
-      // two counts can legitimately differ — e.g. a default run samples
-      // on every core but solves sequentially.
-      .Set("sampling_threads", GetNumThreads())
+      // The worker count sample generation actually ran with (plumbed
+      // through ContextOptions::sampling_threads). It can legitimately
+      // differ from "threads": a default run samples on every core but
+      // solves sequentially.
+      .Set("sampling_threads",
+           ResolveThreadCount(ResolvedSamplingThreads(c)))
       .Set("seed", static_cast<int64_t>(c.seed));
   return j;
 }
@@ -417,6 +429,11 @@ std::string WirePlanRequestLine(const CliConfig& c) {
       .Set("epsilon", c.sampling_epsilon)
       .Set("max_theta", c.max_theta)
       .Set("stopping", c.stopping);
+  if (c.threads > 0) {
+    // Pin the daemon's sampling width like the local pipeline's; the
+    // samples (and therefore the answer) are identical either way.
+    sampling.Set("threads", static_cast<int64_t>(c.threads));
+  }
   JsonValue plan = JsonValue::Object();
   plan.Set("method", c.method);
   JsonValue budgets = JsonValue::Array();

@@ -52,6 +52,7 @@ SampleStore::Options StoreOptions(const ContextOptions& options) {
   store_options.holdout_theta = options.holdout_theta;
   store_options.seed = options.seed;
   store_options.diffusion = options.diffusion;
+  store_options.sampling_threads = options.sampling_threads;
   store_options.source_key = options.source_key;
   return store_options;
 }

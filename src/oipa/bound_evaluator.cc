@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <span>
 
+#include "rrset/coverage_kernels.h"
 #include "util/logging.h"
 
 namespace oipa {
@@ -27,22 +29,27 @@ BoundEvaluator::BoundEvaluator(const MrrCollection* mrr,
   }
   line_epoch_.assign(mrr_->theta(), 0);
   line_value_.assign(mrr_->theta(), 0.0);
-  greedy_cover_epoch_.assign(
-      static_cast<size_t>(mrr_->theta()) * num_pieces_, 0);
+  greedy_cover_epoch_.resize(num_pieces_);
+  for (auto& row : greedy_cover_epoch_) row.assign(mrr_->theta(), 0);
   excluded_flag_.assign(
       static_cast<size_t>(num_pieces_) * num_vertices_, 0);
+  anchor_by_count_.resize(num_pieces_ + 1);
+  slope_by_count_.resize(num_pieces_ + 1);
+  for (int c = 0; c <= num_pieces_; ++c) {
+    anchor_by_count_[c] = table_.line(c).value_at_anchor;
+    slope_by_count_[c] = table_.line(c).slope_per_piece;
+  }
 }
 
 void BoundEvaluator::SyncWithCollection() {
   const int64_t new_theta = mrr_->theta();
   OIPA_CHECK_GE(new_theta, static_cast<int64_t>(line_epoch_.size()));
-  // Per-sample scratch is sample-major, so growth is a plain append.
-  // New entries start at epoch 0; BeginCall keeps epoch_ >= 1, so they
-  // are correctly treated as stale on first touch.
+  // Per-sample scratch rows grow by plain appends. New entries start at
+  // epoch 0; BeginCall keeps epoch_ >= 1, so they are correctly treated
+  // as stale on first touch.
   line_epoch_.resize(new_theta, 0);
   line_value_.resize(new_theta, 0.0);
-  greedy_cover_epoch_.resize(
-      static_cast<size_t>(new_theta) * num_pieces_, 0);
+  for (auto& row : greedy_cover_epoch_) row.resize(new_theta, 0);
 }
 
 BoundEvaluator::BoundEvaluator(const MrrCollection* mrr,
@@ -73,11 +80,20 @@ double BoundEvaluator::SampleGain(int64_t i, const CoverageState& state) {
 double BoundEvaluator::CandidateGain(int piece, VertexId v,
                                      const CoverageState& state) {
   ++total_tau_evals_;
+  // The search's hot loop, batched through the tangent-gain kernel
+  // (rrset/coverage_kernels.h). Read-only: unlike the historical loop
+  // it does not warm the line-value cache — the cached value would be
+  // exactly the anchor value the kernel reads instead, so results are
+  // bit-identical and ApplyCandidate still initializes the cache.
   double gain = 0.0;
-  mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
-    if (state.IsCovered(i, piece)) return;
-    if (greedy_cover_epoch_[i * num_pieces_ + piece] == epoch_) return;
-    gain += SampleGain(i, state);
+  const uint16_t* mult = state.MultiplicityRow(piece);
+  const uint32_t* gepoch = greedy_cover_epoch_[piece].data();
+  const uint8_t* counts = state.CoverCounts();
+  mrr_->ForEachSampleSpan(piece, v, [&](std::span<const int64_t> ids) {
+    gain = TangentGainSum(ids, mult, gepoch, epoch_, line_epoch_.data(),
+                          line_value_.data(), counts,
+                          anchor_by_count_.data(), slope_by_count_.data(),
+                          gain);
   });
   return gain;
 }
@@ -85,9 +101,10 @@ double BoundEvaluator::CandidateGain(int piece, VertexId v,
 double BoundEvaluator::ApplyCandidate(int piece, VertexId v,
                                       const CoverageState& state) {
   double gain = 0.0;
+  std::vector<uint32_t>& marks = greedy_cover_epoch_[piece];
   mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
     if (state.IsCovered(i, piece)) return;
-    uint32_t& mark = greedy_cover_epoch_[i * num_pieces_ + piece];
+    uint32_t& mark = marks[i];
     if (mark == epoch_) return;
     mark = epoch_;
     const double g = SampleGain(i, state);
@@ -110,7 +127,9 @@ void BoundEvaluator::BeginCall(const std::vector<Assignment>& excluded) {
   ++epoch_;
   if (epoch_ == 0) {
     std::fill(line_epoch_.begin(), line_epoch_.end(), 0u);
-    std::fill(greedy_cover_epoch_.begin(), greedy_cover_epoch_.end(), 0u);
+    for (auto& row : greedy_cover_epoch_) {
+      std::fill(row.begin(), row.end(), 0u);
+    }
     epoch_ = 1;
   }
   for (const auto& [piece, v] : excluded) {

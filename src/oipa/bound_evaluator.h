@@ -141,10 +141,17 @@ class BoundEvaluator {
 
   // Epoch-stamped scratch (no O(theta) clearing between calls).
   uint32_t epoch_ = 0;
-  std::vector<uint32_t> line_epoch_;          // theta
-  std::vector<double> line_value_;            // theta
-  std::vector<uint32_t> greedy_cover_epoch_;  // theta * l
-  std::vector<uint8_t> excluded_flag_;        // l * n (set/cleared per call)
+  std::vector<uint32_t> line_epoch_;  // theta
+  std::vector<double> line_value_;    // theta
+  /// Piece-major greedy-coverage stamps (one contiguous theta-sized row
+  /// per piece): the batched CandidateGain kernel gathers a whole row
+  /// alongside CoverageState::MultiplicityRow.
+  std::vector<std::vector<uint32_t>> greedy_cover_epoch_;  // l x theta
+  std::vector<uint8_t> excluded_flag_;  // l * n (set/cleared per call)
+  /// table_.line(c) flattened to per-count arrays for the kernels.
+  /// Sized l+1: cover counts legitimately reach l.
+  std::vector<double> anchor_by_count_;
+  std::vector<double> slope_by_count_;
 
   int64_t total_tau_evals_ = 0;
 };

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstddef>
+#include <memory>
 #include <queue>
 #include <thread>
 
@@ -70,30 +73,203 @@ class PlanReplay {
   std::vector<Assignment> current_;
 };
 
-/// Shared state of one SolveParallel run. Lives at namespace scope (not
-/// as worker-lambda captures) so every field can name its guard in the
-/// type system: the frontier, best plan, and scalar flags are guarded
-/// by `mu`; `lower` and `stop` are additionally atomic so workers can
-/// read them between bound calls without the lock.
-struct ParallelSearchState {
-  explicit ParallelSearchState(int num_pieces) : best_plan(num_pieces) {}
-
+/// Per-worker bound-ordered frontier for the work-stealing engine.
+/// `nodes` is kept sorted ascending by upper bound: the owner pops the
+/// back — the most promising subspace, preserving the sequential
+/// engine's best-first order locally — and thieves take from the front,
+/// the cheap end, so stolen work is the work the victim would have
+/// reached last. Each deque carries its own mutex; by construction a
+/// worker holds AT MOST ONE frontier mutex at any time (a steal copies
+/// out of the victim, releases, and only then locks the thief's own
+/// deque), so frontier mutexes need no order among themselves.
+/// Cache-line aligned so neighboring workers' hints don't false-share.
+struct alignas(64) WorkerDeque {
   Mutex mu;
-  /// Idle/termination protocol: signaled on frontier pushes, on the
-  /// last active worker going idle, and on stop requests.
-  CondVar cv;
-  std::atomic<double> lower{0.0};
+  std::vector<SearchNode> nodes OIPA_GUARDED_BY(mu);  // ascending by upper
+  /// Relaxed mirrors refreshed under `mu` on every mutation: size for
+  /// lock-free victim probing, the top bound for global-upper-bound
+  /// snapshots. `top_hint` is 0.0 when empty (bounds are nonnegative,
+  /// so an empty deque never wins a max).
+  std::atomic<int64_t> size_hint{0};
+  std::atomic<double> top_hint{0.0};
+};
+
+void RefreshHints(WorkerDeque& d) OIPA_REQUIRES(d.mu) {
+  d.size_hint.store(static_cast<int64_t>(d.nodes.size()),
+                    std::memory_order_relaxed);
+  d.top_hint.store(d.nodes.empty() ? 0.0 : d.nodes.back().upper,
+                   std::memory_order_relaxed);
+}
+
+void DequePush(WorkerDeque& d, SearchNode node) {
+  MutexLock lock(&d.mu);
+  const auto pos = std::upper_bound(d.nodes.begin(), d.nodes.end(), node,
+                                    NodeCompare());
+  d.nodes.insert(pos, std::move(node));
+  RefreshHints(d);
+}
+
+/// Pops the owner's most promising node (the expensive back end).
+bool DequePopBest(WorkerDeque& d, SearchNode* out) {
+  MutexLock lock(&d.mu);
+  if (d.nodes.empty()) return false;
+  *out = std::move(d.nodes.back());
+  d.nodes.pop_back();
+  RefreshHints(d);
+  return true;
+}
+
+/// Takes half of the victim's frontier (at least one node) from the
+/// cheap front end into `loot`, ascending order preserved.
+bool StealHalf(WorkerDeque& victim, std::vector<SearchNode>* loot) {
+  MutexLock lock(&victim.mu);
+  if (victim.nodes.empty()) return false;
+  const auto take = std::max<ptrdiff_t>(
+      1, static_cast<ptrdiff_t>(victim.nodes.size()) / 2);
+  loot->assign(std::make_move_iterator(victim.nodes.begin()),
+               std::make_move_iterator(victim.nodes.begin() + take));
+  victim.nodes.erase(victim.nodes.begin(), victim.nodes.begin() + take);
+  RefreshHints(victim);
+  return true;
+}
+
+/// Adopts stolen nodes (ascending) into the thief's own deque.
+void DequeAdopt(WorkerDeque& d, std::vector<SearchNode> loot) {
+  MutexLock lock(&d.mu);
+  if (d.nodes.empty()) {
+    d.nodes = std::move(loot);
+  } else {
+    // Unreachable in the engine (a worker only steals when its own
+    // frontier is dry, and nobody else ever pushes into it), but kept
+    // general so the helper has no hidden precondition.
+    d.nodes.insert(d.nodes.end(), std::make_move_iterator(loot.begin()),
+                   std::make_move_iterator(loot.end()));
+    std::sort(d.nodes.begin(), d.nodes.end(), NodeCompare());
+  }
+  RefreshHints(d);
+}
+
+/// Deterministic per-worker xorshift64 for victim selection: no global
+/// RNG contention and no syscalls on the steal path.
+uint64_t NextXorshift(uint64_t* s) {
+  uint64_t x = *s;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *s = x;
+}
+
+/// Lock-free incumbent shared by every worker. The hot path — "can this
+/// subspace still beat the best known plan?" — is one atomic load; the
+/// small mutex is taken only when a worker actually raises the record.
+///
+/// Memory-ordering contract (mirrored in README.md): the atomic word
+/// packs the incumbent's lower bound with a raise epoch. The high 53
+/// bits are the IEEE-754 pattern of the (nonnegative) bound with its
+/// low 11 mantissa bits cleared — which rounds the bound DOWN, so
+/// readers prune against a value some plan genuinely achieves — and the
+/// low 11 bits count raises. Nonnegative doubles order like their bit
+/// patterns, so a plain integer compare is the bound compare and the
+/// word is monotonically nondecreasing.
+class AtomicIncumbent {
+ public:
+  explicit AtomicIncumbent(int num_pieces) : best_plan_(num_pieces) {}
+
+  /// Single-threaded seeding before workers start.
+  void Seed(double sigma, const AssignmentPlan& plan) {
+    MutexLock lock(&mu_);
+    sigma_ = sigma;
+    best_plan_ = plan;
+    word_.store(FloorBits(sigma), std::memory_order_release);
+  }
+
+  /// The shared lower bound, rounded down by at most 2^-11 relative.
+  double Lower() const {
+    return std::bit_cast<double>(word_.load(std::memory_order_acquire) &
+                                 kBoundMask);
+  }
+
+  /// Offers sigma as a new incumbent; `make_plan` runs (under the
+  /// mutex) only when sigma actually wins. Worse offers return after a
+  /// single load with no CAS and no lock. A raiser publishes the word
+  /// FIRST (CAS) and records the exact sigma and plan before returning,
+  /// so the transient window where the word exceeds the recorded plan's
+  /// value is private to the raiser — any bound the word advertises is
+  /// backed by a plan recorded before that Offer returned.
+  template <typename MakePlan>
+  void Offer(double sigma, MakePlan&& make_plan) {
+    const uint64_t floor_bits = FloorBits(sigma);
+    uint64_t cur = word_.load(std::memory_order_relaxed);
+    while (true) {
+      if (floor_bits < (cur & kBoundMask)) return;  // strictly worse
+      if (floor_bits == (cur & kBoundMask)) break;  // tie within a granule
+      const uint64_t next = floor_bits | ((cur + 1) & kEpochMask);
+      if (word_.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    MutexLock lock(&mu_);
+    if (sigma > sigma_) {
+      sigma_ = sigma;
+      best_plan_ = make_plan();
+    }
+  }
+
+  /// Post-join snapshot of the exact (un-floored) record.
+  void Snapshot(double* sigma, AssignmentPlan* plan) {
+    MutexLock lock(&mu_);
+    *sigma = sigma_;
+    *plan = std::move(best_plan_);
+  }
+
+ private:
+  static constexpr uint64_t kEpochMask = 0x7FF;
+  static constexpr uint64_t kBoundMask = ~kEpochMask;
+
+  static uint64_t FloorBits(double sigma) {
+    return std::bit_cast<uint64_t>(sigma < 0.0 ? 0.0 : sigma) & kBoundMask;
+  }
+
+  std::atomic<uint64_t> word_{0};
+  Mutex mu_;
+  double sigma_ OIPA_GUARDED_BY(mu_) = 0.0;
+  AssignmentPlan best_plan_ OIPA_GUARDED_BY(mu_);
+};
+
+/// Shared state of one work-stealing SolveParallel run. Lives at
+/// namespace scope (not as worker-lambda captures) so every field can
+/// name its guard in the type system. Locking hierarchy (see
+/// README.md): progress_mu may be held over control_mu; frontier
+/// mutexes and the incumbent mutex are leaves, never held together
+/// with each other or with anything above them.
+struct StealSearchState {
+  StealSearchState(int num_pieces, int num_workers)
+      : incumbent(num_pieces), deques(num_workers) {
+    for (auto& d : deques) d = std::make_unique<WorkerDeque>();
+  }
+
+  AtomicIncumbent incumbent;
+  std::vector<std::unique_ptr<WorkerDeque>> deques;
+  /// Subspaces alive anywhere: queued in some frontier or being
+  /// expanded by some worker. A worker pushes each surviving child
+  /// (+1 each) BEFORE retiring its parent (-1), so the counter can
+  /// only reach zero when no node is queued or in flight — the
+  /// termination signal, paired with `stop` for early exits.
+  std::atomic<int64_t> open_nodes{0};
   std::atomic<int64_t> nodes_expanded{0};
   std::atomic<bool> stop{false};
-  std::priority_queue<SearchNode, std::vector<SearchNode>, NodeCompare>
-      heap OIPA_GUARDED_BY(mu);
-  AssignmentPlan best_plan OIPA_GUARDED_BY(mu);
-  int active OIPA_GUARDED_BY(mu) = 0;
-  bool cancelled OIPA_GUARDED_BY(mu) = false;
-  bool converged OIPA_GUARDED_BY(mu) = true;
-  double pruned_upper OIPA_GUARDED_BY(mu) = 0.0;
-  int64_t total_bound_calls OIPA_GUARDED_BY(mu) = 0;
-  int64_t total_tau_evals OIPA_GUARDED_BY(mu) = 0;
+  /// Serializes on_progress snapshots (the documented hook contract):
+  /// a hook that returns false sets `stop` before releasing this
+  /// mutex, so no hook invocation ever follows a cancellation.
+  Mutex progress_mu;
+  /// Cold control-plane state: stop reasons and the per-worker folds.
+  Mutex control_mu;
+  bool cancelled OIPA_GUARDED_BY(control_mu) = false;
+  bool converged OIPA_GUARDED_BY(control_mu) = true;
+  double pruned_upper OIPA_GUARDED_BY(control_mu) = 0.0;
+  int64_t total_bound_calls OIPA_GUARDED_BY(control_mu) = 0;
+  int64_t total_tau_evals OIPA_GUARDED_BY(control_mu) = 0;
 };
 
 /// Dispatches one upper-bound evaluation to the variant `options` selects.
@@ -251,10 +427,11 @@ BabResult BabSolver::SolveParallel(int num_workers) {
       options_.exact_pruning ? 1.0 / (1.0 - std::exp(-1.0)) : 1.0;
   const double gap_factor = 1.0 + options_.gap;
 
-  ParallelSearchState shared(mrr_->num_pieces());
+  StealSearchState shared(mrr_->num_pieces(), num_workers);
 
   // Root bound on the calling thread: a deterministic first incumbent
-  // before any worker races begin.
+  // before any worker races begin. The root node seeds worker 0's
+  // frontier; everyone else bootstraps by stealing from it.
   {
     CoverageState root_state(mrr_,
                              model_.AdoptionTable(mrr_->num_pieces()));
@@ -263,83 +440,118 @@ BabResult BabSolver::SolveParallel(int num_workers) {
         &evaluator_, options_, &root_state, options_.budget, {});
     result.plan = PlanFromPairs(mrr_->num_pieces(), {}, root.additions);
     result.utility = root.sigma;
+    shared.incumbent.Seed(root.sigma, result.plan);
     const double upper = root.tau * bound_scale;
-    MutexLock lock(&shared.mu);
     if (root.first_pick.valid() && upper > root.sigma) {
-      shared.heap.push(SearchNode{{}, {}, upper, root.first_pick});
+      shared.open_nodes.store(1, std::memory_order_relaxed);
+      DequePush(*shared.deques[0],
+                SearchNode{{}, {}, upper, root.first_pick});
     }
     result.upper_bound = std::max(upper, root.sigma);
-    shared.lower.store(result.utility, std::memory_order_relaxed);
-    shared.best_plan = result.plan;
-    shared.pruned_upper = result.utility;
   }
 
-  auto worker = [&shared, this, bound_scale, gap_factor] {
+  auto worker = [&shared, this, bound_scale, gap_factor](const int self) {
     // Thread-local solver state, replayed between plans by diffing.
     PlanReplay replay(mrr_, model_.AdoptionTable(mrr_->num_pieces()));
     BoundEvaluator evaluator(mrr_, model_, evaluator_.pools(),
                              options_.variant);
+    WorkerDeque& own = *shared.deques[self];
+    const int workers = static_cast<int>(shared.deques.size());
     int64_t bound_calls = 0;
+    // Local max bound among gap-pruned / abandoned nodes — the
+    // sequential engine's "frontier top when the gap was first met" —
+    // folded into shared.pruned_upper at exit. A run where nothing is
+    // pruned drains to upper_bound == utility, matching the sequential
+    // exhausted case.
+    double pruned_upper = 0.0;
+    uint64_t rng = 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(self + 1);
 
-    ReleasableMutexLock lock(&shared.mu);
-    while (true) {
-      // Idle/termination detection: sleep while the frontier is empty
-      // but some worker is still expanding (it may refill the frontier);
-      // wake to exit once every worker is idle or a stop was requested.
-      // The predicate is an explicit loop (not a lambda) so the static
-      // analysis sees the guarded reads under the held lock.
-      while (!(shared.stop.load(std::memory_order_relaxed) ||
-               !shared.heap.empty() || shared.active == 0)) {
-        shared.cv.Wait(&shared.mu);
-      }
-      if (shared.stop.load(std::memory_order_relaxed) ||
-          shared.heap.empty()) {
-        break;
-      }
-      SearchNode node = shared.heap.top();
-      shared.heap.pop();
-      // The incumbent may have risen since this node was pushed.
-      // pruned_upper accumulates the max bound among gap-pruned nodes —
-      // the frontier's top at the moment the gap was first met — which
-      // is exactly what the sequential engine reports as upper_bound
-      // when it breaks on the gap; a run where nothing gets pruned here
-      // drains to upper_bound == utility, matching the sequential
-      // exhausted case.
-      if (node.upper <=
-          shared.lower.load(std::memory_order_relaxed) * gap_factor) {
-        shared.pruned_upper = std::max(shared.pruned_upper, node.upper);
-        if (shared.heap.empty() && shared.active == 0) {
-          shared.cv.NotifyAll();
+    SearchNode node;
+    std::vector<SearchNode> loot;
+    while (!shared.stop.load(std::memory_order_relaxed)) {
+      if (!DequePopBest(own, &node)) {
+        // Own frontier dry: probe victims lock-free starting at a
+        // random ring position, then steal half their cheap end. The
+        // best of the loot is expanded immediately; the rest is
+        // adopted (own deque is empty — only its owner pushes to it).
+        bool stolen = false;
+        const uint64_t start = NextXorshift(&rng);
+        for (int k = 0; k < workers && !stolen; ++k) {
+          const int victim = static_cast<int>(
+              (start + static_cast<uint64_t>(k)) %
+              static_cast<uint64_t>(workers));
+          if (victim == self) continue;
+          if (shared.deques[victim]->size_hint.load(
+                  std::memory_order_relaxed) == 0) {
+            continue;
+          }
+          if (!StealHalf(*shared.deques[victim], &loot)) continue;
+          node = std::move(loot.back());
+          loot.pop_back();
+          if (!loot.empty()) DequeAdopt(own, std::move(loot));
+          loot.clear();
+          stolen = true;
         }
+        if (!stolen) {
+          // Nothing anywhere. Exit if no subspace is open (queued or
+          // in flight — an in-flight node may still spawn children);
+          // otherwise spin-yield until work reappears.
+          if (shared.open_nodes.load(std::memory_order_acquire) == 0) {
+            break;
+          }
+          std::this_thread::yield();
+          continue;
+        }
+      }
+
+      // `node` is held; its +1 in open_nodes is ours to retire.
+      // The incumbent may have risen since the node was pushed.
+      if (node.upper <= shared.incumbent.Lower() * gap_factor) {
+        pruned_upper = std::max(pruned_upper, node.upper);
+        shared.open_nodes.fetch_sub(1, std::memory_order_acq_rel);
         continue;
       }
       if (shared.nodes_expanded.load(std::memory_order_relaxed) >=
           options_.max_nodes) {
-        // Keep the frontier's bound honest.
-        shared.heap.push(std::move(node));
+        // Keep the frontier's bound honest: the node stays open (its
+        // +1 is never retired) and the stop flag drains the pool.
+        DequePush(own, std::move(node));
+        MutexLock lock(&shared.control_mu);
         shared.converged = false;
         shared.stop.store(true, std::memory_order_relaxed);
-        shared.cv.NotifyAll();
         break;
       }
       if (options_.on_progress) {
-        const double incumbent =
-            shared.lower.load(std::memory_order_relaxed);
-        const BabProgress progress{
-            shared.nodes_expanded.load(std::memory_order_relaxed),
-            incumbent, std::max(node.upper, incumbent)};
-        if (!options_.on_progress(progress)) {
-          shared.heap.push(std::move(node));
-          shared.converged = false;
-          shared.cancelled = true;
-          shared.stop.store(true, std::memory_order_relaxed);
-          shared.cv.NotifyAll();
+        bool requeue = false;
+        {
+          MutexLock plock(&shared.progress_mu);
+          if (shared.stop.load(std::memory_order_relaxed)) {
+            requeue = true;  // lost the race to a cancelling worker
+          } else {
+            const double incumbent = shared.incumbent.Lower();
+            double upper = std::max(node.upper, incumbent);
+            for (const auto& d : shared.deques) {
+              upper = std::max(
+                  upper, d->top_hint.load(std::memory_order_relaxed));
+            }
+            const BabProgress progress{
+                shared.nodes_expanded.load(std::memory_order_relaxed),
+                incumbent, upper};
+            if (!options_.on_progress(progress)) {
+              MutexLock lock(&shared.control_mu);
+              shared.converged = false;
+              shared.cancelled = true;
+              shared.stop.store(true, std::memory_order_relaxed);
+              requeue = true;
+            }
+          }
+        }
+        if (requeue) {
+          DequePush(own, std::move(node));
           break;
         }
       }
       shared.nodes_expanded.fetch_add(1, std::memory_order_relaxed);
-      ++shared.active;
-      lock.Unlock();
 
       bool aborted = false;
       for (const bool include : {true, false}) {
@@ -364,56 +576,58 @@ BabResult BabSolver::SolveParallel(int num_workers) {
             ComputeNodeBound(&evaluator, options_, replay.state(),
                              remaining, child.excluded);
         const double upper = r.tau * bound_scale;
-
-        lock.Lock();
-        if (r.sigma > shared.lower.load(std::memory_order_relaxed)) {
-          shared.lower.store(r.sigma, std::memory_order_relaxed);
-          shared.best_plan = PlanFromPairs(mrr_->num_pieces(),
-                                           child.included, r.additions);
-        }
-        if (upper > shared.lower.load(std::memory_order_relaxed) *
-                        gap_factor &&
+        shared.incumbent.Offer(r.sigma, [&] {
+          return PlanFromPairs(mrr_->num_pieces(), child.included,
+                               r.additions);
+        });
+        if (upper > shared.incumbent.Lower() * gap_factor &&
             r.first_pick.valid() && remaining > 0) {
           child.upper = upper;
           child.branch = r.first_pick;
-          shared.heap.push(std::move(child));
-          shared.cv.NotifyOne();
+          // The child's +1 lands BEFORE the parent's -1 below, so the
+          // counter never dips to zero while this subtree has open
+          // work — no idle worker can exit spuriously.
+          shared.open_nodes.fetch_add(1, std::memory_order_relaxed);
+          DequePush(own, std::move(child));
         }
-        lock.Unlock();
       }
-
-      lock.Lock();
       if (aborted) {
-        // The unexpanded remainder of this node's subspace was dropped;
-        // fold its bound in so upper_bound stays valid.
-        shared.pruned_upper = std::max(shared.pruned_upper, node.upper);
+        // The unexpanded remainder of this node's subspace was
+        // dropped; fold its bound in so upper_bound stays valid.
+        pruned_upper = std::max(pruned_upper, node.upper);
       }
-      --shared.active;
-      if (shared.active == 0) shared.cv.NotifyAll();
+      shared.open_nodes.fetch_sub(1, std::memory_order_acq_rel);
     }
-    // Every exit path above holds the lock; fold the counters in.
+
+    MutexLock lock(&shared.control_mu);
     shared.total_bound_calls += bound_calls;
     shared.total_tau_evals += evaluator.total_tau_evals();
+    shared.pruned_upper = std::max(shared.pruned_upper, pruned_upper);
   };
 
   std::vector<std::thread> threads;
   threads.reserve(num_workers);
-  for (int t = 0; t < num_workers; ++t) threads.emplace_back(worker);
+  for (int t = 0; t < num_workers; ++t) threads.emplace_back(worker, t);
   for (std::thread& t : threads) t.join();
 
-  // Workers are joined; the lock is reacquired anyway so the analysis
-  // (and any future late-reader refactor) sees the guarded reads.
-  MutexLock lock(&shared.mu);
-  result.nodes_expanded = shared.nodes_expanded.load();
-  result.bound_calls += shared.total_bound_calls;
-  result.tau_evals = evaluator_.total_tau_evals() + shared.total_tau_evals;
-  result.utility = shared.lower.load();
-  result.plan = std::move(shared.best_plan);
-  result.converged = shared.converged;
-  result.cancelled = shared.cancelled;
-  double upper = std::max(result.utility, shared.pruned_upper);
-  if (!shared.heap.empty()) {
-    upper = std::max(upper, shared.heap.top().upper);
+  result.nodes_expanded =
+      shared.nodes_expanded.load(std::memory_order_relaxed);
+  double upper;
+  {
+    MutexLock lock(&shared.control_mu);
+    result.bound_calls += shared.total_bound_calls;
+    result.tau_evals =
+        evaluator_.total_tau_evals() + shared.total_tau_evals;
+    result.converged = shared.converged;
+    result.cancelled = shared.cancelled;
+    upper = shared.pruned_upper;
+  }
+  shared.incumbent.Snapshot(&result.utility, &result.plan);
+  upper = std::max(upper, result.utility);
+  // Anything still queued (early stop) keeps its bound in the report.
+  for (const auto& d : shared.deques) {
+    MutexLock lock(&d->mu);
+    if (!d->nodes.empty()) upper = std::max(upper, d->nodes.back().upper);
   }
   result.upper_bound = upper;
   result.seconds = timer.Seconds();

@@ -58,8 +58,9 @@ struct BabOptions {
   int64_t max_nodes = 100'000;
   /// Worker threads for the search. 1 (default) runs the classic
   /// sequential engine bit-identically; 0 resolves to GetNumThreads();
-  /// N > 1 runs N workers over a shared bound-ordered frontier (clamped
-  /// to kMaxBabWorkers). Parallel searches keep every quality guarantee
+  /// N > 1 runs N workers, each draining its own bound-ordered
+  /// frontier and rebalancing by randomized work stealing (clamped to
+  /// kMaxBabWorkers). Parallel searches keep every quality guarantee
   /// of the sequential engine — under exact_pruning both land within
   /// `gap` of the optimum, so within ~gap of each other; default
   /// Theorem-2 pruning keeps the (1-1/e) floor — but may return a
@@ -95,11 +96,15 @@ struct BabResult {
 /// branches on the bound's first greedy pick (include vs. exclude);
 /// pruning drops subspaces whose bound cannot beat the incumbent.
 ///
-/// With BabOptions::num_threads > 1, the frontier becomes a shared
-/// mutex-guarded priority queue drained by a pool of workers; each
-/// worker owns a thread-local CoverageState + BoundEvaluator replayed by
-/// plan diffing, and prunes against a shared atomic incumbent. The
-/// search terminates when the frontier drains with every worker idle.
+/// With BabOptions::num_threads > 1 the frontier is sharded: every
+/// worker owns a bound-sorted deque plus a thread-local CoverageState +
+/// BoundEvaluator replayed by plan diffing, pops its own most promising
+/// node, and — when its deque runs dry — steals half of a randomly
+/// chosen victim's cheap end. Pruning runs against a lock-free packed
+/// atomic incumbent (the exact record is kept under a small mutex that
+/// only winners touch), so the shared-frontier design's global-bound
+/// tightness is preserved without a global queue lock. The search
+/// terminates when the open-subspace counter drains to zero.
 class BabSolver {
  public:
   /// All arguments must outlive the solver. `pools[j]` is the promoter

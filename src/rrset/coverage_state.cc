@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rrset/coverage_kernels.h"
 #include "util/logging.h"
 
 namespace oipa {
@@ -12,19 +13,21 @@ CoverageState::CoverageState(const MrrCollection* mrr,
       num_pieces_(mrr->num_pieces()),
       f_by_count_(std::move(f_by_count)) {
   OIPA_CHECK_EQ(static_cast<int>(f_by_count_.size()), num_pieces_ + 1);
-  delta_f_.resize(num_pieces_);
+  // One zero pad entry at index l keeps the kernels' unmasked gathers
+  // in bounds for fully covered samples (see the header).
+  delta_f_.assign(num_pieces_ + 1, 0.0);
   for (int c = 0; c < num_pieces_; ++c) {
     delta_f_[c] = f_by_count_[c + 1] - f_by_count_[c];
   }
-  delta_f_sufmax_.resize(num_pieces_);
+  delta_f_sufmax_.assign(num_pieces_ + 1, 0.0);
   double running = 0.0;
   for (int c = num_pieces_ - 1; c >= 0; --c) {
     running = c == num_pieces_ - 1 ? delta_f_[c]
                                    : std::max(delta_f_[c], running);
     delta_f_sufmax_[c] = running;
   }
-  multiplicity_.assign(
-      static_cast<size_t>(mrr_->theta()) * num_pieces_, 0);
+  multiplicity_.resize(num_pieces_);
+  for (auto& row : multiplicity_) row.assign(mrr_->theta(), 0);
   cover_count_.assign(mrr_->theta(), 0);
   count_hist_.assign(num_pieces_ + 1, 0);
   count_hist_[0] = mrr_->theta();
@@ -40,8 +43,9 @@ void CoverageState::AddSeed(VertexId v, int piece) {
   OIPA_CHECK_LT(piece, num_pieces_);
   CheckSynced();
   const bool journal = journaling();
+  std::vector<uint16_t>& row = multiplicity_[piece];
   mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
-    uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
+    uint16_t& mult = row[i];
     OIPA_CHECK_LT(mult, UINT16_MAX);
     if (journal) journal_.push_back({i, piece, +1});
     if (mult++ == 0) {
@@ -59,8 +63,9 @@ void CoverageState::RemoveSeed(VertexId v, int piece) {
   OIPA_CHECK_LT(piece, num_pieces_);
   CheckSynced();
   const bool journal = journaling();
+  std::vector<uint16_t>& row = multiplicity_[piece];
   mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
-    uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
+    uint16_t& mult = row[i];
     OIPA_CHECK_GT(mult, 0) << "RemoveSeed without matching AddSeed";
     if (journal) journal_.push_back({i, piece, -1});
     if (--mult == 0) {
@@ -80,7 +85,7 @@ void CoverageState::ExtendToCollection(
   const int64_t new_theta = mrr_->theta();
   OIPA_CHECK_GE(new_theta, old_theta);
   if (new_theta == old_theta) return;
-  multiplicity_.resize(static_cast<size_t>(new_theta) * num_pieces_, 0);
+  for (auto& row : multiplicity_) row.resize(new_theta, 0);
   cover_count_.resize(new_theta, 0);
   count_hist_[0] += new_theta - old_theta;
   // Bind the active seeds to the appended samples only; samples below
@@ -88,10 +93,11 @@ void CoverageState::ExtendToCollection(
   for (const auto& [piece, v] : applied) {
     OIPA_CHECK_GE(piece, 0);
     OIPA_CHECK_LT(piece, num_pieces_);
+    std::vector<uint16_t>& row = multiplicity_[piece];
     mrr_->ForEachSampleContaining(
         piece, v,
         [&](int64_t i) {
-          uint16_t& mult = multiplicity_[i * num_pieces_ + piece];
+          uint16_t& mult = row[i];
           OIPA_CHECK_LT(mult, UINT16_MAX);
           if (mult++ == 0) {
             const int c = cover_count_[i]++;
@@ -111,9 +117,7 @@ void CoverageState::Clear() {
   // returned to zero; both are harmless to re-clear.
   for (int64_t i : touched_) {
     cover_count_[i] = 0;
-    for (int j = 0; j < num_pieces_; ++j) {
-      multiplicity_[i * num_pieces_ + j] = 0;
-    }
+    for (int j = 0; j < num_pieces_; ++j) multiplicity_[j][i] = 0;
   }
   touched_.clear();
   sum_f_ = 0.0;
@@ -136,8 +140,7 @@ void CoverageState::Restore() {
   // seed) rewinds cleanly.
   for (size_t k = journal_.size(); k-- > mark;) {
     const JournalEntry& entry = journal_[k];
-    uint16_t& mult =
-        multiplicity_[entry.sample * num_pieces_ + entry.piece];
+    uint16_t& mult = multiplicity_[entry.piece][entry.sample];
     if (entry.delta > 0) {
       OIPA_CHECK_GT(mult, 0);
       if (--mult == 0) {
@@ -161,11 +164,14 @@ void CoverageState::Restore() {
 
 double CoverageState::GainOfAdding(VertexId v, int piece) const {
   CheckSynced();
+  // The accumulator threads through the segment spans so the reduction
+  // order matches the historical per-posting loop exactly — a grown
+  // (multi-segment) collection sums bit-identically to a fresh one.
   double gain = 0.0;
-  mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
-    if (multiplicity_[i * num_pieces_ + piece] == 0) {
-      gain += delta_f_[cover_count_[i]];
-    }
+  const uint16_t* mult = multiplicity_[piece].data();
+  const uint8_t* counts = cover_count_.data();
+  mrr_->ForEachSampleSpan(piece, v, [&](std::span<const int64_t> ids) {
+    gain = CoverageGainSum(ids, mult, counts, delta_f_.data(), gain);
   });
   return gain * mrr_->UtilityScale();
 }
@@ -175,12 +181,11 @@ std::pair<double, double> CoverageState::GainAndBoundOfAdding(
   CheckSynced();
   double gain = 0.0;
   double bound = 0.0;
-  mrr_->ForEachSampleContaining(piece, v, [&](int64_t i) {
-    if (multiplicity_[i * num_pieces_ + piece] == 0) {
-      const int c = cover_count_[i];
-      gain += delta_f_[c];
-      bound += delta_f_sufmax_[c];
-    }
+  const uint16_t* mult = multiplicity_[piece].data();
+  const uint8_t* counts = cover_count_.data();
+  mrr_->ForEachSampleSpan(piece, v, [&](std::span<const int64_t> ids) {
+    CoverageGainBoundSum(ids, mult, counts, delta_f_.data(),
+                         delta_f_sufmax_.data(), &gain, &bound);
   });
   const double scale = mrr_->UtilityScale();
   return {gain * scale, bound * scale};

@@ -84,8 +84,17 @@ class CoverageState {
 
   int CoverCount(int64_t sample) const { return cover_count_[sample]; }
   bool IsCovered(int64_t sample, int piece) const {
-    return multiplicity_[sample * num_pieces_ + piece] > 0;
+    return multiplicity_[piece][sample] > 0;
   }
+
+  /// Flat per-sample rows for the batched kernels
+  /// (rrset/coverage_kernels.h): seed multiplicities of one piece, and
+  /// the covered-piece counts. Piece-major storage keeps each row
+  /// contiguous over samples, which is what the kernels gather from.
+  const uint16_t* MultiplicityRow(int piece) const {
+    return multiplicity_[piece].data();
+  }
+  const uint8_t* CoverCounts() const { return cover_count_.data(); }
 
   /// Histogram over coverage counts: entry c is the number of samples
   /// currently covered on exactly c pieces. Size num_pieces()+1.
@@ -111,10 +120,18 @@ class CoverageState {
   const MrrCollection* mrr_;  // not owned
   int num_pieces_;
   std::vector<double> f_by_count_;
-  std::vector<double> delta_f_;         // l: f[c+1] - f[c]
-  std::vector<double> delta_f_sufmax_;  // l: max_{c' >= c} delta_f[c']
-  std::vector<uint16_t> multiplicity_;  // theta x l
-  std::vector<uint8_t> cover_count_;    // theta
+  /// delta_f_[c] = f[c+1] - f[c] and its suffix max. Sized l+1 with a
+  /// zero pad at index l: the branchless kernels gather
+  /// delta_f_[cover_count_[i]] before masking covered samples, and a
+  /// fully covered sample legitimately carries cover_count_ == l.
+  std::vector<double> delta_f_;
+  std::vector<double> delta_f_sufmax_;
+  /// Piece-major seed multiplicities: multiplicity_[j][i] counts the
+  /// seeds of piece j hitting R_i^j. One contiguous theta-sized row per
+  /// piece, so the kernels index rows by sample id directly and
+  /// ExtendToCollection appends per row in O(new samples).
+  std::vector<std::vector<uint16_t>> multiplicity_;  // l x theta
+  std::vector<uint8_t> cover_count_;                 // theta
   std::vector<int64_t> touched_;        // samples with any multiplicity
   std::vector<int64_t> count_hist_;     // l + 1
   std::vector<JournalEntry> journal_;   // touches since the first Snapshot

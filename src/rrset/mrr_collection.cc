@@ -21,7 +21,7 @@ int64_t MrrCollection::GeneratedSampleCount() {
 
 MrrCollection MrrCollection::Generate(
     const std::vector<InfluenceGraph>& piece_graphs, int64_t theta,
-    uint64_t seed, DiffusionModel model) {
+    uint64_t seed, DiffusionModel model, int num_threads) {
   OIPA_CHECK_GE(theta, 0);
   OIPA_CHECK(!piece_graphs.empty());
   const VertexId n = piece_graphs[0].graph().num_vertices();
@@ -33,12 +33,12 @@ MrrCollection MrrCollection::Generate(
   mc.base_seed_ = seed;
   mc.model_ = model;
   mc.extendable_ = true;
-  mc.Extend(piece_graphs, theta);
+  mc.Extend(piece_graphs, theta, num_threads);
   return mc;
 }
 
 void MrrCollection::Extend(const std::vector<InfluenceGraph>& piece_graphs,
-                           int64_t new_theta) {
+                           int64_t new_theta, int num_threads) {
   OIPA_CHECK(extendable_)
       << "Extend on a collection without sampling provenance";
   OIPA_CHECK_EQ(static_cast<int>(piece_graphs.size()), num_pieces_);
@@ -68,12 +68,12 @@ void MrrCollection::Extend(const std::vector<InfluenceGraph>& piece_graphs,
 
   // Shard-local buffers stitched afterwards, so results are independent
   // of the thread count (per-sample seeds fix the randomness).
-  const int shards = GetNumThreads();
+  const int shards = ResolveThreadCount(num_threads);
   std::vector<std::vector<VertexId>> shard_roots(shards);
   std::vector<std::vector<int32_t>> shard_sizes(shards);
   std::vector<std::vector<VertexId>> shard_nodes(shards);
 
-  ParallelFor(extra, [&](int shard, int64_t lo, int64_t hi) {
+  ParallelFor(extra, shards, [&](int shard, int64_t lo, int64_t hi) {
     RrSampler sampler(n);
     std::vector<VertexId> set;
     auto& roots = shard_roots[shard];

@@ -31,7 +31,10 @@ enum class DiffusionModel {
 class MrrCollection {
  public:
   /// Generates theta samples over `piece_graphs` (all sharing one social
-  /// graph). Deterministic given `seed`, independent of thread count.
+  /// graph). Deterministic given `seed`, independent of thread count:
+  /// sample i's randomness is PerSampleSeed(seed, i, piece), so any
+  /// `num_threads` (0 = the GetNumThreads() default, N > 0 = exactly N
+  /// workers) yields bit-identical samples.
   /// Under kLinearThreshold, each piece's edge probabilities are first
   /// normalized to LT weights (see diffusion/lt_cascade.h) and RR sets
   /// are reverse live-edge paths; everything downstream (estimators,
@@ -39,17 +42,19 @@ class MrrCollection {
   static MrrCollection Generate(
       const std::vector<InfluenceGraph>& piece_graphs, int64_t theta,
       uint64_t seed,
-      DiffusionModel model = DiffusionModel::kIndependentCascade);
+      DiffusionModel model = DiffusionModel::kIndependentCascade,
+      int num_threads = 0);
 
   /// Grows the collection in place to `new_theta` samples (no-op when
   /// new_theta <= theta()). `piece_graphs` must be the graphs the
   /// collection was generated over; sampling continues from the stored
   /// base seed under the stored diffusion model, so the result is
-  /// bit-identical to a fresh Generate(new_theta). CHECK-fails on
+  /// bit-identical to a fresh Generate(new_theta) — at any
+  /// `num_threads` (same convention as Generate). CHECK-fails on
   /// collections without sampling provenance (FromParts-built ones with
   /// extendable() == false).
   void Extend(const std::vector<InfluenceGraph>& piece_graphs,
-              int64_t new_theta);
+              int64_t new_theta, int num_threads = 0);
 
   /// Rebuilds a collection from raw storage (deserialization path; see
   /// rrset/mrr_io.h). `offsets` has theta*num_pieces+1 entries indexing
@@ -103,6 +108,26 @@ class MrrCollection {
       const int64_t* p = seg.samples.data() + seg.offsets[key];
       const int64_t* end = seg.samples.data() + seg.offsets[key + 1];
       for (; p != end; ++p) fn(*p);
+    }
+  }
+
+  /// Span-granular variant of ForEachSampleContaining: invokes
+  /// fn(std::span<const int64_t>) once per non-empty index segment with
+  /// the contiguous ascending sample ids of that segment's posting
+  /// list, in segment order. Concatenated, the spans are exactly the
+  /// ForEachSampleContaining iteration — this is the entry point of the
+  /// batched coverage kernels (rrset/coverage_kernels.h), which need
+  /// contiguous blocks rather than a per-id callback.
+  template <typename Fn>
+  void ForEachSampleSpan(int piece, VertexId v, Fn&& fn,
+                         int64_t min_sample = 0) const {
+    const int64_t key =
+        static_cast<int64_t>(piece) * (num_vertices_ + 1) + v;
+    for (const IndexSegment& seg : segments_) {
+      if (seg.end_sample <= min_sample) continue;
+      const int64_t* p = seg.samples.data() + seg.offsets[key];
+      const int64_t* end = seg.samples.data() + seg.offsets[key + 1];
+      if (p != end) fn(std::span<const int64_t>(p, end));
     }
   }
 

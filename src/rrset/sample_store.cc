@@ -17,7 +17,7 @@ std::shared_ptr<const MrrCollection> GenerateCollection(
     const std::vector<InfluenceGraph>& pieces,
     const SampleStore::Options& options, int64_t theta, uint64_t seed) {
   return std::make_shared<const MrrCollection>(MrrCollection::Generate(
-      pieces, theta, seed, options.diffusion));
+      pieces, theta, seed, options.diffusion, options.sampling_threads));
 }
 
 /// The holdout stream is decorrelated from the in-sample stream by the
@@ -594,13 +594,13 @@ Status SampleStore::Grow(int64_t target_theta) {
   std::shared_ptr<const MrrCollection> grown = current.mrr;
   if (mrr_below) {
     auto g = std::make_shared<MrrCollection>(*current.mrr);
-    g->Extend(*pieces_, target_theta);
+    g->Extend(*pieces_, target_theta, options_.sampling_threads);
     grown = std::move(g);
   }
   std::shared_ptr<const MrrCollection> grown_holdout = current.holdout;
   if (holdout_below) {
     auto h = std::make_shared<MrrCollection>(*current.holdout);
-    h->Extend(*pieces_, target_theta);
+    h->Extend(*pieces_, target_theta, options_.sampling_threads);
     grown_holdout = std::move(h);
   }
   Publish(std::move(grown), std::move(grown_holdout));

@@ -34,6 +34,7 @@ StatusOr<ContextCache::Entry> BuildEntry(const WireRequest& request) {
   options.theta = request.sampling.theta;
   options.holdout_theta = request.wants_holdout() ? -1 : 0;
   options.seed = request.sampling.seed;
+  options.sampling_threads = request.sampling.threads;
   // Dataset builds are deterministic per spec, so key the store
   // registry by the context key (content) instead of graph identity: a
   // context evicted from this cache and rebuilt later re-hits its

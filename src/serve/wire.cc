@@ -104,12 +104,18 @@ Status ParseSampling(const JsonValue& section, SamplingSpec* spec) {
   int64_t seed = static_cast<int64_t>(spec->seed);
   OIPA_RETURN_IF_ERROR(ReadInt(section, "seed", &seed));
   spec->seed = static_cast<uint64_t>(seed);
+  int64_t threads = spec->threads;
+  OIPA_RETURN_IF_ERROR(ReadInt(section, "threads", &threads));
+  spec->threads = static_cast<int>(threads);
   OIPA_RETURN_IF_ERROR(ReadDouble(section, "epsilon", &spec->epsilon));
   OIPA_RETURN_IF_ERROR(ReadInt(section, "max_theta", &spec->max_theta));
   OIPA_RETURN_IF_ERROR(ReadString(section, "stopping", &spec->stopping));
 
   if (spec->theta < 1) {
     return Status::InvalidArgument("sampling.theta must be >= 1");
+  }
+  if (spec->threads < 0) {
+    return Status::InvalidArgument("sampling.threads must be >= 0");
   }
   if (spec->holdout_theta < -1) {
     return Status::InvalidArgument(

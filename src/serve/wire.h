@@ -77,6 +77,11 @@ struct SamplingSpec {
   /// (the oipa_cli resolution); 0 = never a holdout.
   int64_t holdout_theta = -1;
   uint64_t seed = 1;
+  /// Worker threads for sample generation/growth (0 = server default).
+  /// Samples are bit-identical at any thread count, so this knob is
+  /// excluded from the context-cache key — requests differing only in
+  /// it share a cached context.
+  int threads = 0;
   /// Progressive (ε)-stopping tolerance; 0 = one-shot solve.
   double epsilon = 0.0;
   int64_t max_theta = 2'000'000;

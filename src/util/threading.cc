@@ -92,12 +92,26 @@ void SetNumThreads(int n) {
   g_num_threads.store(n, std::memory_order_relaxed);
 }
 
+int ResolveThreadCount(int num_threads) {
+  if (num_threads > 0) {
+    return static_cast<int>(
+        std::min(static_cast<long>(num_threads), kMaxExplicitThreads));
+  }
+  return GetNumThreads();
+}
+
 void ParallelFor(int64_t total,
+                 const std::function<void(int shard, int64_t begin,
+                                          int64_t end)>& fn) {
+  ParallelFor(total, 0, fn);
+}
+
+void ParallelFor(int64_t total, int num_threads,
                  const std::function<void(int shard, int64_t begin,
                                           int64_t end)>& fn) {
   if (total <= 0) return;
   const int threads = static_cast<int>(
-      std::min<int64_t>(GetNumThreads(), total));
+      std::min<int64_t>(ResolveThreadCount(num_threads), total));
   if (threads <= 1) {
     fn(0, 0, total);
     return;

@@ -131,6 +131,13 @@ class CondVar {
 int GetNumThreads();
 void SetNumThreads(int n);
 
+/// Resolves an explicit per-call thread request: n > 0 is honored
+/// verbatim (clamped only by the 1024-thread OS-resource ceiling);
+/// n <= 0 defers to GetNumThreads(). The shared convention for every
+/// API that takes a `num_threads`/`sampling_threads` knob with
+/// "0 = auto" semantics.
+int ResolveThreadCount(int num_threads);
+
 /// Runs fn(shard, begin, end) on `shards` contiguous slices of [0, total),
 /// one slice per worker thread. Blocks until all shards finish. `fn` must be
 /// safe to call concurrently on disjoint ranges.
@@ -138,6 +145,14 @@ void SetNumThreads(int n);
 /// With GetNumThreads() == 1 (or total small) the call is executed inline,
 /// which keeps single-threaded runs fully deterministic and debuggable.
 void ParallelFor(int64_t total,
+                 const std::function<void(int shard, int64_t begin,
+                                          int64_t end)>& fn);
+
+/// ParallelFor with an explicit worker count: `num_threads` follows the
+/// ResolveThreadCount convention (<= 0 defers to GetNumThreads()), so
+/// callers can plumb a per-call override — e.g. a sampling_threads
+/// knob — without touching the process-wide setting.
+void ParallelFor(int64_t total, int num_threads,
                  const std::function<void(int shard, int64_t begin,
                                           int64_t end)>& fn);
 

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "diffusion/cascade.h"
+#include "rrset/coverage_kernels.h"
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
 #include "rrset/coverage_state.h"
@@ -516,6 +521,132 @@ TEST_F(CoverageFixture, GainBoundIsForwardValidUnderIncreasingMarginals) {
   const double fresh = state.GainOfAdding(4, 1);
   EXPECT_GE(bound0 + 1e-12, fresh);
   (void)gain0;
+}
+
+// ----------------------------------------------------- CoverageKernels
+
+// Randomized posting arrays for the kernel equivalence suite: sizes
+// deliberately straddle the SIMD block width (full blocks, a ragged
+// tail, and tiny spans the vector path never touches).
+struct KernelArrays {
+  std::vector<int64_t> ids;
+  std::vector<uint16_t> mult;
+  std::vector<uint8_t> cover_count;
+  std::vector<uint32_t> greedy_epoch;
+  std::vector<uint32_t> line_epoch;
+  std::vector<double> line_value;
+  std::vector<double> delta_f;
+  std::vector<double> delta_f_sufmax;
+  std::vector<double> anchor_by_count;
+  std::vector<double> slope_by_count;
+
+  KernelArrays(int64_t theta, int ell, uint64_t seed) {
+    Rng rng(seed);
+    mult.resize(theta);
+    cover_count.resize(theta);
+    greedy_epoch.resize(theta);
+    line_epoch.resize(theta);
+    line_value.resize(theta);
+    for (int64_t i = 0; i < theta; ++i) {
+      mult[i] = static_cast<uint16_t>(rng.Next() % 3);  // ~1/3 uncovered
+      cover_count[i] = static_cast<uint8_t>(rng.Next() % (ell + 1));
+      greedy_epoch[i] = static_cast<uint32_t>(rng.Next() % 3);
+      line_epoch[i] = static_cast<uint32_t>(rng.Next() % 3);
+      line_value[i] =
+          static_cast<double>(rng.Next() % 2048) / 1024.0;  // may exceed 1
+    }
+    // Non-uniform postings with duplicates and arbitrary order — the
+    // kernels must not assume sorted or unique sample ids.
+    for (int64_t i = 0; i < theta / 2; ++i) {
+      ids.push_back(static_cast<int64_t>(rng.Next() % theta));
+    }
+    delta_f.resize(ell + 1);
+    delta_f_sufmax.resize(ell + 1);
+    anchor_by_count.resize(ell + 1);
+    slope_by_count.resize(ell + 1);
+    for (int c = 0; c <= ell; ++c) {
+      delta_f[c] = static_cast<double>(rng.Next() % 1000) / 997.0;
+      anchor_by_count[c] = static_cast<double>(rng.Next() % 1500) / 1024.0;
+      slope_by_count[c] = static_cast<double>(rng.Next() % 1000) / 1024.0;
+    }
+    delta_f.back() = 0.0;  // the padded "fully covered" entry
+    double run = 0.0;
+    for (int c = ell; c >= 0; --c) {
+      run = std::max(run, delta_f[c]);
+      delta_f_sufmax[c] = run;
+    }
+  }
+};
+
+// Bitwise equality: EXPECT_EQ on doubles would already be exact, but
+// comparing the bit patterns also distinguishes -0.0 from +0.0 — the
+// accumulators must never produce a negative zero.
+uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }
+
+TEST(CoverageKernelsTest, DispatchedKernelsMatchScalarBitForBit) {
+  // Spans: empty, singleton, sub-block, exactly one block, block+tail,
+  // several blocks. On AVX2 hardware the dispatched side runs the
+  // vector clones (SimdKernelsActive() unless OIPA_NO_SIMD is set); on
+  // anything else both sides are the same scalar code and the test
+  // degenerates to a tautology — CI's release leg covers the real case.
+  for (const int64_t span : {0, 1, 37, 128, 131, 1000}) {
+    for (const uint64_t seed : {7u, 21u, 63u}) {
+      KernelArrays a(std::max<int64_t>(span, 1), 3, seed ^ span);
+      const std::span<const int64_t> ids(a.ids.data(),
+                                         std::min<size_t>(span, a.ids.size()));
+      const double acc = 0.625;  // nonzero carried-in accumulator
+
+      const double gain_simd = CoverageGainSum(
+          ids, a.mult.data(), a.cover_count.data(), a.delta_f.data(), acc);
+      const double gain_ref = CoverageGainSumScalar(
+          ids, a.mult.data(), a.cover_count.data(), a.delta_f.data(), acc);
+      EXPECT_EQ(Bits(gain_simd), Bits(gain_ref)) << span << "/" << seed;
+
+      double g1 = acc, b1 = acc, g2 = acc, b2 = acc;
+      CoverageGainBoundSum(ids, a.mult.data(), a.cover_count.data(),
+                           a.delta_f.data(), a.delta_f_sufmax.data(), &g1,
+                           &b1);
+      CoverageGainBoundSumScalar(ids, a.mult.data(), a.cover_count.data(),
+                                 a.delta_f.data(), a.delta_f_sufmax.data(),
+                                 &g2, &b2);
+      EXPECT_EQ(Bits(g1), Bits(g2)) << span << "/" << seed;
+      EXPECT_EQ(Bits(b1), Bits(b2)) << span << "/" << seed;
+      EXPECT_EQ(Bits(g1), Bits(gain_simd)) << "gain paths diverged";
+
+      for (const uint32_t epoch : {0u, 1u, 2u}) {
+        const double t1 = TangentGainSum(
+            ids, a.mult.data(), a.greedy_epoch.data(), epoch,
+            a.line_epoch.data(), a.line_value.data(), a.cover_count.data(),
+            a.anchor_by_count.data(), a.slope_by_count.data(), acc);
+        const double t2 = TangentGainSumScalar(
+            ids, a.mult.data(), a.greedy_epoch.data(), epoch,
+            a.line_epoch.data(), a.line_value.data(), a.cover_count.data(),
+            a.anchor_by_count.data(), a.slope_by_count.data(), acc);
+        EXPECT_EQ(Bits(t1), Bits(t2)) << span << "/" << seed << "@" << epoch;
+      }
+    }
+  }
+}
+
+TEST(CoverageKernelsTest, AccumulatorCarriesAcrossSplitSpans) {
+  // Splitting one posting span at an arbitrary point and chaining the
+  // accumulator must reproduce the unsplit sum exactly — the property
+  // that makes grown (segmented) collections bit-identical to fresh
+  // ones.
+  KernelArrays a(500, 3, 11);
+  const std::span<const int64_t> all(a.ids);
+  const double whole = CoverageGainSum(all, a.mult.data(),
+                                       a.cover_count.data(),
+                                       a.delta_f.data(), 0.0);
+  for (const size_t cut : {size_t{1}, size_t{100}, size_t{128}, size_t{200}}) {
+    const double head = CoverageGainSum(all.subspan(0, cut), a.mult.data(),
+                                        a.cover_count.data(),
+                                        a.delta_f.data(), 0.0);
+    const double chained = CoverageGainSum(all.subspan(cut), a.mult.data(),
+                                           a.cover_count.data(),
+                                           a.delta_f.data(), head);
+    EXPECT_EQ(Bits(chained), Bits(whole)) << "cut at " << cut;
+  }
 }
 
 }  // namespace

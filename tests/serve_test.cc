@@ -327,11 +327,14 @@ TEST_F(ServeFixture, QueuedCompatibleRequestsShareOneSweep) {
 
   // Occupy the single worker with an expensive different-context
   // request (big dataset build + sampling pass) while r-a/r-b (same
-  // context, different budgets) queue up behind it.
+  // context, different budgets) queue up behind it. Every blocker in
+  // this file uses a distinct dataset seed: the sample-store registry
+  // is process-global, and a warm registry hit would let the blocker
+  // finish before the queued requests arrive.
   std::thread blocker([&] {
     const std::string request =
-        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":99},"
-        "\"sampling\":{\"theta\":60000},"
+        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":991},"
+        "\"sampling\":{\"theta\":150000},"
         "\"plan\":{\"method\":\"bab\",\"budgets\":[8]}}";
     const StatusOr<std::string> response =
         RequestOverTcp("127.0.0.1", server_->port(), request);
@@ -652,8 +655,8 @@ TEST_F(ServeFixture, OverloadRejectionsCarryRetryAfterMs) {
   // Occupy the single worker so the queue backs up behind it.
   std::thread blocker([&] {
     const std::string request =
-        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":99},"
-        "\"sampling\":{\"theta\":60000},"
+        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":992},"
+        "\"sampling\":{\"theta\":150000},"
         "\"plan\":{\"method\":\"bab\",\"budgets\":[8]}}";
     const StatusOr<std::string> response =
         RequestOverTcp("127.0.0.1", server_->port(), request);
@@ -703,8 +706,8 @@ TEST_F(ServeFixture, PerConnectionInflightCapRejectsGreedyPipeliner) {
   StartServer(options);
   std::thread blocker([&] {
     const std::string request =
-        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":99},"
-        "\"sampling\":{\"theta\":60000},"
+        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":993},"
+        "\"sampling\":{\"theta\":150000},"
         "\"plan\":{\"method\":\"bab\",\"budgets\":[8]}}";
     const StatusOr<std::string> response =
         RequestOverTcp("127.0.0.1", server_->port(), request);
@@ -743,8 +746,8 @@ TEST_F(ServeFixture, HealthBypassesTheQueueAndReportsCounters) {
   StartServer(options);
   std::thread blocker([&] {
     const std::string request =
-        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":99},"
-        "\"sampling\":{\"theta\":60000},"
+        "{\"id\":\"blocker\",\"dataset\":{\"n\":4000,\"seed\":994},"
+        "\"sampling\":{\"theta\":150000},"
         "\"plan\":{\"method\":\"bab\",\"budgets\":[8]}}";
     const StatusOr<std::string> response =
         RequestOverTcp("127.0.0.1", server_->port(), request);
